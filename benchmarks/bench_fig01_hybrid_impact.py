@@ -1,0 +1,45 @@
+"""Fig. 1 — impact of the hybrid workload on TiDB.
+
+Paper: injecting a real-time lowest-price query into the NewOrder
+transaction increases average latency by 5.9x and decreases throughput by
+5.9x against the online-transaction-only baseline (closed-loop clients, so
+the two factors mirror each other).
+"""
+
+from conftest import fresh_bench, run_once
+
+NEW_ORDER_ONLY = {"NewOrder": 1.0, "Payment": 0.0, "OrderStatus": 0.0,
+                  "Delivery": 0.0, "StockLevel": 0.0}
+X1_ONLY = {"X1": 1.0, "X2": 0.0, "X3": 0.0, "X4": 0.0, "X5": 0.0}
+
+
+def run_fig1():
+    bench = fresh_bench("tidb", "subenchmark")
+    base = run_once(bench, workload="subenchmark", loop="closed",
+                    closed_threads=8, oltp_rate=1,
+                    duration_ms=3000, warmup_ms=1000,
+                    oltp_weights=NEW_ORDER_ONLY)
+    hybrid = run_once(bench, workload="subenchmark", mode="hybrid",
+                      loop="closed", closed_threads=8, hybrid_rate=1,
+                      oltp_rate=0, duration_ms=3000, warmup_ms=1000,
+                      hybrid_weights=X1_ONLY)
+    return base, hybrid
+
+
+def test_fig1_hybrid_impact(benchmark, series):
+    base, hybrid = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+
+    latency_factor = hybrid.latency("hybrid").mean / base.latency("oltp").mean
+    throughput_factor = base.throughput("oltp") / hybrid.throughput("hybrid")
+
+    series.add("NewOrder avg latency (ms)", "-", base.latency("oltp").mean)
+    series.add("X1 avg latency (ms)", "-", hybrid.latency("hybrid").mean)
+    series.add("latency increase factor", 5.9, latency_factor)
+    series.add("throughput decrease factor", 5.9, throughput_factor)
+    series.emit(benchmark)
+
+    # shape: the real-time query must cost several x, and the two factors
+    # must mirror each other under a closed loop
+    assert 3.0 < latency_factor < 12.0
+    assert 3.0 < throughput_factor < 16.0
+    assert abs(latency_factor - throughput_factor) / latency_factor < 0.6

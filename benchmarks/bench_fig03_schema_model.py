@@ -1,0 +1,55 @@
+"""Fig. 3 — semantically consistent vs stitch schema under OLAP pressure.
+
+Paper (Test Case 1): with write-heavy transactions dropped and the OLTP
+rate held fixed (Little's law normalisation), the normalised average
+latency of online transactions on the semantically consistent schema
+(OLxPBench) more than doubles with one OLAP thread and more than triples
+with two, while CH-benCHmark's stitch schema rises by no more than ~1.2x /
+~1.48x: stitch-schema analytics mostly read tables OLTP never touches.
+"""
+
+from conftest import fresh_bench, run_once
+
+# the paper drops NewOrder and Payment to reduce load imbalance
+DROPPED_MIX = {"NewOrder": 0.0, "Payment": 0.0, "OrderStatus": 0.4,
+               "Delivery": 0.2, "StockLevel": 0.4}
+OLTP_RATE = 50.0
+SCALE = 3.0  # multi-warehouse: CH's slice predicates touch partial data
+
+
+def measure(workload_name: str) -> list[float]:
+    """Average OLTP latency at 0 / 1 / 2 OLAP threads (1 query/s each)."""
+    latencies = []
+    for olap_threads in (0, 1, 2):
+        bench = fresh_bench("tidb", workload_name, scale=SCALE,
+                            buffer_pool_pages=2048)
+        report = run_once(bench, workload=workload_name,
+                          oltp_rate=OLTP_RATE, olap_rate=olap_threads,
+                          duration_ms=12_000, warmup_ms=2000,
+                          oltp_weights=DROPPED_MIX)
+        latencies.append(report.latency("oltp").mean)
+    return latencies
+
+
+def run_fig3():
+    return measure("subenchmark"), measure("chbenchmark")
+
+
+def test_fig3_schema_model(benchmark, series):
+    olxp, ch = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+
+    olxp_1 = olxp[1] / olxp[0]
+    olxp_2 = olxp[2] / olxp[0]
+    ch_1 = ch[1] / ch[0]
+    ch_2 = ch[2] / ch[0]
+
+    series.add("OLxPBench norm latency @1 OLAP", ">2", olxp_1)
+    series.add("OLxPBench norm latency @2 OLAP", ">3", olxp_2)
+    series.add("CH-benCHmark norm latency @1 OLAP", "<=1.2", ch_1)
+    series.add("CH-benCHmark norm latency @2 OLAP", "~1.48", ch_2)
+    series.emit(benchmark)
+
+    # shape: consistent schema exposes far more interference than stitch
+    assert olxp_2 > ch_2, "OLxPBench must show more interference than CH"
+    assert olxp_2 > 3.0, "2 OLAP threads must more than triple OLxP latency"
+    assert olxp_2 > olxp_1 >= 0.95, "interference must grow with pressure"

@@ -1,0 +1,69 @@
+"""Fig. 7 — OLTP, OLAP and OLxP performance of subenchmark.
+
+Paper headlines on the 4-node clusters:
+  * OLTP peaks: MemSQL 2400 tps vs TiDB 800 tps (3.0x — in-memory vs SSD);
+  * OLAP peaks: MemSQL ~8 qps vs TiDB 4 qps;
+  * OLxP peaks: TiDB ~16 tps vs MemSQL ~4.3 tps (3.7x — TiDB's separated
+    storage engines handle hybrid transactions; MemSQL's vertical
+    partitioning turns them into join storms);
+  * interference: OLTP throughput plummets up to 89% under analytical
+    agents on TiDB; analytical throughput drops to 59% under OLTP.
+"""
+
+from conftest import fresh_bench, peak_throughput, run_once
+
+OLTP_RATES = [1000, 2500, 5000, 9000]
+OLAP_RATES = [20, 80, 240]
+HYBRID_RATES = [4, 16, 64]
+
+
+def run_fig7():
+    out = {}
+    for engine in ("memsql", "tidb"):
+        out[engine] = {
+            "oltp": peak_throughput(engine, "subenchmark", "oltp",
+                                    OLTP_RATES),
+            "olap": peak_throughput(engine, "subenchmark", "olap",
+                                    OLAP_RATES, duration_ms=1000),
+            "hybrid": peak_throughput(engine, "subenchmark", "hybrid",
+                                      HYBRID_RATES, duration_ms=1000),
+        }
+    # interference on TiDB: OLTP near its peak rate, OLAP added
+    probe_rate = max(100.0, out["tidb"]["oltp"]["peak"] * 0.9)
+    base = fresh_bench("tidb", "subenchmark")
+    alone = run_once(base, workload="subenchmark", oltp_rate=probe_rate,
+                     duration_ms=2000, warmup_ms=400)
+    loaded_bench = fresh_bench("tidb", "subenchmark")
+    loaded = run_once(loaded_bench, workload="subenchmark",
+                      oltp_rate=probe_rate, olap_rate=4,
+                      duration_ms=2000, warmup_ms=400)
+    out["tidb_interference"] = (alone.throughput("oltp"),
+                                loaded.throughput("oltp"))
+    return out
+
+
+def test_fig7_subenchmark(benchmark, series):
+    results = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+
+    memsql, tidb = results["memsql"], results["tidb"]
+    oltp_gap = memsql["oltp"]["peak"] / tidb["oltp"]["peak"]
+    hybrid_gap = tidb["hybrid"]["peak"] / max(memsql["hybrid"]["peak"], 1e-9)
+    alone, loaded = results["tidb_interference"]
+    drop = 1 - loaded / alone
+
+    series.add("MemSQL OLTP peak (tps)", 2400, memsql["oltp"]["peak"])
+    series.add("TiDB OLTP peak (tps)", 800, tidb["oltp"]["peak"])
+    series.add("OLTP peak gap MemSQL/TiDB", 3.0, oltp_gap)
+    series.add("MemSQL OLAP peak (qps)", 8, memsql["olap"]["peak"])
+    series.add("TiDB OLAP peak (qps)", 4, tidb["olap"]["peak"])
+    series.add("MemSQL OLxP peak (tps)", 4.28, memsql["hybrid"]["peak"])
+    series.add("TiDB OLxP peak (tps)", 15.98, tidb["hybrid"]["peak"])
+    series.add("OLxP peak gap TiDB/MemSQL", 3.7, hybrid_gap)
+    series.add("TiDB OLTP drop under OLAP", 0.89, drop)
+    series.emit(benchmark)
+
+    # shapes: who wins each class, and interference exists
+    assert memsql["oltp"]["peak"] > 1.5 * tidb["oltp"]["peak"]
+    assert memsql["olap"]["peak"] > tidb["olap"]["peak"]
+    assert tidb["hybrid"]["peak"] > memsql["hybrid"]["peak"]
+    assert drop > 0.3, "analytical agents must depress TiDB OLTP throughput"

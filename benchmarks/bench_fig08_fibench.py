@@ -1,0 +1,54 @@
+"""Fig. 8 — OLTP, OLAP and OLxP performance of fibenchmark.
+
+Paper headlines:
+  * OLTP peaks: MemSQL ~23476 tps vs TiDB ~9165 tps (2.6x); the read-heavy
+    simple-update banking mix peaks an order of magnitude above subenchmark;
+  * OLAP peaks are tiny (0.12 / 0.25 qps): the account-analytics queries
+    join the full tables;
+  * hybrid peaks: TiDB 4 tps vs MemSQL 2.9 tps (1.4x).
+"""
+
+from conftest import peak_throughput
+
+OLTP_RATES = [6000, 12000, 24000, 40000]
+OLAP_RATES = [10, 40, 120]
+HYBRID_RATES = [2, 8, 32]
+
+
+def run_fig8():
+    out = {}
+    for engine in ("memsql", "tidb"):
+        out[engine] = {
+            "oltp": peak_throughput(engine, "fibenchmark", "oltp",
+                                    OLTP_RATES, duration_ms=400,
+                                    warmup_ms=150),
+            "olap": peak_throughput(engine, "fibenchmark", "olap",
+                                    OLAP_RATES, duration_ms=1000),
+            "hybrid": peak_throughput(engine, "fibenchmark", "hybrid",
+                                      HYBRID_RATES, duration_ms=1000),
+        }
+    return out
+
+
+def test_fig8_fibenchmark(benchmark, series):
+    results = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    memsql, tidb = results["memsql"], results["tidb"]
+
+    oltp_gap = memsql["oltp"]["peak"] / tidb["oltp"]["peak"]
+    hybrid_gap = tidb["hybrid"]["peak"] / max(memsql["hybrid"]["peak"], 1e-9)
+
+    series.add("MemSQL OLTP peak (tps)", 23476, memsql["oltp"]["peak"])
+    series.add("TiDB OLTP peak (tps)", 9165, tidb["oltp"]["peak"])
+    series.add("OLTP peak gap MemSQL/TiDB", 2.6, oltp_gap)
+    series.add("MemSQL OLAP peak (qps)", 0.12, memsql["olap"]["peak"])
+    series.add("TiDB OLAP peak (qps)", 0.25, tidb["olap"]["peak"])
+    series.add("MemSQL OLxP peak (tps)", 2.9, memsql["hybrid"]["peak"])
+    series.add("TiDB OLxP peak (tps)", 4.0, tidb["hybrid"]["peak"])
+    series.add("OLxP peak gap TiDB/MemSQL", 1.4, hybrid_gap)
+    series.emit(benchmark)
+
+    # shapes
+    assert memsql["oltp"]["peak"] > 1.5 * tidb["oltp"]["peak"]
+    assert tidb["hybrid"]["peak"] > memsql["hybrid"]["peak"]
+    # fibenchmark's OLTP peak dwarfs its own OLAP peak by orders of magnitude
+    assert memsql["oltp"]["peak"] > 100 * memsql["olap"]["peak"]

@@ -1,0 +1,81 @@
+"""Table I — benchmark feature comparison.
+
+Reconstructs the paper's feature matrix: which HTAP benchmarks provide
+online transactions, analytical queries, hybrid transactions, real-time
+queries, a semantically consistent schema, general and domain-specific
+benchmarks.  Our implementations (OLxPBench suite + CH-benCHmark baseline)
+must exhibit exactly the features Table I records for them.
+"""
+
+from conftest import Series
+
+from repro.workloads import make_workload
+
+# Table I, verbatim (paper rows for systems we did not implement included
+# for the printed matrix).
+TABLE_I = {
+    "CH-benCHmark": dict(oltp=True, olap=True, hybrid=False, realtime=False,
+                         consistent=False, general=True, domain=False),
+    "CBTR": dict(oltp=True, olap=True, hybrid=False, realtime=False,
+                 consistent=True, general=False, domain=True),
+    "HTAPBench": dict(oltp=True, olap=True, hybrid=False, realtime=False,
+                      consistent=False, general=True, domain=False),
+    "ADAPT": dict(oltp=False, olap=False, hybrid=False, realtime=False,
+                  consistent=True, general=True, domain=False),
+    "HAP": dict(oltp=False, olap=False, hybrid=False, realtime=False,
+                consistent=True, general=True, domain=False),
+    "OLxPBench": dict(oltp=True, olap=True, hybrid=True, realtime=True,
+                      consistent=True, general=True, domain=True),
+}
+
+
+def observed_features() -> dict:
+    """Features measured from the actual implementations."""
+    suite = {name: make_workload(name) for name in
+             ("subenchmark", "fibenchmark", "tabenchmark")}
+    ch = make_workload("chbenchmark")
+
+    def has_realtime(workload) -> bool:
+        return bool(workload.hybrid_transactions())
+
+    return {
+        "OLxPBench": dict(
+            oltp=all(w.oltp_transactions() for w in suite.values()),
+            olap=all(w.analytical_queries() for w in suite.values()),
+            hybrid=all(has_realtime(w) for w in suite.values()),
+            realtime=all(has_realtime(w) for w in suite.values()),
+            consistent=all(w.semantically_consistent
+                           for w in suite.values()),
+            general=any(w.domain == "generic" for w in suite.values()),
+            domain=any(w.domain != "generic" for w in suite.values()),
+        ),
+        "CH-benCHmark": dict(
+            oltp=bool(ch.oltp_transactions()),
+            olap=bool(ch.analytical_queries()),
+            hybrid=bool(ch.hybrid_transactions()),
+            realtime=bool(ch.hybrid_transactions()),
+            consistent=ch.semantically_consistent,
+            general=ch.domain == "generic",
+            domain=ch.domain != "generic",
+        ),
+    }
+
+
+def test_table1_feature_matrix(benchmark, series: Series):
+    observed = benchmark.pedantic(observed_features, rounds=1, iterations=1)
+
+    for system, features in TABLE_I.items():
+        marks = "".join("Y" if features[k] else "n" for k in
+                        ("oltp", "olap", "hybrid", "realtime", "consistent",
+                         "general", "domain"))
+        measured = marks
+        if system in observed:
+            measured = "".join(
+                "Y" if observed[system][k] else "n" for k in
+                ("oltp", "olap", "hybrid", "realtime", "consistent",
+                 "general", "domain"))
+        series.add(system, marks, measured)
+    series.emit(benchmark)
+
+    for system, features in observed.items():
+        assert features == TABLE_I[system], system

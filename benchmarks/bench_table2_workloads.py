@@ -1,0 +1,45 @@
+"""Table II — features of the OLxPBench workloads.
+
+Every cell of the paper's Table II (tables, columns, indexes, transaction
+counts, read-only percentages) must be reproduced exactly by the shipped
+schemas and transaction mixes.
+"""
+
+from conftest import Series
+
+from repro.workloads import make_workload
+
+TABLE_II = {
+    "subenchmark": (9, 92, 3, 5, 0.08, 9, 5, 0.60),
+    "fibenchmark": (3, 6, 4, 6, 0.15, 4, 6, 0.20),
+    "tabenchmark": (4, 51, 5, 7, 0.80, 5, 6, 0.40),
+}
+COLUMNS = ("tables", "columns", "indexes", "oltp_transactions",
+           "read_only_oltp", "queries", "hybrid_transactions",
+           "read_only_hybrid")
+
+
+def collect() -> dict:
+    return {
+        name: make_workload(name).feature_summary()
+        for name in TABLE_II
+    }
+
+
+def test_table2_workload_features(benchmark, series: Series):
+    summaries = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    for name, expected in TABLE_II.items():
+        got = summaries[name]
+        measured = tuple(
+            round(got[column], 2) if isinstance(got[column], float)
+            else got[column]
+            for column in COLUMNS
+        )
+        series.add(name, str(expected), str(measured))
+        for column, value in zip(COLUMNS, expected):
+            if isinstance(value, float):
+                assert abs(got[column] - value) < 0.01, (name, column)
+            else:
+                assert got[column] == value, (name, column)
+    series.emit(benchmark)

@@ -1,0 +1,52 @@
+"""Banking scenario: fibenchmark with real-time risk checks (domain-specific).
+
+Shows the paper's core abstraction in the financial domain: a payment is
+sent only after a real-time fraud-style aggregate over the *live* checking
+balances, inside the same transaction.  Compares a MemSQL-like and a
+TiDB-like cluster on the same workload, and prints the per-transaction
+latency profile.
+
+Run:  python examples/banking_realtime_risk.py
+"""
+
+from repro.core import BenchConfig, OLxPBench
+from repro.engines import MemSQLCluster, TiDBCluster
+from repro.workloads import make_workload
+
+
+def run_on(engine_cls):
+    engine = engine_cls(nodes=4)
+    bench = OLxPBench(engine, make_workload("fibenchmark"), scale=0.5,
+                      seed=11)
+    report = bench.run(BenchConfig(
+        workload="fibenchmark", mode="hybrid",
+        hybrid_rate=6, oltp_rate=0,
+        duration_ms=4000, warmup_ms=800,
+    ))
+    return engine, report
+
+
+def main():
+    for engine_cls in (MemSQLCluster, TiDBCluster):
+        engine, report = run_on(engine_cls)
+        summary = report.latency("hybrid")
+        print(f"--- {engine.name} ({engine.nodes} nodes, isolation: "
+              f"{engine.default_isolation.value}) ---")
+        print(f"hybrid throughput: {report.throughput('hybrid'):8.2f} tps")
+        print(f"hybrid latency:    avg {summary.mean:8.2f} ms   "
+              f"p95 {summary.p95:8.2f} ms   p99.9 {summary.p999:8.2f} ms")
+        print("per-transaction breakdown:")
+        for name in sorted(report.per_transaction):
+            s = report.transaction_latency(name)
+            print(f"  {name}: n={s.count:<4} avg={s.mean:8.2f} ms "
+                  f"p95={s.p95:8.2f} ms")
+        print()
+
+    print("Note the asymmetry the paper reports in §VI-D: the engine with "
+          "separated row/columnar storage handles the real-time query "
+          "inside the transaction far better than the single-engine "
+          "design with vertical partitioning.")
+
+
+if __name__ == "__main__":
+    main()

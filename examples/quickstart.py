@@ -1,0 +1,47 @@
+"""Quickstart: run OLxPBench's general benchmark against a simulated TiDB.
+
+Builds a 4-node TiDB-like cluster, installs subenchmark (the TPC-C-derived
+general benchmark), and runs the three agent combination modes the paper
+defines: concurrent OLTP+OLAP, hybrid transactions, and sequential.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import BenchConfig, OLxPBench
+from repro.engines import TiDBCluster
+from repro.workloads import make_workload
+
+
+def main():
+    engine = TiDBCluster(nodes=4)
+    print(f"engine: {engine.info()}")
+
+    bench = OLxPBench(engine, make_workload("subenchmark"), scale=1.0,
+                      seed=7)
+    print(f"loaded {engine.db.storage.total_rows()} rows\n")
+
+    concurrent = bench.run(BenchConfig(
+        workload="subenchmark", mode="concurrent",
+        oltp_rate=100, olap_rate=1,
+        duration_ms=3000, warmup_ms=500,
+    ))
+    print("concurrent mode (OLTP agents + OLAP agents):")
+    print(concurrent.summary_text(), "\n")
+
+    hybrid = bench.run(BenchConfig(
+        workload="subenchmark", mode="hybrid", hybrid_rate=10, oltp_rate=0,
+        duration_ms=3000, warmup_ms=500,
+    ))
+    print("hybrid mode (real-time query in-between an online transaction):")
+    print(hybrid.summary_text(), "\n")
+
+    sequential = bench.run(BenchConfig(
+        workload="subenchmark", mode="sequential", loop="closed",
+        oltp_rate=3, olap_rate=1, duration_ms=3000, warmup_ms=500,
+    ))
+    print("sequential mode (one agent alternating OLTP and OLAP):")
+    print(sequential.summary_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Analysis tools: Little's law, lock overhead, interference, scaling."""
+
+from repro.analysis.freshness import (
+    FreshnessProbe,
+    FreshnessSample,
+    replication_lag_records,
+    staleness_ms,
+)
+from repro.analysis.interference import InterferenceCell, InterferenceMatrix
+from repro.analysis.littles_law import (
+    LoadPoint,
+    arrival_rate_for,
+    average_in_flight,
+    latency_for,
+)
+from repro.analysis.lock_overhead import (
+    LockOverhead,
+    lock_overhead,
+    normalised_lock_overhead,
+)
+from repro.analysis.scaling import ScalingPoint, ScalingStudy
+
+__all__ = [
+    "FreshnessProbe",
+    "FreshnessSample",
+    "replication_lag_records",
+    "staleness_ms",
+    "InterferenceCell",
+    "InterferenceMatrix",
+    "LoadPoint",
+    "arrival_rate_for",
+    "average_in_flight",
+    "latency_for",
+    "LockOverhead",
+    "lock_overhead",
+    "normalised_lock_overhead",
+    "ScalingPoint",
+    "ScalingStudy",
+]

@@ -1,0 +1,52 @@
+"""Little's Law utilities (paper §V-B1, equation 1).
+
+The paper uses L = λW to argue that load stress on the system under test is
+governed by the average number of in-flight requests L — not by whether the
+generator is open- or closed-loop — so normalising by a fixed L makes the
+OLxPBench-vs-CH-benCHmark schema comparison fair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def average_in_flight(arrival_rate_per_s: float, avg_latency_ms: float) -> float:
+    """L = λW: mean number of requests resident in the system."""
+    if arrival_rate_per_s < 0 or avg_latency_ms < 0:
+        raise ValueError("rate and latency must be non-negative")
+    return arrival_rate_per_s * (avg_latency_ms / 1000.0)
+
+
+def arrival_rate_for(target_in_flight: float, avg_latency_ms: float) -> float:
+    """λ = L / W: the rate that sustains a target number in flight."""
+    if avg_latency_ms <= 0:
+        raise ValueError("latency must be positive")
+    return target_in_flight / (avg_latency_ms / 1000.0)
+
+
+def latency_for(target_in_flight: float, arrival_rate_per_s: float) -> float:
+    """W = L / λ (milliseconds)."""
+    if arrival_rate_per_s <= 0:
+        raise ValueError("rate must be positive")
+    return (target_in_flight / arrival_rate_per_s) * 1000.0
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One measured operating point, with its Little's-law residual."""
+
+    arrival_rate_per_s: float
+    avg_latency_ms: float
+    measured_in_flight: float | None = None
+
+    @property
+    def predicted_in_flight(self) -> float:
+        return average_in_flight(self.arrival_rate_per_s, self.avg_latency_ms)
+
+    @property
+    def residual(self) -> float | None:
+        """measured - predicted L (None when nothing was measured)."""
+        if self.measured_in_flight is None:
+            return None
+        return self.measured_in_flight - self.predicted_in_flight

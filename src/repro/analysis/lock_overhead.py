@@ -1,0 +1,54 @@
+"""Lock-overhead analysis (paper §V-B1, equation 2, Fig. 4).
+
+The paper samples lock functions with perf and reports
+
+    NLO = (LS / TS) / BLO * 100%
+
+where LS is lock samples, TS total samples, and BLO the baseline lock
+overhead measured without analytical interference.  Our simulator gives the
+same quantities exactly: lock-wait milliseconds (time threads spend in lock
+functions) over total busy milliseconds, normalised to a baseline run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.runner import RunReport
+
+
+@dataclass(frozen=True)
+class LockOverhead:
+    """Raw lock overhead of one run: lock time over total busy time."""
+
+    lock_ms: float
+    busy_ms: float
+
+    @property
+    def ratio(self) -> float:
+        if self.busy_ms <= 0:
+            return 0.0
+        return self.lock_ms / self.busy_ms
+
+
+def lock_overhead(report: RunReport,
+                  per_acquisition_ms: float = 0.002) -> LockOverhead:
+    """Lock overhead of one run.
+
+    Lock time = simulated lock-wait time plus a fixed per-acquisition cost
+    (the syscall/atomic cost of the mutex/futex/spinlock path the paper's
+    perf profile counts even when uncontended).
+    """
+    lock_ms = report.lock_wait_ms + report.lock_acquisitions * \
+        per_acquisition_ms
+    busy_ms = sum(report.busy_ms.values())
+    return LockOverhead(lock_ms=lock_ms, busy_ms=busy_ms)
+
+
+def normalised_lock_overhead(report: RunReport, baseline: RunReport,
+                             per_acquisition_ms: float = 0.002) -> float:
+    """NLO: this run's lock overhead over the baseline's (1.0 = baseline)."""
+    base = lock_overhead(baseline, per_acquisition_ms).ratio
+    if base <= 0:
+        return 0.0
+    return lock_overhead(report, per_acquisition_ms).ratio / base

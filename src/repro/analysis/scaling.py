@@ -1,0 +1,59 @@
+"""Scale-out analysis (paper §VI-E, Fig. 10).
+
+Collects per-cluster-size run reports and computes the latency growth
+factors the paper reports: how average and 95th-percentile OLTP / OLxP
+latency change as the cluster grows from 4 to 16 nodes, with data size and
+request rates rising proportionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.runner import RunReport
+
+
+@dataclass
+class ScalingPoint:
+    nodes: int
+    kind: str
+    avg_latency_ms: float
+    p95_latency_ms: float
+    throughput: float
+
+
+@dataclass
+class ScalingStudy:
+    """Latency-vs-cluster-size series for one engine."""
+
+    engine: str
+    points: list = field(default_factory=list)
+
+    def add(self, nodes: int, kind: str, report: RunReport,
+            request_class: str | None = None):
+        """Record one point; ``kind`` is the series label, ``request_class``
+        the report class to read (defaults to the label)."""
+        cls = request_class or kind
+        summary = report.latency(cls)
+        self.points.append(ScalingPoint(
+            nodes=nodes,
+            kind=kind,
+            avg_latency_ms=summary.mean,
+            p95_latency_ms=summary.p95,
+            throughput=report.throughput(cls),
+        ))
+
+    def series(self, kind: str) -> list[ScalingPoint]:
+        return sorted((p for p in self.points if p.kind == kind),
+                      key=lambda p: p.nodes)
+
+    def growth(self, kind: str, metric: str = "avg_latency_ms") -> float:
+        """Latency at the largest size over latency at the smallest size."""
+        series = self.series(kind)
+        if len(series) < 2:
+            return 1.0
+        first = getattr(series[0], metric)
+        last = getattr(series[-1], metric)
+        if first <= 0:
+            return 1.0
+        return last / first

@@ -1,0 +1,171 @@
+"""Column type system for the embedded relational engine.
+
+Types are deliberately small: the four benchmark schemas (TPC-C, SmallBank,
+TATP, and the CH-benCHmark stitch additions) only need integers, floats,
+decimals, fixed/variable strings and timestamps.  Values are stored as plain
+Python objects; each type knows how to validate and coerce a value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+
+
+@dataclass(frozen=True)
+class SQLType:
+    """Base class for column types."""
+
+    name: str = "ANY"
+
+    def validate(self, value):
+        """Coerce ``value`` to this type, raising ``ExecutionError`` on failure.
+
+        ``None`` is always legal here; NOT NULL enforcement happens at the
+        constraint layer, not the type layer.
+        """
+        return value
+
+    def __str__(self):  # pragma: no cover - repr convenience
+        return self.name
+
+
+@dataclass(frozen=True)
+class IntegerType(SQLType):
+    name: str = "INT"
+
+    def validate(self, value):
+        if value is None:
+            return None
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError as exc:
+                raise ExecutionError(f"cannot coerce {value!r} to INT") from exc
+        raise ExecutionError(f"cannot coerce {value!r} to INT")
+
+
+@dataclass(frozen=True)
+class BigIntType(IntegerType):
+    name: str = "BIGINT"
+
+
+@dataclass(frozen=True)
+class FloatType(SQLType):
+    name: str = "FLOAT"
+
+    def validate(self, value):
+        if value is None:
+            return None
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError as exc:
+                raise ExecutionError(f"cannot coerce {value!r} to FLOAT") from exc
+        raise ExecutionError(f"cannot coerce {value!r} to FLOAT")
+
+
+@dataclass(frozen=True)
+class DecimalType(FloatType):
+    """DECIMAL(p, s) stored as float — precision tracking is not needed for
+    benchmarking, but the declaration shape is kept for DDL fidelity."""
+
+    name: str = "DECIMAL"
+    precision: int = 12
+    scale: int = 2
+
+
+@dataclass(frozen=True)
+class VarcharType(SQLType):
+    name: str = "VARCHAR"
+    length: int = 255
+
+    def validate(self, value):
+        if value is None:
+            return None
+        if not isinstance(value, str):
+            value = str(value)
+        if len(value) > self.length:
+            raise ExecutionError(
+                f"value of length {len(value)} exceeds {self.name}({self.length})"
+            )
+        return value
+
+    def __str__(self):
+        return f"{self.name}({self.length})"
+
+
+@dataclass(frozen=True)
+class CharType(VarcharType):
+    name: str = "CHAR"
+
+
+@dataclass(frozen=True)
+class TimestampType(SQLType):
+    """Timestamps are floats (seconds since an arbitrary epoch): the simulator
+    owns the clock, so there is no reason to round-trip through datetime."""
+
+    name: str = "TIMESTAMP"
+
+    def validate(self, value):
+        if value is None:
+            return None
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise ExecutionError(f"cannot coerce {value!r} to TIMESTAMP")
+
+
+INT = IntegerType()
+BIGINT = BigIntType()
+FLOAT = FloatType()
+TIMESTAMP = TimestampType()
+
+
+def DECIMAL(precision: int = 12, scale: int = 2) -> DecimalType:
+    """Factory matching SQL's ``DECIMAL(p, s)`` spelling."""
+    return DecimalType(precision=precision, scale=scale)
+
+
+def VARCHAR(length: int) -> VarcharType:
+    """Factory matching SQL's ``VARCHAR(n)`` spelling."""
+    return VarcharType(length=length)
+
+
+def CHAR(length: int) -> CharType:
+    """Factory matching SQL's ``CHAR(n)`` spelling."""
+    return CharType(length=length)
+
+
+_TYPE_FACTORIES = {
+    "INT": lambda args: INT,
+    "INTEGER": lambda args: INT,
+    "BIGINT": lambda args: BIGINT,
+    "SMALLINT": lambda args: INT,
+    "FLOAT": lambda args: FLOAT,
+    "DOUBLE": lambda args: FLOAT,
+    "REAL": lambda args: FLOAT,
+    "DECIMAL": lambda args: DECIMAL(*(args or (12, 2))),
+    "NUMERIC": lambda args: DECIMAL(*(args or (12, 2))),
+    "VARCHAR": lambda args: VARCHAR(args[0] if args else 255),
+    "CHAR": lambda args: CHAR(args[0] if args else 1),
+    "TEXT": lambda args: VARCHAR(65535),
+    "TIMESTAMP": lambda args: TIMESTAMP,
+    "DATETIME": lambda args: TIMESTAMP,
+}
+
+
+def type_from_name(name: str, args: tuple[int, ...] | None = None) -> SQLType:
+    """Resolve a SQL type name (as written in DDL) to a type object."""
+    factory = _TYPE_FACTORIES.get(name.upper())
+    if factory is None:
+        raise ExecutionError(f"unknown SQL type {name!r}")
+    return factory(args)

@@ -1,0 +1,311 @@
+"""The OLxPBench runner: agents, load generation, measurement.
+
+Reproduces the paper's client architecture (Fig. 2) on top of the simulated
+cluster: the configuration names a workload and rates, the generator
+populates request queues, agents pull requests, the engine's timing model
+assigns latency, and the statistics module aggregates everything.
+
+Request generation follows §IV-C:
+
+* **open loop** — requests are emitted at the precise configured rate,
+  without waiting for responses (the paper's default; it is what lets the
+  interference experiments control request rates exactly);
+* **closed loop** — a fixed thread pool where each thread issues its next
+  request only after the previous one completes (plus think time).
+
+Agent combination modes:
+
+* ``sequential`` — one closed-loop thread alternates online transactions
+  and analytical queries in rate proportion;
+* ``concurrent`` — independent OLTP and OLAP agents run simultaneously;
+* ``hybrid`` — hybrid agents send hybrid transactions (real-time query
+  in-between an online transaction).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from random import Random
+
+from repro.core.config import BenchConfig
+from repro.core.session import run_transaction
+from repro.core.stats import ClassMetrics, LatencyCollector
+from repro.engines.base import HTAPCluster
+from repro.errors import ConfigError
+from repro.workloads.base import TransactionProfile, Workload, weighted_choice
+
+
+@dataclass
+class RunReport:
+    """Everything measured during one benchmark run."""
+
+    config: BenchConfig
+    engine: str
+    window_ms: float
+    classes: dict = field(default_factory=dict)       # kind -> ClassMetrics
+    per_transaction: dict = field(default_factory=dict)  # name -> collector
+    lock_wait_ms: float = 0.0
+    lock_waits: int = 0
+    lock_acquisitions: int = 0
+    busy_ms: dict = field(default_factory=dict)        # group -> busy ms
+    utilisation: dict = field(default_factory=dict)
+    columnar_routed: int = 0
+    columnar_refused: int = 0
+
+    def metrics(self, kind: str) -> ClassMetrics:
+        return self.classes.setdefault(kind, ClassMetrics())
+
+    def throughput(self, kind: str) -> float:
+        if kind not in self.classes:
+            return 0.0
+        return self.classes[kind].throughput(self.window_ms)
+
+    def latency(self, kind: str):
+        if kind not in self.classes:
+            return LatencyCollector().summary()
+        return self.classes[kind].latency.summary()
+
+    def transaction_latency(self, name: str):
+        collector = self.per_transaction.get(name)
+        return collector.summary() if collector else LatencyCollector().summary()
+
+    def summary_text(self) -> str:
+        lines = [
+            f"engine={self.engine} workload={self.config.workload} "
+            f"mode={self.config.mode} loop={self.config.loop} "
+            f"window={self.window_ms:.0f}ms",
+        ]
+        for kind, metrics in sorted(self.classes.items()):
+            summary = metrics.latency.summary()
+            lines.append(
+                f"  {kind:>7}: attempted={metrics.attempted:<6} "
+                f"completed={metrics.completed:<6} "
+                f"tput={metrics.throughput(self.window_ms):9.2f}/s "
+                f"avg={summary.mean:9.2f}ms p95={summary.p95:9.2f}ms "
+                f"p99.9={summary.p999:9.2f}ms"
+            )
+        if self.lock_acquisitions:
+            lines.append(
+                f"  locks: acquisitions={self.lock_acquisitions} "
+                f"waits={self.lock_waits} wait_ms={self.lock_wait_ms:.1f}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class _Arrival:
+    time_ms: float
+    kind: str
+
+
+def open_loop_arrivals(rate_per_s: float, kind: str, total_ms: float,
+                       phase_ms: float = 0.0) -> list[_Arrival]:
+    """Evenly spaced arrivals at the exact configured rate (open loop)."""
+    if rate_per_s <= 0:
+        return []
+    interval = 1000.0 / rate_per_s
+    arrivals = []
+    t = phase_ms
+    while t < total_ms:
+        arrivals.append(_Arrival(t, kind))
+        t += interval
+    return arrivals
+
+
+class OLxPBench:
+    """Benchmark driver: owns one engine + one installed workload."""
+
+    def __init__(self, engine: HTAPCluster, workload: Workload,
+                 scale: float = 1.0, with_foreign_keys: bool = False,
+                 seed: int = 42):
+        if with_foreign_keys and not engine.supports_foreign_keys:
+            raise ConfigError(
+                f"engine {engine.name!r} does not support foreign keys; "
+                "use the FK-free schema variant"
+            )
+        self.engine = engine
+        self.workload = workload
+        self.seed = seed
+        workload.install(engine.db, Random(seed), scale,
+                         with_foreign_keys=with_foreign_keys)
+        self._conn = engine.db.connect()
+        self._profiles = {
+            "oltp": workload.oltp_transactions(),
+            "olap": workload.analytical_queries(),
+            "hybrid": workload.hybrid_transactions(),
+        }
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self, config: BenchConfig) -> RunReport:
+        """Execute one measurement run; timing state resets, data persists."""
+        if config.workload != self.workload.name:
+            raise ConfigError(
+                f"config is for workload {config.workload!r} but this bench "
+                f"was prepared with {self.workload.name!r}"
+            )
+        self.engine.reset_sim()
+        # fresh per-class parameter streams: two runs with the same config
+        # and seed must issue identical request sequences
+        self._rngs = {}
+        if config.loop == "open" and config.mode != "sequential":
+            return self._run_open_loop(config)
+        return self._run_closed_loop(config)
+
+    # -- open loop -------------------------------------------------------------------
+
+    def _class_rates(self, config: BenchConfig) -> dict:
+        if config.mode == "hybrid":
+            rates = {"hybrid": config.hybrid_rate or config.oltp_rate}
+            if config.oltp_rate and config.hybrid_rate:
+                rates["oltp"] = config.oltp_rate
+            if config.olap_rate:
+                rates["olap"] = config.olap_rate
+            return rates
+        rates = {}
+        if config.oltp_rate:
+            rates["oltp"] = config.oltp_rate
+        if config.olap_rate:
+            rates["olap"] = config.olap_rate
+        if config.hybrid_rate:
+            rates["hybrid"] = config.hybrid_rate
+        return rates
+
+    def _run_open_loop(self, config: BenchConfig) -> RunReport:
+        rates = self._class_rates(config)
+        if not rates:
+            raise ConfigError("all request rates are zero")
+        arrivals: list[_Arrival] = []
+        for i, (kind, rate) in enumerate(sorted(rates.items())):
+            phase = (1000.0 / rate) * (i / max(1, len(rates))) if rate else 0
+            arrivals.extend(
+                open_loop_arrivals(rate, kind, config.total_ms, phase)
+            )
+        arrivals.sort(key=lambda a: a.time_ms)
+        return self._execute(arrivals, config)
+
+    # -- closed loop ------------------------------------------------------------------
+
+    def _run_closed_loop(self, config: BenchConfig) -> RunReport:
+        rates = self._class_rates(config)
+        if not rates:
+            raise ConfigError("all request rates are zero")
+        threads = 1 if config.mode == "sequential" else config.closed_threads
+        rng = Random(config.seed ^ 0x5EED)
+        report = self._new_report(config)
+        # each thread: issue, wait for completion, think, repeat
+        heap = [(0.0, i) for i in range(threads)]
+        heapq.heapify(heap)
+        kinds = sorted(rates)
+        weights = [rates[k] for k in kinds]
+        seq_cycle = itertools.cycle(self._sequential_pattern(rates))
+        while heap:
+            now, thread = heapq.heappop(heap)
+            if now >= config.total_ms:
+                continue
+            if config.mode == "sequential":
+                kind = next(seq_cycle)
+            else:
+                kind = rng.choices(kinds, weights)[0]
+            latency = self._dispatch(now, kind, config, report)
+            next_time = now + latency + config.think_time_ms
+            heapq.heappush(heap, (next_time, thread))
+        self._finalise(report, config)
+        return report
+
+    @staticmethod
+    def _sequential_pattern(rates: dict) -> list[str]:
+        """Deterministic alternation proportional to rates (mode 1, §IV-C)."""
+        if not rates:
+            return ["oltp"]
+        smallest = min(r for r in rates.values() if r > 0)
+        pattern = []
+        for kind in sorted(rates):
+            pattern.extend([kind] * max(1, round(rates[kind] / smallest)))
+        return pattern
+
+    # -- shared execution core ------------------------------------------------------------
+
+    def _new_report(self, config: BenchConfig) -> RunReport:
+        return RunReport(
+            config=config,
+            engine=self.engine.name,
+            window_ms=config.duration_ms,
+        )
+
+    def _execute(self, arrivals: list[_Arrival],
+                 config: BenchConfig) -> RunReport:
+        report = self._new_report(config)
+        for arrival in arrivals:
+            self._dispatch(arrival.time_ms, arrival.kind, config, report)
+        self._finalise(report, config)
+        return report
+
+    def _dispatch(self, now: float, kind: str, config: BenchConfig,
+                  report: RunReport) -> float:
+        """Execute one request; record metrics; return its latency (ms)."""
+        profiles = self._profiles[kind]
+        overrides = {
+            "oltp": config.oltp_weights,
+            "olap": config.olap_weights,
+            "hybrid": config.hybrid_weights,
+        }[kind]
+        rng = self._rng_for(kind, config)
+        profile = weighted_choice(profiles, rng, overrides)
+
+        columnar = False
+        if kind == "olap":
+            columnar = self.engine.route_analytical(now)
+            if columnar:
+                report.columnar_routed += 1
+            else:
+                report.columnar_refused += 1
+
+        work = run_transaction(
+            self._conn, kind, profile.name, profile.program, rng,
+            route_columnar=columnar,
+        )
+        breakdown = self.engine.account(now, work, columnar)
+        latency = breakdown.total
+
+        measured = now >= config.warmup_ms
+        if measured:
+            metrics = report.metrics(kind)
+            metrics.attempted += 1
+            if work.aborted:
+                metrics.aborted += 1
+            elif now + latency <= config.total_ms:
+                metrics.completed += 1
+            metrics.latency.add(latency)
+            metrics.queue_wait_ms += breakdown.queue_wait
+            metrics.lock_wait_ms += breakdown.lock_wait
+            metrics.service_ms += breakdown.service
+            metrics.io_ms += breakdown.io
+            collector = report.per_transaction.get(profile.name)
+            if collector is None:
+                collector = LatencyCollector(profile.name)
+                report.per_transaction[profile.name] = collector
+            collector.add(latency)
+        return latency
+
+    def _rng_for(self, kind: str, config: BenchConfig) -> Random:
+        if not hasattr(self, "_rngs"):
+            self._rngs = {}
+        key = (kind, config.seed)
+        rng = self._rngs.get(key)
+        if rng is None:
+            rng = Random(f"{kind}:{config.seed}")
+            self._rngs[key] = rng
+        return rng
+
+    def _finalise(self, report: RunReport, config: BenchConfig):
+        locks = self.engine.locks
+        report.lock_wait_ms = locks.total_wait_ms
+        report.lock_waits = locks.waits
+        report.lock_acquisitions = locks.acquisitions
+        report.busy_ms = {
+            name: group.busy_ms for name, group in self.engine.groups.items()
+        }
+        report.utilisation = self.engine.utilisation(config.total_ms)

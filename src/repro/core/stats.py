@@ -1,0 +1,149 @@
+"""Latency/throughput statistics.
+
+Implements the metric set the paper's statistics module reports: min, max,
+mean, median, standard deviation and the 90th/95th/99th/99.9th/99.99th
+percentile latencies, plus throughput over the measurement window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+PERCENTILES = (50.0, 90.0, 95.0, 99.0, 99.9, 99.99)
+
+
+@dataclass
+class LatencySummary:
+    """Immutable summary of one latency population (milliseconds)."""
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    std: float
+    percentiles: dict
+
+    @property
+    def median(self) -> float:
+        return self.percentiles.get(50.0, float("nan"))
+
+    @property
+    def p90(self) -> float:
+        return self.percentiles.get(90.0, float("nan"))
+
+    @property
+    def p95(self) -> float:
+        return self.percentiles.get(95.0, float("nan"))
+
+    @property
+    def p99(self) -> float:
+        return self.percentiles.get(99.0, float("nan"))
+
+    @property
+    def p999(self) -> float:
+        return self.percentiles.get(99.9, float("nan"))
+
+    @property
+    def p9999(self) -> float:
+        return self.percentiles.get(99.99, float("nan"))
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "std": self.std,
+            **{f"p{p:g}": v for p, v in self.percentiles.items()},
+        }
+
+
+EMPTY_SUMMARY = LatencySummary(0, float("nan"), float("nan"), float("nan"),
+                               float("nan"), {p: float("nan")
+                                              for p in PERCENTILES})
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    """Linear-interpolation percentile over pre-sorted values."""
+    if not sorted_values:
+        return float("nan")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (len(sorted_values) - 1) * fraction
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return sorted_values[low]
+    weight = rank - low
+    value = sorted_values[low] * (1 - weight) + sorted_values[high] * weight
+    # clamp interpolation rounding error inside the observed range
+    return min(max(value, sorted_values[0]), sorted_values[-1])
+
+
+class LatencyCollector:
+    """Accumulates latency samples for one request class."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._samples: list[float] = []
+
+    def add(self, latency_ms: float):
+        self._samples.append(latency_ms)
+
+    def extend(self, latencies):
+        self._samples.extend(latencies)
+
+    def __len__(self):
+        return len(self._samples)
+
+    @property
+    def samples(self) -> list[float]:
+        return list(self._samples)
+
+    def summary(self) -> LatencySummary:
+        if not self._samples:
+            return EMPTY_SUMMARY
+        values = sorted(self._samples)
+        count = len(values)
+        mean = sum(values) / count
+        variance = sum((v - mean) ** 2 for v in values) / count
+        return LatencySummary(
+            count=count,
+            minimum=values[0],
+            maximum=values[-1],
+            mean=mean,
+            std=math.sqrt(variance),
+            percentiles={p: percentile(values, p / 100.0)
+                         for p in PERCENTILES},
+        )
+
+    def reset(self):
+        self._samples.clear()
+
+
+@dataclass
+class ClassMetrics:
+    """Everything recorded for one request class during a run."""
+
+    attempted: int = 0
+    completed: int = 0
+    aborted: int = 0
+    latency: LatencyCollector = field(default_factory=LatencyCollector)
+    queue_wait_ms: float = 0.0
+    lock_wait_ms: float = 0.0
+    service_ms: float = 0.0
+    io_ms: float = 0.0
+
+    def throughput(self, window_ms: float) -> float:
+        """Completions per second over the measurement window."""
+        if window_ms <= 0:
+            return 0.0
+        return self.completed / (window_ms / 1000.0)
+
+
+def describe(values) -> dict:
+    """Convenience: summary dict of an arbitrary numeric sequence."""
+    collector = LatencyCollector()
+    collector.extend(values)
+    return collector.summary().as_dict()

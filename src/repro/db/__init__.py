@@ -1,0 +1,5 @@
+"""Embedded database: the engine every simulated cluster executes against."""
+
+from repro.db.database import Connection, Database
+
+__all__ = ["Connection", "Database"]

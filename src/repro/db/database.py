@@ -1,0 +1,265 @@
+"""Embedded database facade.
+
+``Database`` wires the catalog, MVCC row store, optional columnar replica,
+transaction manager, planner and executor into a single engine with a
+driver-like API::
+
+    db = Database(with_columnar=True)
+    db.execute_ddl("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    with db.connect() as conn:
+        conn.execute("INSERT INTO t (id, v) VALUES (?, ?)", (1, 10))
+        conn.commit()
+        result = conn.execute("SELECT v FROM t WHERE id = ?", (1,))
+
+Statements are prepared once per SQL string and cached database-wide, so the
+benchmark loop never re-parses its workload statements.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Catalog, Column, ForeignKey, IndexDef, Table
+from repro.catalog.types import type_from_name
+from repro.errors import (
+    ConnectionStateError,
+    SQLError,
+    UnsupportedFeatureError,
+)
+from repro.sql import ast
+from repro.sql.executor import Executor
+from repro.sql.parser import parse_sql
+from repro.sql.planner import Planner, SelectPlan
+from repro.sql.result import DMLResult, Result
+from repro.storage.columnstore import ColumnarReplica
+from repro.storage.rowstore import RowStorage
+from repro.txn.manager import IsolationLevel, Transaction, TransactionManager
+
+
+class Database:
+    """One logical database: catalog + storage + transactions + SQL."""
+
+    def __init__(self, enforce_foreign_keys: bool = False,
+                 supports_foreign_keys: bool = True,
+                 with_columnar: bool = False,
+                 default_isolation: IsolationLevel = IsolationLevel.SNAPSHOT):
+        self.catalog = Catalog()
+        self.storage = RowStorage()
+        self.columnar = ColumnarReplica() if with_columnar else None
+        self.txn_manager = TransactionManager(self.storage)
+        self.planner = Planner(self.catalog)
+        self.supports_foreign_keys = supports_foreign_keys
+        self.enforce_foreign_keys = enforce_foreign_keys and supports_foreign_keys
+        self.default_isolation = default_isolation
+        self.executor = Executor(
+            self.catalog, self.columnar,
+            enforce_foreign_keys=self.enforce_foreign_keys,
+        )
+        self._plan_cache: dict[str, object] = {}
+
+    # -- DDL -----------------------------------------------------------------
+
+    def execute_ddl(self, sql: str):
+        """Run one CREATE TABLE / CREATE INDEX / DROP TABLE statement."""
+        statement = parse_sql(sql)
+        if isinstance(statement, ast.CreateTable):
+            self._create_table(statement)
+        elif isinstance(statement, ast.CreateIndex):
+            self._create_index(statement)
+        elif isinstance(statement, ast.DropTable):
+            self.catalog.drop_table(statement.name)
+            self.storage.drop_table(statement.name)
+        else:
+            raise SQLError(f"not a DDL statement: {sql!r}")
+        self._plan_cache.clear()
+
+    def run_script(self, script: str):
+        """Run a ``;``-separated DDL script (blank statements ignored)."""
+        for piece in script.split(";"):
+            if piece.strip():
+                self.execute_ddl(piece)
+
+    def _create_table(self, statement: ast.CreateTable):
+        if statement.foreign_keys and not self.supports_foreign_keys:
+            raise UnsupportedFeatureError(
+                f"this engine does not support FOREIGN KEY constraints "
+                f"(table {statement.name!r}); use the no-FK schema variant"
+            )
+        columns = [
+            Column(c.name, type_from_name(c.type_name, c.type_args or None),
+                   nullable=c.nullable)
+            for c in statement.columns
+        ]
+        fks = [ForeignKey(f.columns, f.ref_table, f.ref_columns)
+               for f in statement.foreign_keys]
+        table = Table(statement.name, columns, statement.primary_key, fks)
+        self.create_table(table)
+
+    def create_table(self, table: Table):
+        """Register a table built programmatically."""
+        self.catalog.create_table(table)
+        self.storage.register_table(table)
+        if self.columnar is not None:
+            self.columnar.register_table(table)
+
+    def _create_index(self, statement: ast.CreateIndex):
+        index = IndexDef(statement.name, statement.table,
+                         tuple(statement.columns), statement.unique)
+        self.create_index(index)
+
+    def create_index(self, index: IndexDef):
+        table = self.catalog.table(index.table)
+        table.add_index(index)
+        self.storage.store(index.table).create_index(index)
+
+    # -- bulk loading (loader fast path) ----------------------------------------
+
+    def bulk_load(self, table_name: str, rows) -> int:
+        """Install fully-formed rows as one committed batch.
+
+        Bypasses per-row transaction machinery (workload loaders insert many
+        thousands of rows); still writes the WAL so the columnar replica can
+        catch up.
+        """
+        from repro.storage.wal import LogOp
+
+        table = self.catalog.table(table_name)
+        commit_ts = self.txn_manager._next_ts()
+        count = 0
+        writes = []
+        for row in rows:
+            values = tuple(row)
+            if len(values) != len(table.columns):
+                raise SQLError(
+                    f"bulk_load row width {len(values)} != table width "
+                    f"{len(table.columns)} for {table_name}"
+                )
+            writes.append((table.name, table.pk_of(values), values,
+                           LogOp.INSERT))
+            count += 1
+        self.storage.apply_commit(commit_ts, writes)
+        return count
+
+    def replicate(self, limit: int | None = None) -> int:
+        """Apply pending WAL records to the columnar replica."""
+        if self.columnar is None:
+            return 0
+        return self.columnar.apply_from(self.storage.wal, limit)
+
+    def replication_lag(self) -> int:
+        if self.columnar is None:
+            return 0
+        return self.columnar.lag(self.storage.wal)
+
+    # -- statement preparation -----------------------------------------------------
+
+    def prepare(self, sql: str):
+        plan = self._plan_cache.get(sql)
+        if plan is None:
+            statement = parse_sql(sql)
+            plan = self.planner.plan(statement)
+            self._plan_cache[sql] = plan
+        return plan
+
+    # -- connections ------------------------------------------------------------------
+
+    def connect(self, isolation: IsolationLevel | None = None) -> "Connection":
+        return Connection(self, isolation or self.default_isolation)
+
+    # -- convenience -----------------------------------------------------------------
+
+    def query(self, sql: str, params: tuple = ()) -> Result:
+        """One-shot autocommit query."""
+        with self.connect() as conn:
+            result = conn.execute(sql, params)
+            conn.commit()
+            return result
+
+
+class Connection:
+    """A session: explicit or autocommit transactions over the database."""
+
+    def __init__(self, db: Database, isolation: IsolationLevel):
+        self.db = db
+        self.isolation = isolation
+        self._txn: Transaction | None = None
+        self._closed = False
+
+    # -- context manager ------------------------------------------------------
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb):
+        if exc_type is not None:
+            self.rollback()
+        self.close()
+        return False
+
+    def close(self):
+        if self._txn is not None:
+            self.rollback()
+        self._closed = True
+
+    # -- transaction control ----------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None
+
+    def begin(self) -> Transaction:
+        if self._closed:
+            raise ConnectionStateError("connection is closed")
+        if self._txn is not None:
+            raise ConnectionStateError("transaction already open")
+        self._txn = self.db.txn_manager.begin(self.isolation)
+        return self._txn
+
+    def commit(self):
+        if self._txn is not None:
+            txn = self._txn
+            self._txn = None
+            txn.commit()
+
+    def rollback(self):
+        if self._txn is not None:
+            txn = self._txn
+            self._txn = None
+            txn.rollback()
+
+    # -- statement execution ---------------------------------------------------------
+
+    def execute(self, sql: str, params: tuple = (),
+                route_columnar: bool = False) -> Result | DMLResult:
+        """Execute one statement inside the current (or a fresh autocommit)
+        transaction."""
+        if self._closed:
+            raise ConnectionStateError("connection is closed")
+        plan = self.db.prepare(sql)
+        autocommit = self._txn is None
+        if autocommit:
+            self.begin()
+        txn = self._txn
+        txn.statement_begin()
+        try:
+            result = self._run(plan, txn, tuple(params), route_columnar)
+        except Exception:
+            if autocommit:
+                self.rollback()
+            raise
+        if autocommit:
+            self.commit()
+        return result
+
+    def _run(self, plan, txn: Transaction, params: tuple,
+             route_columnar: bool):
+        executor = self.db.executor
+        if isinstance(plan, SelectPlan):
+            return executor.execute_select(plan, txn, params, route_columnar)
+        from repro.sql.planner import DeletePlan, InsertPlan, UpdatePlan
+
+        if isinstance(plan, InsertPlan):
+            return executor.execute_insert(plan, txn, params)
+        if isinstance(plan, UpdatePlan):
+            return executor.execute_update(plan, txn, params)
+        if isinstance(plan, DeletePlan):
+            return executor.execute_delete(plan, txn, params)
+        raise SQLError(f"cannot execute plan {plan!r}")

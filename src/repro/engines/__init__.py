@@ -1,0 +1,34 @@
+"""Simulated distributed HTAP engines (TiDB-like, MemSQL-like, OceanBase-like)."""
+
+from repro.engines.base import EngineInfo, HTAPCluster
+from repro.engines.memsql import MemSQLCluster
+from repro.engines.oceanbase import OceanBaseCluster
+from repro.engines.tidb import TiDBCluster
+
+ENGINES = {
+    "tidb": TiDBCluster,
+    "memsql": MemSQLCluster,
+    "oceanbase": OceanBaseCluster,
+}
+
+
+def make_engine(name: str, **kwargs) -> HTAPCluster:
+    """Instantiate an engine by name (``tidb``/``memsql``/``oceanbase``)."""
+    try:
+        cls = ENGINES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; choose from {sorted(ENGINES)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "EngineInfo",
+    "HTAPCluster",
+    "TiDBCluster",
+    "MemSQLCluster",
+    "OceanBaseCluster",
+    "ENGINES",
+    "make_engine",
+]

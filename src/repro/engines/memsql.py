@@ -1,0 +1,62 @@
+"""MemSQL-like (SingleStore) cluster.
+
+Mirrors the paper's deployment (§V-A2): aggregator nodes receive queries
+and distribute them to leaf nodes, which store data (in-memory row store +
+on-disk column store behind a single engine) and execute everything.  The
+consequences modelled here, all reported by the paper:
+
+* data processing happens in memory, so per-row costs are low and the
+  buffer-pool miss penalty is negligible — MemSQL's peak OLTP throughput is
+  ~3x TiDB's;
+* one shared engine serves OLTP and OLAP, so analytical queries compete
+  directly with online transactions on the leaf cores (the 17.4x latency
+  blowups of Fig. 7);
+* vertical partitioning turns the relationship queries inside hybrid
+  transactions into join storms (``hybrid_join_amplification``), which is
+  why the paper measures hybrid latency in the hundreds of seconds;
+* only READ COMMITTED isolation, and no foreign-key support (OLxPBench
+  ships FK-free schema variants precisely for this).
+"""
+
+from __future__ import annotations
+
+from repro.engines.base import HTAPCluster
+from repro.sim.cluster import NodeGroup
+from repro.sim.costmodel import MEMSQL_COSTS, CostParams
+from repro.sim.work import WorkResult
+from repro.txn.manager import IsolationLevel
+
+
+class MemSQLCluster(HTAPCluster):
+    """Aggregator/leaf cluster with a single shared storage engine."""
+
+    name = "memsql"
+    supports_foreign_keys = False
+    has_columnar_store = False
+    default_isolation = IsolationLevel.READ_COMMITTED
+
+    def default_costs(self) -> CostParams:
+        return MEMSQL_COSTS
+
+    def _scaling_coefficient(self) -> float:
+        return 0.35
+
+    def _build_groups(self) -> dict[str, NodeGroup]:
+        # one master aggregator + one aggregator + leaves (paper keeps two
+        # leaf nodes on the 4-node testbed); aggregators do little compute
+        leaf_nodes = max(1, self.nodes - 2)
+        return {
+            "aggregator": NodeGroup("aggregator", min(2, self.nodes),
+                                    self.cores_per_node),
+            "leaf": NodeGroup("leaf", leaf_nodes, self.cores_per_node),
+        }
+
+    def route_analytical(self, arrival_ms: float) -> bool:
+        return False  # single engine: analytics scan the shared store
+
+    def _target_group(self, work: WorkResult, columnar: bool) -> NodeGroup:
+        return self.groups["leaf"]
+
+    def _network_hops(self, work: WorkResult, columnar: bool) -> int:
+        # client -> aggregator -> leaf adds one hop per statement
+        return 1 + super()._network_hops(work, columnar)

@@ -1,0 +1,85 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+The hierarchy mirrors what a user of a real DBMS driver would expect:
+``ReproError`` is the catch-all; SQL problems derive from ``SQLError``;
+transactional problems derive from ``TransactionError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class CatalogError(ReproError):
+    """Schema-level problem: unknown table/column, duplicate definition, ..."""
+
+
+class UnsupportedFeatureError(ReproError):
+    """A feature that the target engine deliberately does not support.
+
+    MemSQL-like engines raise this for ``FOREIGN KEY`` constraints, matching
+    the paper's note that OLxPBench ships two schema versions because some
+    HTAP DBMSs lack foreign-key support.
+    """
+
+
+class SQLError(ReproError):
+    """Base class for problems in the SQL front end."""
+
+
+class SQLSyntaxError(SQLError):
+    """The statement could not be tokenised or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class BindError(SQLError):
+    """Name resolution failed (unknown table/column, ambiguous reference)."""
+
+
+class PlanError(SQLError):
+    """The binder output could not be turned into an executable plan."""
+
+
+class ExecutionError(SQLError):
+    """Runtime failure while executing a plan (type error, bad parameter)."""
+
+
+class IntegrityError(ReproError):
+    """Primary-key, foreign-key, or NOT NULL violation."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction lifecycle problems."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted and must be retried by the caller."""
+
+
+class WriteConflictError(TransactionAborted):
+    """First-committer-wins validation failed under snapshot isolation."""
+
+
+class DeadlockError(TransactionAborted):
+    """The lock manager chose this transaction as a deadlock victim."""
+
+
+class LockTimeoutError(TransactionAborted):
+    """A lock could not be acquired within the configured timeout."""
+
+
+class ConnectionStateError(TransactionError):
+    """Operation illegal in the connection's current state."""
+
+
+class ConfigError(ReproError):
+    """Benchmark configuration is malformed or inconsistent."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition is internally inconsistent."""

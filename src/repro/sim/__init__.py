@@ -1,0 +1,31 @@
+"""Discrete-event cluster simulation and per-engine cost models."""
+
+from repro.sim.cluster import (
+    BufferPoolModel,
+    LatencyBreakdown,
+    LockTable,
+    NodeGroup,
+    ReplicationState,
+)
+from repro.sim.costmodel import (
+    MEMSQL_COSTS,
+    OCEANBASE_COSTS,
+    TIDB_COSTS,
+    CostBreakdown,
+    CostModel,
+    CostParams,
+)
+
+__all__ = [
+    "BufferPoolModel",
+    "LatencyBreakdown",
+    "LockTable",
+    "NodeGroup",
+    "ReplicationState",
+    "CostBreakdown",
+    "CostModel",
+    "CostParams",
+    "TIDB_COSTS",
+    "MEMSQL_COSTS",
+    "OCEANBASE_COSTS",
+]

@@ -1,0 +1,208 @@
+"""Discrete-event cluster timing model.
+
+The execute-then-time design: transactions run *logically* against the
+embedded database the moment they are dispatched (wall-clock instantaneous,
+single-threaded, deterministic), and this module assigns them *simulated*
+latency:
+
+    latency = queue wait at the target node group
+            + lock waits behind in-flight writers of the same rows
+            + CPU service demand (from the cost model)
+            + buffer-pool miss IO
+            + network hops
+
+Measuring in simulated time sidesteps the GIL entirely — the paper's
+throughput/latency shapes come out of queueing, lock holding, buffer-pool
+eviction and replication lag, all modelled explicitly here.
+
+``NodeGroup`` models ``nodes x cores`` FIFO servers with a heap of
+core-free times.  ``LockTable`` tracks, per row, when the last simulated
+holder releases it.  Requests must be submitted in nondecreasing arrival
+order (the runner guarantees this).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.storage.bufferpool import BufferPool
+
+
+class NodeGroup:
+    """A pool of identical nodes; each node has ``cores`` FIFO servers."""
+
+    def __init__(self, name: str, nodes: int, cores_per_node: int):
+        if nodes <= 0 or cores_per_node <= 0:
+            raise ValueError("node group needs at least one node and core")
+        self.name = name
+        self.nodes = nodes
+        self.cores_per_node = cores_per_node
+        self._free = [0.0] * (nodes * cores_per_node)
+        heapq.heapify(self._free)
+        self.busy_ms = 0.0
+        self.requests = 0
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.cores_per_node
+
+    def admit(self, arrival: float, demand: float,
+              extra_hold: float = 0.0) -> tuple[float, float]:
+        """Admit one request; returns ``(start, completion)``.
+
+        ``extra_hold`` extends the core occupancy past the CPU demand (lock
+        waits where the serving thread blocks while holding its core, as a
+        JDBC worker thread does).
+        """
+        core_free = heapq.heappop(self._free)
+        start = max(arrival, core_free)
+        completion = start + demand + extra_hold
+        heapq.heappush(self._free, completion)
+        self.busy_ms += demand + extra_hold
+        self.requests += 1
+        return start, completion
+
+    def earliest_start(self, arrival: float) -> float:
+        """When a request arriving at ``arrival`` would begin service."""
+        return max(arrival, self._free[0])
+
+    def utilisation(self, horizon_ms: float) -> float:
+        if horizon_ms <= 0:
+            return 0.0
+        return min(1.0, self.busy_ms / (horizon_ms * self.total_cores))
+
+    def reset(self):
+        self._free = [0.0] * self.total_cores
+        heapq.heapify(self._free)
+        self.busy_ms = 0.0
+        self.requests = 0
+
+
+class LockTable:
+    """Simulated row-lock release times.
+
+    ``wait_and_hold(keys, start, completion)`` returns how long a request
+    starting service at ``start`` must wait for the rows in ``keys``, and
+    registers the request as the new holder until ``completion``.
+    """
+
+    def __init__(self):
+        self._release: dict = {}
+        self.total_wait_ms = 0.0
+        self.waits = 0
+        self.acquisitions = 0
+
+    def wait_for(self, keys, start: float) -> float:
+        latest = 0.0
+        for key in keys:
+            release = self._release.get(key, 0.0)
+            if release > latest:
+                latest = release
+        return max(0.0, latest - start)
+
+    def hold(self, keys, until: float):
+        for key in keys:
+            self._release[key] = until
+        self.acquisitions += len(keys)
+
+    def wait_and_hold(self, keys, start: float, service: float) -> float:
+        """Returns the lock wait; holders release at start+wait+service."""
+        wait = self.wait_for(keys, start)
+        if wait > 0:
+            self.waits += 1
+            self.total_wait_ms += wait
+        self.hold(keys, start + wait + service)
+        return wait
+
+    def reset(self):
+        self._release.clear()
+        self.total_wait_ms = 0.0
+        self.waits = 0
+        self.acquisitions = 0
+
+
+class ReplicationState:
+    """Asynchronous log replication progress (TiFlash-style).
+
+    The replica applies ``apply_rate`` log records per simulated millisecond.
+    ``advance(now, wal_head)`` moves the applied watermark forward;
+    ``lag(wal_head)`` says how many records the replica is behind, which the
+    router uses as the freshness gate for columnar routing.
+    """
+
+    def __init__(self, apply_rate_per_ms: float):
+        self.apply_rate = apply_rate_per_ms
+        self.applied = 0.0
+        self._last_advance = 0.0
+
+    def advance(self, now_ms: float, wal_head: int):
+        if now_ms > self._last_advance:
+            budget = (now_ms - self._last_advance) * self.apply_rate
+            self.applied = min(float(wal_head), self.applied + budget)
+            self._last_advance = now_ms
+
+    def lag(self, wal_head: int) -> float:
+        return max(0.0, float(wal_head) - self.applied)
+
+    def reset(self):
+        self.applied = 0.0
+        self._last_advance = 0.0
+
+
+@dataclass
+class LatencyBreakdown:
+    """Where one request's simulated latency went."""
+
+    queue_wait: float = 0.0
+    lock_wait: float = 0.0
+    service: float = 0.0
+    io: float = 0.0
+    network: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (self.queue_wait + self.lock_wait + self.service
+                + self.io + self.network)
+
+
+@dataclass
+class BufferPoolModel:
+    """Buffer pool attached to a node group (the shared row store)."""
+
+    pool: BufferPool
+    # pseudo page-number cursors so distinct scans touch distinct ranges
+    _scan_cursor: dict = field(default_factory=dict)
+
+    def charge_scan(self, table: str, rows: int) -> tuple[int, int, bool]:
+        """A sequential scan of ``rows`` rows; returns (misses, hits,
+        flooded) where flooded means the scan displaced the whole pool."""
+        pages = self.pool.rows_to_pages(rows)
+        if pages == 0:
+            return 0, 0, False
+        misses = self.pool.access_range(table, 0, pages)
+        # a scan displacing half the pool effectively destroys the resident
+        # working set, so it counts as a flood
+        return misses, pages - misses, pages >= self.pool.capacity // 2
+
+    def charge_point(self, table: str, rows: int, spread: int) -> tuple[int, int]:
+        """Point accesses into a table of ``spread`` rows; LRU decides.
+
+        OLTP point reads are skewed (TPC-C's NURand, TATP's hot subscribers),
+        so the effective working set is a fraction of the table: we probe a
+        quarter of the table's pages, deterministically strided.
+        """
+        misses = 0
+        hits = 0
+        if rows <= 0:
+            return 0, 0
+        pages = max(1, self.pool.rows_to_pages(spread) // 4)
+        cursor = self._scan_cursor.get(table, 0)
+        for i in range(rows):
+            page = (cursor + i * 7919) % pages  # deterministic stride probe
+            if self.pool.access((table, page)):
+                hits += 1
+            else:
+                misses += 1
+        self._scan_cursor[table] = cursor + rows
+        return misses, hits

@@ -1,0 +1,16 @@
+"""SQL front end: lexer, parser, planner, executor."""
+
+from repro.sql.executor import ExecContext, Executor
+from repro.sql.parser import parse_sql
+from repro.sql.planner import Planner
+from repro.sql.result import DMLResult, ExecStats, Result
+
+__all__ = [
+    "ExecContext",
+    "Executor",
+    "parse_sql",
+    "Planner",
+    "DMLResult",
+    "ExecStats",
+    "Result",
+]

@@ -1,0 +1,268 @@
+"""Abstract syntax tree for the benchmark SQL dialect.
+
+Nodes are plain dataclasses; the planner consumes them directly.  Expression
+nodes are shared between SELECT lists, WHERE/HAVING clauses, SET clauses and
+ORDER BY keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# --------------------------------------------------------------------------
+# expressions
+# --------------------------------------------------------------------------
+
+class Expr:
+    """Marker base class for expression nodes."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A ``?`` placeholder; ``index`` is its zero-based ordinal."""
+    index: int
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    table: str | None  # alias or table name, None when unqualified
+    name: str
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``alias.*`` in a select list / COUNT(*)."""
+    table: str | None = None
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str  # +,-,*,/,%,=,<>,<,<=,>,>=,AND,OR,||
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # NOT, -
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """Scalar or aggregate function call; aggregates are classified later."""
+    name: str
+    args: tuple[Expr, ...]
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    operand: Expr
+    subquery: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ExistsSubquery(Expr):
+    subquery: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expr):
+    subquery: "Select"
+
+
+@dataclass(frozen=True)
+class CaseWhen(Expr):
+    branches: tuple[tuple[Expr, Expr], ...]  # (condition, result)
+    default: Expr | None
+
+
+# --------------------------------------------------------------------------
+# statements
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return (self.alias or self.name).upper()
+
+
+@dataclass(frozen=True)
+class Join:
+    table: TableRef
+    condition: Expr | None  # ON clause; None for comma joins
+    kind: str = "INNER"  # INNER | LEFT
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    items: tuple[SelectItem, ...]
+    table: TableRef | None
+    joins: tuple[Join, ...] = ()
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+    for_update: bool = False
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...]
+    values: tuple[tuple[Expr, ...], ...]  # one or more VALUES tuples
+
+
+@dataclass(frozen=True)
+class SetClause:
+    column: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    sets: tuple[SetClause, ...]
+    where: Expr | None
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Expr | None
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+    type_args: tuple[int, ...]
+    nullable: bool = True
+    primary_key: bool = False  # inline PRIMARY KEY
+
+
+@dataclass(frozen=True)
+class ForeignKeyDef:
+    columns: tuple[str, ...]
+    ref_table: str
+    ref_columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: tuple[ColumnDef, ...]
+    primary_key: tuple[str, ...]
+    foreign_keys: tuple[ForeignKeyDef, ...] = ()
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    unique: bool = False
+
+
+@dataclass(frozen=True)
+class DropTable:
+    name: str
+
+
+Statement = (
+    Select | Insert | Update | Delete | CreateTable | CreateIndex | DropTable
+)
+
+AGGREGATE_FUNCTIONS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+def is_aggregate_call(expr: Expr) -> bool:
+    return isinstance(expr, FuncCall) and expr.name in AGGREGATE_FUNCTIONS
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """True when any node in ``expr`` is an aggregate function call."""
+    if is_aggregate_call(expr):
+        return True
+    return any(contains_aggregate(child) for child in children(expr))
+
+
+def children(expr: Expr) -> tuple[Expr, ...]:
+    """Direct expression children of ``expr`` (for tree walks)."""
+    if isinstance(expr, BinaryOp):
+        return (expr.left, expr.right)
+    if isinstance(expr, UnaryOp):
+        return (expr.operand,)
+    if isinstance(expr, FuncCall):
+        return expr.args
+    if isinstance(expr, IsNull):
+        return (expr.operand,)
+    if isinstance(expr, Like):
+        return (expr.operand, expr.pattern)
+    if isinstance(expr, Between):
+        return (expr.operand, expr.low, expr.high)
+    if isinstance(expr, InList):
+        return (expr.operand, *expr.items)
+    if isinstance(expr, InSubquery):
+        return (expr.operand,)
+    if isinstance(expr, CaseWhen):
+        nodes = [node for branch in expr.branches for node in branch]
+        if expr.default is not None:
+            nodes.append(expr.default)
+        return tuple(nodes)
+    return ()

@@ -1,0 +1,261 @@
+"""Plan execution.
+
+``ExecContext`` carries everything an operator needs at run time: bound
+parameters, the active transaction, the statistics collector, and the store
+routing decision (row vs columnar).  DML statements locate their targets via
+the planner's ``AccessPath`` and apply changes through the transaction's
+buffered-write API, so MVCC and validation semantics come for free.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError, IntegrityError, PlanError
+from repro.sql.planner import (
+    AccessPath,
+    DeletePlan,
+    InsertPlan,
+    SelectPlan,
+    UpdatePlan,
+)
+from repro.sql.result import DMLResult, ExecStats, Result
+from repro.txn.manager import Transaction
+
+
+class ExecContext:
+    """Per-statement execution state."""
+
+    def __init__(self, txn: Transaction, params: tuple = (),
+                 columnar=None, route_columnar: bool = False,
+                 enforce_foreign_keys: bool = False, catalog=None):
+        self.txn = txn
+        self.params = params
+        self.stats = ExecStats()
+        self.columnar = columnar
+        self.route_columnar = route_columnar
+        self.enforce_foreign_keys = enforce_foreign_keys
+        self.catalog = catalog
+        self._subquery_cache: dict[int, list] = {}
+
+    def wants_columnar(self, table_name: str) -> bool:
+        """Should a full scan of ``table_name`` go to the columnar replica?
+
+        Only when the statement was routed to the columnar store *and* the
+        replica actually has the table.  Point/index lookups never come here:
+        they always hit the row store, as in TiDB.
+        """
+        return (self.route_columnar and self.columnar is not None
+                and self.columnar.has_table(table_name))
+
+    # -- uncorrelated subquery execution with per-statement caching ---------
+
+    def _run_subplan(self, subplan: SelectPlan) -> list:
+        key = id(subplan)
+        cached = self._subquery_cache.get(key)
+        if cached is None:
+            self.stats.subqueries += 1
+            cached = list(subplan.root.execute(self))
+            self._subquery_cache[key] = cached
+        return cached
+
+    def subquery_values(self, subplan: SelectPlan) -> set:
+        rows = self._run_subplan(subplan)
+        return {row[0] for row in rows}
+
+    def subquery_scalar(self, subplan: SelectPlan):
+        rows = self._run_subplan(subplan)
+        if not rows:
+            return None
+        if len(rows) > 1:
+            raise ExecutionError("scalar subquery returned more than one row")
+        return rows[0][0]
+
+
+class Executor:
+    """Runs prepared plans within a transaction."""
+
+    def __init__(self, catalog, columnar=None,
+                 enforce_foreign_keys: bool = False):
+        self.catalog = catalog
+        self.columnar = columnar
+        self.enforce_foreign_keys = enforce_foreign_keys
+
+    def _context(self, txn: Transaction, params: tuple,
+                 route_columnar: bool) -> ExecContext:
+        return ExecContext(
+            txn, params,
+            columnar=self.columnar,
+            route_columnar=route_columnar,
+            enforce_foreign_keys=self.enforce_foreign_keys,
+            catalog=self.catalog,
+        )
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def execute_select(self, plan: SelectPlan, txn: Transaction,
+                       params: tuple = (),
+                       route_columnar: bool = False) -> Result:
+        ctx = self._context(txn, params, route_columnar)
+        if plan.for_update is not None:
+            for pk, _values in self._find_targets(plan.for_update, ctx):
+                txn.lock_for_update(plan.for_update.table.name, pk)
+        rows = list(plan.root.execute(ctx))
+        ctx.stats.rows_returned = len(rows)
+        return Result(plan.columns, rows, ctx.stats)
+
+    # -- INSERT ---------------------------------------------------------------
+
+    def execute_insert(self, plan: InsertPlan, txn: Transaction,
+                       params: tuple = ()) -> DMLResult:
+        ctx = self._context(txn, params, route_columnar=False)
+        table = plan.table
+        count = 0
+        for row_fns in plan.row_fns:
+            provided = {
+                column: fn((), ctx)
+                for column, fn in zip(plan.columns, row_fns)
+            }
+            values = []
+            for column in table.columns:
+                raw = provided.get(column.name)
+                value = column.col_type.validate(raw)
+                if value is None and not column.nullable:
+                    raise IntegrityError(
+                        f"column {column.name!r} of {table.name} is NOT NULL"
+                    )
+                values.append(value)
+            values = tuple(values)
+            pk = table.pk_of(values)
+            if any(part is None for part in pk):
+                raise IntegrityError(
+                    f"primary key of {table.name} must not be NULL"
+                )
+            if self.enforce_foreign_keys:
+                self._check_foreign_keys(table, values, ctx)
+            txn.insert(table.name, pk, values)
+            ctx.stats.writes[table.name] += 1
+            count += 1
+        return DMLResult(count, ctx.stats)
+
+    def _check_foreign_keys(self, table, values: tuple, ctx: ExecContext):
+        for fk in table.foreign_keys:
+            ref_table = self.catalog.table(fk.ref_table)
+            key = tuple(values[table.position(c)] for c in fk.columns)
+            if any(part is None for part in key):
+                continue  # NULL FK components are not checked, as in SQL
+            if tuple(c.upper() for c in fk.ref_columns) != tuple(
+                    c.upper() for c in ref_table.primary_key):
+                continue  # only PK-referencing FKs are enforceable here
+            if ctx.txn.get(ref_table.name, key) is None:
+                raise IntegrityError(
+                    f"foreign key violation: {table.name}{fk.columns} -> "
+                    f"{fk.ref_table}{key} has no parent row"
+                )
+
+    # -- UPDATE / DELETE -----------------------------------------------------------
+
+    def execute_update(self, plan: UpdatePlan, txn: Transaction,
+                       params: tuple = ()) -> DMLResult:
+        ctx = self._context(txn, params, route_columnar=False)
+        table = plan.table
+        targets = list(self._find_targets(plan.path, ctx))
+        count = 0
+        for pk, values in targets:
+            new_values = list(values)
+            for position, fn in zip(plan.set_positions, plan.set_fns):
+                column = table.columns[position]
+                value = column.col_type.validate(fn(values, ctx))
+                if value is None and not column.nullable:
+                    raise IntegrityError(
+                        f"column {column.name!r} of {table.name} is NOT NULL"
+                    )
+                new_values[position] = value
+            new_values = tuple(new_values)
+            new_pk = table.pk_of(new_values)
+            if new_pk != pk:
+                txn.delete(table.name, pk)
+                txn.insert(table.name, new_pk, new_values)
+                ctx.stats.writes[table.name] += 2
+            else:
+                txn.update(table.name, pk, new_values)
+                ctx.stats.writes[table.name] += 1
+            count += 1
+        return DMLResult(count, ctx.stats)
+
+    def execute_delete(self, plan: DeletePlan, txn: Transaction,
+                       params: tuple = ()) -> DMLResult:
+        ctx = self._context(txn, params, route_columnar=False)
+        targets = list(self._find_targets(plan.path, ctx))
+        for pk, _values in targets:
+            txn.delete(plan.table.name, pk)
+            ctx.stats.writes[plan.table.name] += 1
+        return DMLResult(len(targets), ctx.stats)
+
+    # -- access-path interpretation for DML ---------------------------------------
+
+    def _find_targets(self, path: AccessPath, ctx: ExecContext):
+        """Yield ``(pk, values)`` rows matched by ``path`` under ``ctx``."""
+        table = path.table
+        name = table.name
+        txn = ctx.txn
+        stats = ctx.stats
+
+        def matches(values: tuple) -> bool:
+            return path.filter_fn is None or path.filter_fn(values, ctx)
+
+        if path.kind == "pk":
+            key = tuple(fn((), ctx) for fn in path.key_fns)
+            stats.pk_lookups += 1
+            values = txn.get(name, key)
+            if values is not None:
+                stats.rows_row_store[name] += 1
+                if matches(values):
+                    yield key, values
+            return
+
+        if path.kind == "pk_prefix":
+            prefix = tuple(fn((), ctx) for fn in path.key_fns)
+            stats.index_range_scans += 1
+            for pk, values in txn.pk_prefix_scan(name, prefix):
+                stats.rows_row_store[name] += 1
+                stats.rows_row_prefix[name] += 1
+                if matches(values):
+                    yield pk, values
+            return
+
+        if path.kind in ("index", "index_prefix"):
+            key = tuple(fn((), ctx) for fn in path.key_fns)
+            stats.index_lookups += 1
+            store = txn.manager.storage.store(name)
+            idx = store.index(path.index_name)
+            if path.kind == "index_prefix":
+                pks = set()
+                for _k, entry in idx.prefix_scan(key):
+                    pks |= entry
+            else:
+                pks = set(idx.lookup(key))
+            seen = set()
+            for pk, values in txn.local_rows(name):
+                seen.add(pk)
+                if values is not None:
+                    stats.rows_row_store[name] += 1
+                    if matches(values):
+                        yield pk, values
+            for pk in pks:
+                if pk in seen:
+                    continue
+                values = txn.get(name, pk)
+                if values is not None:
+                    stats.rows_row_store[name] += 1
+                    if matches(values):
+                        yield pk, values
+            return
+
+        if path.kind == "seq":
+            stats.full_scans[name] += 1
+            for pk, values in txn.scan(name):
+                stats.rows_row_store[name] += 1
+                if matches(values):
+                    yield pk, values
+            return
+
+        raise PlanError(f"unknown access path kind {path.kind!r}")

@@ -1,0 +1,198 @@
+"""Aggregate accumulators and scalar functions.
+
+NULL handling follows the pragmatic subset the benchmark queries need:
+aggregates skip NULL inputs; ``COUNT(*)`` counts rows; ``AVG`` over an empty
+or all-NULL input yields NULL.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+
+
+class Accumulator:
+    """Base aggregate accumulator."""
+
+    def add(self, value):
+        raise NotImplementedError
+
+    def result(self):
+        raise NotImplementedError
+
+
+class CountAccumulator(Accumulator):
+    def __init__(self, count_star: bool = False, distinct: bool = False):
+        self.count_star = count_star
+        self.distinct = distinct
+        self.count = 0
+        self._seen = set() if distinct else None
+
+    def add(self, value):
+        if self.count_star:
+            self.count += 1
+            return
+        if value is None:
+            return
+        if self.distinct:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        self.count += 1
+
+    def result(self):
+        return self.count
+
+
+class SumAccumulator(Accumulator):
+    def __init__(self, distinct: bool = False):
+        self.distinct = distinct
+        self.total = None
+        self._seen = set() if distinct else None
+
+    def add(self, value):
+        if value is None:
+            return
+        if self.distinct:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        self.total = value if self.total is None else self.total + value
+
+    def result(self):
+        return self.total
+
+
+class AvgAccumulator(Accumulator):
+    def __init__(self, distinct: bool = False):
+        self.distinct = distinct
+        self.total = 0.0
+        self.count = 0
+        self._seen = set() if distinct else None
+
+    def add(self, value):
+        if value is None:
+            return
+        if self.distinct:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        self.total += value
+        self.count += 1
+
+    def result(self):
+        return self.total / self.count if self.count else None
+
+
+class MinAccumulator(Accumulator):
+    def __init__(self, distinct: bool = False):
+        self.value = None
+
+    def add(self, value):
+        if value is None:
+            return
+        if self.value is None or value < self.value:
+            self.value = value
+
+    def result(self):
+        return self.value
+
+
+class MaxAccumulator(Accumulator):
+    def __init__(self, distinct: bool = False):
+        self.value = None
+
+    def add(self, value):
+        if value is None:
+            return
+        if self.value is None or value > self.value:
+            self.value = value
+
+    def result(self):
+        return self.value
+
+
+AGGREGATES = {
+    "COUNT": CountAccumulator,
+    "SUM": SumAccumulator,
+    "AVG": AvgAccumulator,
+    "MIN": MinAccumulator,
+    "MAX": MaxAccumulator,
+}
+
+
+def make_accumulator(name: str, count_star: bool = False,
+                     distinct: bool = False) -> Accumulator:
+    if name == "COUNT":
+        return CountAccumulator(count_star, distinct)
+    try:
+        return AGGREGATES[name](distinct)
+    except KeyError:
+        raise ExecutionError(f"unknown aggregate function {name!r}") from None
+
+
+def sql_abs(value):
+    return None if value is None else abs(value)
+
+
+def sql_round(value, digits=0):
+    if value is None:
+        return None
+    return round(value, int(digits))
+
+
+def sql_length(value):
+    return None if value is None else len(str(value))
+
+
+def sql_substr(value, start, length=None):
+    if value is None:
+        return None
+    text = str(value)
+    begin = int(start) - 1  # SQL is 1-based
+    if length is None:
+        return text[begin:]
+    return text[begin:begin + int(length)]
+
+
+def sql_upper(value):
+    return None if value is None else str(value).upper()
+
+
+def sql_lower(value):
+    return None if value is None else str(value).lower()
+
+
+def sql_mod(a, b):
+    if a is None or b is None:
+        return None
+    return a % b
+
+
+SCALARS = {
+    "ABS": sql_abs,
+    "ROUND": sql_round,
+    "LENGTH": sql_length,
+    "SUBSTR": sql_substr,
+    "SUBSTRING": sql_substr,
+    "UPPER": sql_upper,
+    "LOWER": sql_lower,
+    "MOD": sql_mod,
+}
+
+
+def like_to_predicate(pattern: str):
+    """Compile a SQL LIKE pattern (``%``/``_`` wildcards) to a matcher."""
+    import re as _re
+
+    regex = _re.compile(
+        "^" + "".join(
+            ".*" if ch == "%" else "." if ch == "_" else _re.escape(ch)
+            for ch in pattern
+        ) + "$",
+        _re.DOTALL,
+    )
+
+    def match(value) -> bool:
+        return value is not None and regex.match(str(value)) is not None
+
+    return match

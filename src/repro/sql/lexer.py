@@ -1,0 +1,106 @@
+"""SQL tokeniser.
+
+Regex-driven single-pass lexer producing a flat token list for the
+recursive-descent parser.  Supported lexemes cover the benchmark dialect:
+identifiers (optionally ``"quoted"``), integer/float/string literals, ``?``
+parameter markers, operators, punctuation and ``--`` line comments.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import SQLSyntaxError
+
+
+class TokenType(Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    PARAM = "param"
+    OP = "op"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset("""
+    SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT OFFSET AS ASC DESC
+    JOIN INNER LEFT OUTER ON AND OR NOT IN IS NULL LIKE BETWEEN EXISTS
+    DISTINCT INSERT INTO VALUES UPDATE SET DELETE CREATE TABLE INDEX UNIQUE
+    PRIMARY KEY FOREIGN REFERENCES DROP CASE WHEN THEN ELSE END
+    COUNT SUM AVG MIN MAX ABS ROUND FOR OF SHARE TRUE FALSE
+""".split())
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, token_type: TokenType, value: str | None = None) -> bool:
+        if self.type is not token_type:
+            return False
+        return value is None or self.value == value
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<float>\d+\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<qident>"[^"]+")
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<param>\?)
+  | (?P<op><>|!=|<=|>=|=|<|>|\|\||[+\-*/%])
+  | (?P<punct>[(),.;])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenise ``sql``; raises ``SQLSyntaxError`` on any unrecognised input."""
+    tokens: list[Token] = []
+    pos = 0
+    length = len(sql)
+    while pos < length:
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            raise SQLSyntaxError(
+                f"unexpected character {sql[pos]!r} at position {pos}", pos
+            )
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "ws" or kind == "comment":
+            pos = match.end()
+            continue
+        if kind == "float":
+            tokens.append(Token(TokenType.FLOAT, text, pos))
+        elif kind == "int":
+            tokens.append(Token(TokenType.INT, text, pos))
+        elif kind == "string":
+            tokens.append(Token(TokenType.STRING, text[1:-1].replace("''", "'"), pos))
+        elif kind == "qident":
+            tokens.append(Token(TokenType.IDENT, text[1:-1], pos))
+        elif kind == "ident":
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, pos))
+            else:
+                tokens.append(Token(TokenType.IDENT, text, pos))
+        elif kind == "param":
+            tokens.append(Token(TokenType.PARAM, "?", pos))
+        elif kind == "op":
+            tokens.append(Token(TokenType.OP, text, pos))
+        elif kind == "punct":
+            tokens.append(Token(TokenType.PUNCT, text, pos))
+        pos = match.end()
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens

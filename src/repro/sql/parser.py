@@ -1,0 +1,546 @@
+"""Recursive-descent parser for the benchmark SQL dialect.
+
+Grammar (simplified)::
+
+    statement   := select | insert | update | delete | create | drop
+    select      := SELECT [DISTINCT] items FROM table_ref join* [WHERE expr]
+                   [GROUP BY expr_list] [HAVING expr]
+                   [ORDER BY order_list] [LIMIT int] [FOR UPDATE]
+    expr        := or_expr
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := [NOT] predicate
+    predicate   := additive [comparison | IS NULL | LIKE | BETWEEN | IN]
+    additive    := multiplicative (('+'|'-'|'||') multiplicative)*
+    multiplicative := primary (('*'|'/'|'%') primary)*
+    primary     := literal | param | column_ref | func_call | '(' expr ')'
+                 | '(' select ')' | CASE ... END | '-' primary
+
+Parameter markers (``?``) are numbered left to right.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLSyntaxError
+from repro.sql import ast
+from repro.sql.lexer import Token, TokenType, tokenize
+
+_COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+class Parser:
+    """One-shot parser; use ``parse_sql`` for the convenient entry point."""
+
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.pos = 0
+        self.param_count = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _check(self, token_type: TokenType, value: str | None = None) -> bool:
+        return self._peek().matches(token_type, value)
+
+    def _accept(self, token_type: TokenType, value: str | None = None) -> Token | None:
+        if self._check(token_type, value):
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType, value: str | None = None) -> Token:
+        token = self._peek()
+        if not token.matches(token_type, value):
+            wanted = value or token_type.value
+            raise SQLSyntaxError(
+                f"expected {wanted!r} but found {token.value!r} "
+                f"at position {token.position}", token.position
+            )
+        return self._advance()
+
+    def _keyword(self, *words: str) -> bool:
+        """Accept a run of keywords if all present (e.g. GROUP BY)."""
+        for offset, word in enumerate(words):
+            if not self._peek(offset).matches(TokenType.KEYWORD, word):
+                return False
+        for _ in words:
+            self._advance()
+        return True
+
+    # -- entry point ---------------------------------------------------------
+
+    def parse(self) -> ast.Statement:
+        statement = self._statement()
+        self._accept(TokenType.PUNCT, ";")
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            raise SQLSyntaxError(
+                f"trailing input at position {token.position}: {token.value!r}",
+                token.position,
+            )
+        return statement
+
+    def _statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.matches(TokenType.KEYWORD, "SELECT"):
+            return self._select()
+        if token.matches(TokenType.KEYWORD, "INSERT"):
+            return self._insert()
+        if token.matches(TokenType.KEYWORD, "UPDATE"):
+            return self._update()
+        if token.matches(TokenType.KEYWORD, "DELETE"):
+            return self._delete()
+        if token.matches(TokenType.KEYWORD, "CREATE"):
+            return self._create()
+        if token.matches(TokenType.KEYWORD, "DROP"):
+            return self._drop()
+        raise SQLSyntaxError(
+            f"unsupported statement starting with {token.value!r}", token.position
+        )
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def _select(self) -> ast.Select:
+        self._expect(TokenType.KEYWORD, "SELECT")
+        distinct = bool(self._accept(TokenType.KEYWORD, "DISTINCT"))
+        items = [self._select_item()]
+        while self._accept(TokenType.PUNCT, ","):
+            items.append(self._select_item())
+
+        table = None
+        joins: list[ast.Join] = []
+        if self._accept(TokenType.KEYWORD, "FROM"):
+            table = self._table_ref()
+            while True:
+                if self._accept(TokenType.PUNCT, ","):
+                    joins.append(ast.Join(self._table_ref(), None))
+                    continue
+                kind = None
+                if self._keyword("INNER", "JOIN") or self._keyword("JOIN"):
+                    kind = "INNER"
+                elif self._keyword("LEFT", "OUTER", "JOIN") or self._keyword("LEFT", "JOIN"):
+                    kind = "LEFT"
+                if kind is None:
+                    break
+                ref = self._table_ref()
+                condition = None
+                if self._accept(TokenType.KEYWORD, "ON"):
+                    condition = self._expr()
+                joins.append(ast.Join(ref, condition, kind))
+
+        where = self._expr() if self._accept(TokenType.KEYWORD, "WHERE") else None
+
+        group_by: list[ast.Expr] = []
+        if self._keyword("GROUP", "BY"):
+            group_by.append(self._expr())
+            while self._accept(TokenType.PUNCT, ","):
+                group_by.append(self._expr())
+
+        having = self._expr() if self._accept(TokenType.KEYWORD, "HAVING") else None
+
+        order_by: list[ast.OrderItem] = []
+        if self._keyword("ORDER", "BY"):
+            order_by.append(self._order_item())
+            while self._accept(TokenType.PUNCT, ","):
+                order_by.append(self._order_item())
+
+        limit = None
+        if self._accept(TokenType.KEYWORD, "LIMIT"):
+            limit = int(self._expect(TokenType.INT).value)
+
+        for_update = bool(self._keyword("FOR", "UPDATE"))
+
+        return ast.Select(
+            items=tuple(items),
+            table=table,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+            for_update=for_update,
+        )
+
+    def _select_item(self) -> ast.SelectItem:
+        if self._check(TokenType.OP, "*"):
+            self._advance()
+            return ast.SelectItem(ast.Star())
+        # alias.* form
+        if (self._check(TokenType.IDENT)
+                and self._peek(1).matches(TokenType.PUNCT, ".")
+                and self._peek(2).matches(TokenType.OP, "*")):
+            table = self._advance().value
+            self._advance()
+            self._advance()
+            return ast.SelectItem(ast.Star(table))
+        expr = self._expr()
+        alias = None
+        if self._accept(TokenType.KEYWORD, "AS"):
+            alias = self._name()
+        elif self._check(TokenType.IDENT):
+            alias = self._advance().value
+        return ast.SelectItem(expr, alias)
+
+    def _order_item(self) -> ast.OrderItem:
+        expr = self._expr()
+        descending = False
+        if self._accept(TokenType.KEYWORD, "DESC"):
+            descending = True
+        else:
+            self._accept(TokenType.KEYWORD, "ASC")
+        return ast.OrderItem(expr, descending)
+
+    def _table_ref(self) -> ast.TableRef:
+        name = self._name()
+        alias = None
+        if self._accept(TokenType.KEYWORD, "AS"):
+            alias = self._name()
+        elif self._check(TokenType.IDENT):
+            alias = self._advance().value
+        return ast.TableRef(name, alias)
+
+    def _name(self) -> str:
+        token = self._peek()
+        if token.type is TokenType.IDENT:
+            return self._advance().value
+        # allow non-reserved-looking keywords as identifiers where safe
+        if token.type is TokenType.KEYWORD and token.value in (
+                "COUNT", "SUM", "AVG", "MIN", "MAX", "KEY", "OF"):
+            return self._advance().value
+        raise SQLSyntaxError(
+            f"expected identifier but found {token.value!r} at {token.position}",
+            token.position,
+        )
+
+    # -- DML --------------------------------------------------------------------
+
+    def _insert(self) -> ast.Insert:
+        self._expect(TokenType.KEYWORD, "INSERT")
+        self._expect(TokenType.KEYWORD, "INTO")
+        table = self._name()
+        columns: list[str] = []
+        if self._accept(TokenType.PUNCT, "("):
+            columns.append(self._name())
+            while self._accept(TokenType.PUNCT, ","):
+                columns.append(self._name())
+            self._expect(TokenType.PUNCT, ")")
+        self._expect(TokenType.KEYWORD, "VALUES")
+        rows = [self._value_tuple()]
+        while self._accept(TokenType.PUNCT, ","):
+            rows.append(self._value_tuple())
+        return ast.Insert(table, tuple(columns), tuple(rows))
+
+    def _value_tuple(self) -> tuple[ast.Expr, ...]:
+        self._expect(TokenType.PUNCT, "(")
+        values = [self._expr()]
+        while self._accept(TokenType.PUNCT, ","):
+            values.append(self._expr())
+        self._expect(TokenType.PUNCT, ")")
+        return tuple(values)
+
+    def _update(self) -> ast.Update:
+        self._expect(TokenType.KEYWORD, "UPDATE")
+        table = self._name()
+        self._expect(TokenType.KEYWORD, "SET")
+        sets = [self._set_clause()]
+        while self._accept(TokenType.PUNCT, ","):
+            sets.append(self._set_clause())
+        where = self._expr() if self._accept(TokenType.KEYWORD, "WHERE") else None
+        return ast.Update(table, tuple(sets), where)
+
+    def _set_clause(self) -> ast.SetClause:
+        column = self._name()
+        self._expect(TokenType.OP, "=")
+        return ast.SetClause(column, self._expr())
+
+    def _delete(self) -> ast.Delete:
+        self._expect(TokenType.KEYWORD, "DELETE")
+        self._expect(TokenType.KEYWORD, "FROM")
+        table = self._name()
+        where = self._expr() if self._accept(TokenType.KEYWORD, "WHERE") else None
+        return ast.Delete(table, where)
+
+    # -- DDL ----------------------------------------------------------------------
+
+    def _create(self) -> ast.Statement:
+        self._expect(TokenType.KEYWORD, "CREATE")
+        if self._accept(TokenType.KEYWORD, "TABLE"):
+            return self._create_table()
+        unique = bool(self._accept(TokenType.KEYWORD, "UNIQUE"))
+        self._expect(TokenType.KEYWORD, "INDEX")
+        name = self._name()
+        self._expect(TokenType.KEYWORD, "ON")
+        table = self._name()
+        self._expect(TokenType.PUNCT, "(")
+        columns = [self._name()]
+        while self._accept(TokenType.PUNCT, ","):
+            columns.append(self._name())
+        self._expect(TokenType.PUNCT, ")")
+        return ast.CreateIndex(name, table, tuple(columns), unique)
+
+    def _create_table(self) -> ast.CreateTable:
+        name = self._name()
+        self._expect(TokenType.PUNCT, "(")
+        columns: list[ast.ColumnDef] = []
+        primary_key: tuple[str, ...] = ()
+        foreign_keys: list[ast.ForeignKeyDef] = []
+        while True:
+            if self._keyword("PRIMARY", "KEY"):
+                self._expect(TokenType.PUNCT, "(")
+                pk = [self._name()]
+                while self._accept(TokenType.PUNCT, ","):
+                    pk.append(self._name())
+                self._expect(TokenType.PUNCT, ")")
+                primary_key = tuple(pk)
+            elif self._keyword("FOREIGN", "KEY"):
+                self._expect(TokenType.PUNCT, "(")
+                fk_cols = [self._name()]
+                while self._accept(TokenType.PUNCT, ","):
+                    fk_cols.append(self._name())
+                self._expect(TokenType.PUNCT, ")")
+                self._expect(TokenType.KEYWORD, "REFERENCES")
+                ref_table = self._name()
+                self._expect(TokenType.PUNCT, "(")
+                ref_cols = [self._name()]
+                while self._accept(TokenType.PUNCT, ","):
+                    ref_cols.append(self._name())
+                self._expect(TokenType.PUNCT, ")")
+                foreign_keys.append(
+                    ast.ForeignKeyDef(tuple(fk_cols), ref_table, tuple(ref_cols))
+                )
+            else:
+                columns.append(self._column_def())
+            if not self._accept(TokenType.PUNCT, ","):
+                break
+        self._expect(TokenType.PUNCT, ")")
+        inline_pk = tuple(c.name for c in columns if c.primary_key)
+        if inline_pk and primary_key:
+            raise SQLSyntaxError("duplicate PRIMARY KEY specification")
+        return ast.CreateTable(
+            name, tuple(columns), primary_key or inline_pk, tuple(foreign_keys)
+        )
+
+    def _column_def(self) -> ast.ColumnDef:
+        name = self._name()
+        type_token = self._peek()
+        if type_token.type not in (TokenType.IDENT, TokenType.KEYWORD):
+            raise SQLSyntaxError(
+                f"expected type name at position {type_token.position}",
+                type_token.position,
+            )
+        type_name = self._advance().value
+        type_args: list[int] = []
+        if self._accept(TokenType.PUNCT, "("):
+            type_args.append(int(self._expect(TokenType.INT).value))
+            while self._accept(TokenType.PUNCT, ","):
+                type_args.append(int(self._expect(TokenType.INT).value))
+            self._expect(TokenType.PUNCT, ")")
+        nullable = True
+        primary = False
+        while True:
+            if self._keyword("NOT", "NULL"):
+                nullable = False
+            elif self._keyword("PRIMARY", "KEY"):
+                primary = True
+                nullable = False
+            else:
+                break
+        return ast.ColumnDef(name, type_name, tuple(type_args), nullable, primary)
+
+    def _drop(self) -> ast.DropTable:
+        self._expect(TokenType.KEYWORD, "DROP")
+        self._expect(TokenType.KEYWORD, "TABLE")
+        return ast.DropTable(self._name())
+
+    # -- expressions -----------------------------------------------------------
+
+    def _expr(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        left = self._and_expr()
+        while self._accept(TokenType.KEYWORD, "OR"):
+            left = ast.BinaryOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.Expr:
+        left = self._not_expr()
+        while self._accept(TokenType.KEYWORD, "AND"):
+            left = ast.BinaryOp("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> ast.Expr:
+        if self._accept(TokenType.KEYWORD, "NOT"):
+            return ast.UnaryOp("NOT", self._not_expr())
+        return self._predicate()
+
+    def _predicate(self) -> ast.Expr:
+        left = self._additive()
+        token = self._peek()
+        if token.type is TokenType.OP and token.value in _COMPARISONS:
+            op = self._advance().value
+            if op == "!=":
+                op = "<>"
+            return ast.BinaryOp(op, left, self._additive())
+        if token.matches(TokenType.KEYWORD, "IS"):
+            self._advance()
+            negated = bool(self._accept(TokenType.KEYWORD, "NOT"))
+            self._expect(TokenType.KEYWORD, "NULL")
+            return ast.IsNull(left, negated)
+        negated = False
+        if token.matches(TokenType.KEYWORD, "NOT"):
+            nxt = self._peek(1)
+            if nxt.matches(TokenType.KEYWORD, "LIKE") or \
+                    nxt.matches(TokenType.KEYWORD, "BETWEEN") or \
+                    nxt.matches(TokenType.KEYWORD, "IN"):
+                self._advance()
+                negated = True
+                token = self._peek()
+        if token.matches(TokenType.KEYWORD, "LIKE"):
+            self._advance()
+            return ast.Like(left, self._additive(), negated)
+        if token.matches(TokenType.KEYWORD, "BETWEEN"):
+            self._advance()
+            low = self._additive()
+            self._expect(TokenType.KEYWORD, "AND")
+            return ast.Between(left, low, self._additive(), negated)
+        if token.matches(TokenType.KEYWORD, "IN"):
+            self._advance()
+            self._expect(TokenType.PUNCT, "(")
+            if self._check(TokenType.KEYWORD, "SELECT"):
+                sub = self._select()
+                self._expect(TokenType.PUNCT, ")")
+                return ast.InSubquery(left, sub, negated)
+            items = [self._expr()]
+            while self._accept(TokenType.PUNCT, ","):
+                items.append(self._expr())
+            self._expect(TokenType.PUNCT, ")")
+            return ast.InList(left, tuple(items), negated)
+        return left
+
+    def _additive(self) -> ast.Expr:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OP and token.value in ("+", "-", "||"):
+                op = self._advance().value
+                left = ast.BinaryOp(op, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> ast.Expr:
+        left = self._primary()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OP and token.value in ("*", "/", "%"):
+                op = self._advance().value
+                left = ast.BinaryOp(op, left, self._primary())
+            else:
+                return left
+
+    def _primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.type is TokenType.INT:
+            self._advance()
+            return ast.Literal(int(token.value))
+        if token.type is TokenType.FLOAT:
+            self._advance()
+            return ast.Literal(float(token.value))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.type is TokenType.PARAM:
+            self._advance()
+            param = ast.Param(self.param_count)
+            self.param_count += 1
+            return param
+        if token.matches(TokenType.KEYWORD, "NULL"):
+            self._advance()
+            return ast.Literal(None)
+        if token.matches(TokenType.KEYWORD, "TRUE"):
+            self._advance()
+            return ast.Literal(True)
+        if token.matches(TokenType.KEYWORD, "FALSE"):
+            self._advance()
+            return ast.Literal(False)
+        if token.matches(TokenType.OP, "-"):
+            self._advance()
+            return ast.UnaryOp("-", self._primary())
+        if token.matches(TokenType.KEYWORD, "CASE"):
+            return self._case()
+        if token.matches(TokenType.KEYWORD, "EXISTS"):
+            self._advance()
+            self._expect(TokenType.PUNCT, "(")
+            sub = self._select()
+            self._expect(TokenType.PUNCT, ")")
+            return ast.ExistsSubquery(sub)
+        if token.matches(TokenType.PUNCT, "("):
+            self._advance()
+            if self._check(TokenType.KEYWORD, "SELECT"):
+                sub = self._select()
+                self._expect(TokenType.PUNCT, ")")
+                return ast.ScalarSubquery(sub)
+            expr = self._expr()
+            self._expect(TokenType.PUNCT, ")")
+            return expr
+        if token.type is TokenType.KEYWORD and token.value in (
+                "COUNT", "SUM", "AVG", "MIN", "MAX", "ABS", "ROUND"):
+            return self._func_call(self._advance().value)
+        if token.type is TokenType.IDENT:
+            if self._peek(1).matches(TokenType.PUNCT, "("):
+                return self._func_call(self._advance().value.upper())
+            return self._column_ref()
+        raise SQLSyntaxError(
+            f"unexpected token {token.value!r} at position {token.position}",
+            token.position,
+        )
+
+    def _case(self) -> ast.CaseWhen:
+        self._expect(TokenType.KEYWORD, "CASE")
+        branches: list[tuple[ast.Expr, ast.Expr]] = []
+        while self._accept(TokenType.KEYWORD, "WHEN"):
+            condition = self._expr()
+            self._expect(TokenType.KEYWORD, "THEN")
+            branches.append((condition, self._expr()))
+        default = self._expr() if self._accept(TokenType.KEYWORD, "ELSE") else None
+        self._expect(TokenType.KEYWORD, "END")
+        if not branches:
+            raise SQLSyntaxError("CASE requires at least one WHEN branch")
+        return ast.CaseWhen(tuple(branches), default)
+
+    def _func_call(self, name: str) -> ast.FuncCall:
+        self._expect(TokenType.PUNCT, "(")
+        distinct = bool(self._accept(TokenType.KEYWORD, "DISTINCT"))
+        args: list[ast.Expr] = []
+        if self._check(TokenType.OP, "*"):
+            self._advance()
+            args.append(ast.Star())
+        elif not self._check(TokenType.PUNCT, ")"):
+            args.append(self._expr())
+            while self._accept(TokenType.PUNCT, ","):
+                args.append(self._expr())
+        self._expect(TokenType.PUNCT, ")")
+        return ast.FuncCall(name, tuple(args), distinct)
+
+    def _column_ref(self) -> ast.ColumnRef:
+        first = self._name()
+        if self._check(TokenType.PUNCT, ".") and not \
+                self._peek(1).matches(TokenType.OP, "*"):
+            self._advance()
+            return ast.ColumnRef(first, self._name())
+        return ast.ColumnRef(None, first)
+
+
+def parse_sql(sql: str) -> ast.Statement:
+    """Parse one SQL statement into its AST."""
+    return Parser(sql).parse()

@@ -1,0 +1,1181 @@
+"""Rule-based planner: AST -> executable plan tree.
+
+Access-path selection mirrors what the paper's DBMSs do well and badly:
+
+* equality predicates covering the full primary key -> point lookup;
+* equality predicates covering a *prefix* of a composite primary key ->
+  ordered PK-index prefix scan;
+* equality predicates covering a secondary index prefix -> index scan;
+* anything else -> full table scan.  A predicate on a non-prefix column of a
+  composite key (tabenchmark's ``sub_nbr``) therefore full-scans, which is
+  the slow-query bottleneck §VI-C of the paper pins on both DBMSs.
+
+Joins become hash joins whenever an equi-join key is available, otherwise
+nested loops.  Single-table predicates are pushed to the scans (and
+re-applied there, which also re-validates possibly-stale index entries).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, replace
+
+from repro.catalog.schema import Catalog, Table
+from repro.errors import BindError, PlanError
+from repro.sql import ast
+from repro.sql.expressions import (
+    Schema,
+    collect_column_refs,
+    compile_expr,
+    expr_display_name,
+)
+from repro.sql.functions import make_accumulator
+
+
+# ---------------------------------------------------------------------------
+# plan nodes
+# ---------------------------------------------------------------------------
+
+class PlanNode:
+    """Base plan operator: ``schema`` describes output rows; ``execute(ctx)``
+    yields tuples."""
+
+    schema: Schema
+
+    def execute(self, ctx):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def children(self) -> list["PlanNode"]:
+        return []
+
+
+class DualScan(PlanNode):
+    """Single empty row — SELECT without FROM."""
+
+    def __init__(self):
+        self.schema = Schema([])
+
+    def execute(self, ctx):
+        yield ()
+
+
+class SeqScan(PlanNode):
+    """Full-table scan; routed to the columnar replica when the execution
+    context says so (analytical routing), otherwise the MVCC row store."""
+
+    def __init__(self, table: Table, binding: str):
+        self.table = table
+        self.binding = binding
+        self.schema = Schema([(binding, col) for col in table.column_names])
+
+    def execute(self, ctx):
+        name = self.table.name
+        ctx.stats.full_scans[name] += 1
+        if ctx.wants_columnar(name):
+            ctx.stats.used_columnar = True
+            count = 0
+            for _pk, values in ctx.columnar.table(name).scan():
+                count += 1
+                yield values
+            ctx.stats.rows_columnar[name] += count
+        else:
+            count = 0
+            for _pk, values in ctx.txn.scan(name):
+                count += 1
+                yield values
+            ctx.stats.rows_row_store[name] += count
+
+
+class PKLookup(PlanNode):
+    """Point lookup by full primary key."""
+
+    def __init__(self, table: Table, binding: str, key_fns):
+        self.table = table
+        self.binding = binding
+        self.key_fns = key_fns
+        self.schema = Schema([(binding, col) for col in table.column_names])
+
+    def execute(self, ctx):
+        key = tuple(fn((), ctx) for fn in self.key_fns)
+        ctx.stats.pk_lookups += 1
+        values = ctx.txn.get(self.table.name, key)
+        if values is not None:
+            ctx.stats.rows_row_store[self.table.name] += 1
+            yield values
+
+
+class PKPrefixScan(PlanNode):
+    """Range scan over a prefix of the (composite) primary key."""
+
+    def __init__(self, table: Table, binding: str, prefix_fns):
+        self.table = table
+        self.binding = binding
+        self.prefix_fns = prefix_fns
+        self.schema = Schema([(binding, col) for col in table.column_names])
+
+    def execute(self, ctx):
+        prefix = tuple(fn((), ctx) for fn in self.prefix_fns)
+        ctx.stats.index_range_scans += 1
+        count = 0
+        for _pk, values in ctx.txn.pk_prefix_scan(self.table.name, prefix):
+            count += 1
+            yield values
+        ctx.stats.rows_row_store[self.table.name] += count
+        ctx.stats.rows_row_prefix[self.table.name] += count
+
+
+class IndexScan(PlanNode):
+    """Secondary-index lookup; merges the transaction's own buffered rows so
+    uncommitted inserts stay visible.  Candidate rows may be stale, so the
+    planner always re-applies the key predicates in the filter above."""
+
+    def __init__(self, table: Table, binding: str, index_name: str, key_fns,
+                 prefix: bool = False):
+        self.table = table
+        self.binding = binding
+        self.index_name = index_name
+        self.key_fns = key_fns
+        self.prefix = prefix
+        self.schema = Schema([(binding, col) for col in table.column_names])
+
+    def execute(self, ctx):
+        key = tuple(fn((), ctx) for fn in self.key_fns)
+        name = self.table.name
+        ctx.stats.index_lookups += 1
+        store = ctx.txn.manager.storage.store(name)
+        idx = store.index(self.index_name)
+        if self.prefix:
+            pks = set()
+            for _k, entry in idx.prefix_scan(key):
+                pks |= entry
+        else:
+            pks = set(idx.lookup(key))
+        count = 0
+        seen_local = set()
+        for pk, values in ctx.txn.local_rows(name):
+            seen_local.add(pk)
+            if values is not None:
+                count += 1
+                yield values
+        for pk in pks:
+            if pk in seen_local:
+                continue
+            values = ctx.txn.get(name, pk)
+            if values is not None:
+                count += 1
+                yield values
+        ctx.stats.rows_row_store[name] += count
+
+
+class Filter(PlanNode):
+    def __init__(self, child: PlanNode, predicate):
+        self.child = child
+        self.predicate = predicate
+        self.schema = child.schema
+
+    def execute(self, ctx):
+        predicate = self.predicate
+        for row in self.child.execute(ctx):
+            if predicate(row, ctx):
+                yield row
+
+    def children(self):
+        return [self.child]
+
+
+class Project(PlanNode):
+    def __init__(self, child: PlanNode, fns, names: list[str]):
+        self.child = child
+        self.fns = fns
+        self.schema = Schema([(None, name) for name in names])
+
+    def execute(self, ctx):
+        fns = self.fns
+        for row in self.child.execute(ctx):
+            yield tuple(fn(row, ctx) for fn in fns)
+
+    def children(self):
+        return [self.child]
+
+
+class HashJoin(PlanNode):
+    """Equi-join; builds on the right input, probes from the left."""
+
+    def __init__(self, left: PlanNode, right: PlanNode, left_fns, right_fns,
+                 kind: str = "INNER"):
+        self.left = left
+        self.right = right
+        self.left_fns = left_fns
+        self.right_fns = right_fns
+        self.kind = kind
+        self.schema = left.schema + right.schema
+
+    def execute(self, ctx):
+        ctx.stats.join_ops += 1
+        build: dict = {}
+        right_width = len(self.right.schema)
+        for row in self.right.execute(ctx):
+            key = tuple(fn(row, ctx) for fn in self.right_fns)
+            build.setdefault(key, []).append(row)
+        null_row = (None,) * right_width
+        emitted = 0
+        for row in self.left.execute(ctx):
+            key = tuple(fn(row, ctx) for fn in self.left_fns)
+            matches = build.get(key)
+            if matches:
+                for match in matches:
+                    emitted += 1
+                    yield row + match
+            elif self.kind == "LEFT":
+                emitted += 1
+                yield row + null_row
+        ctx.stats.rows_joined += emitted
+
+    def children(self):
+        return [self.left, self.right]
+
+
+class NestedLoopJoin(PlanNode):
+    """General join for non-equi conditions (and cross joins)."""
+
+    def __init__(self, left: PlanNode, right: PlanNode, condition=None,
+                 kind: str = "INNER"):
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.kind = kind
+        self.schema = left.schema + right.schema
+
+    def execute(self, ctx):
+        ctx.stats.join_ops += 1
+        right_rows = list(self.right.execute(ctx))
+        null_row = (None,) * len(self.right.schema)
+        condition = self.condition
+        emitted = 0
+        for left_row in self.left.execute(ctx):
+            matched = False
+            for right_row in right_rows:
+                combined = left_row + right_row
+                if condition is None or condition(combined, ctx):
+                    matched = True
+                    emitted += 1
+                    yield combined
+            if not matched and self.kind == "LEFT":
+                emitted += 1
+                yield left_row + null_row
+        ctx.stats.rows_joined += emitted
+
+    def children(self):
+        return [self.left, self.right]
+
+
+class IndexJoin(PlanNode):
+    """Index nested-loop join: per outer row, look the inner rows up by
+    primary key, PK prefix, or a secondary index.
+
+    Chosen when the outer input is selective (not a full scan) and the join
+    keys cover the inner table's PK (or an index) — exactly the plan a real
+    optimiser picks for TPC-C's StockLevel join, keeping OLTP transactions
+    point-read-shaped instead of scan-shaped.
+    """
+
+    def __init__(self, left: PlanNode, table: Table, binding: str,
+                 lookup: str, key_fns, index_name: str | None = None,
+                 inner_filter=None, kind: str = "INNER"):
+        # lookup: "pk" | "pk_prefix" | "index"
+        self.left = left
+        self.table = table
+        self.binding = binding
+        self.lookup = lookup
+        self.key_fns = key_fns
+        self.index_name = index_name
+        self.inner_filter = inner_filter
+        self.kind = kind
+        right_schema = Schema([(binding, col) for col in table.column_names])
+        self.schema = left.schema + right_schema
+        # index entries may be stale: remember the key positions to re-check
+        self._recheck_positions: tuple[int, ...] = ()
+        if lookup == "index" and index_name is not None:
+            index = table.indexes[index_name]
+            self._recheck_positions = tuple(
+                table.position(c) for c in index.columns)
+
+    def _inner_rows(self, key: tuple, ctx):
+        name = self.table.name
+        if self.lookup == "pk":
+            ctx.stats.pk_lookups += 1
+            values = ctx.txn.get(name, key)
+            if values is not None:
+                ctx.stats.rows_row_store[name] += 1
+                yield values
+            return
+        if self.lookup == "pk_prefix":
+            ctx.stats.index_range_scans += 1
+            for _pk, values in ctx.txn.pk_prefix_scan(name, key):
+                ctx.stats.rows_row_store[name] += 1
+                ctx.stats.rows_row_prefix[name] += 1
+                yield values
+            return
+        ctx.stats.index_lookups += 1
+        store = ctx.txn.manager.storage.store(name)
+        pks = store.index(self.index_name).lookup(key)
+        positions = self._recheck_positions
+        seen_local = set()
+        for pk, values in ctx.txn.local_rows(name):
+            seen_local.add(pk)
+            if values is not None and \
+                    tuple(values[p] for p in positions) == key:
+                ctx.stats.rows_row_store[name] += 1
+                yield values
+        for pk in pks:
+            if pk in seen_local:
+                continue
+            values = ctx.txn.get(name, pk)
+            if values is not None and \
+                    tuple(values[p] for p in positions) == key:
+                ctx.stats.rows_row_store[name] += 1
+                yield values
+
+    def execute(self, ctx):
+        ctx.stats.join_ops += 1
+        null_row = (None,) * len(self.table.columns)
+        key_fns = self.key_fns
+        inner_filter = self.inner_filter
+        emitted = 0
+        for left_row in self.left.execute(ctx):
+            key = tuple(fn(left_row, ctx) for fn in key_fns)
+            matched = False
+            for inner in self._inner_rows(key, ctx):
+                if inner_filter is not None and not inner_filter(inner, ctx):
+                    continue
+                matched = True
+                emitted += 1
+                yield left_row + inner
+            if not matched and self.kind == "LEFT":
+                emitted += 1
+                yield left_row + null_row
+        ctx.stats.rows_joined += emitted
+
+    def children(self):
+        return [self.left]
+
+
+@dataclass
+class AggSpec:
+    """One aggregate to compute: function name, argument fn (None = ``*``),
+    DISTINCT flag."""
+
+    name: str
+    arg_fn: object | None
+    distinct: bool
+
+
+class Aggregate(PlanNode):
+    """Hash aggregation: group keys then one accumulator set per group."""
+
+    def __init__(self, child: PlanNode, group_fns, agg_specs: list[AggSpec]):
+        self.child = child
+        self.group_fns = group_fns
+        self.agg_specs = agg_specs
+        names = [f"__G{i}" for i in range(len(group_fns))]
+        names += [f"__A{j}" for j in range(len(agg_specs))]
+        self.schema = Schema([(None, name) for name in names])
+
+    def execute(self, ctx):
+        groups: dict = {}
+        group_fns = self.group_fns
+        specs = self.agg_specs
+        rows = 0
+        for row in self.child.execute(ctx):
+            rows += 1
+            key = tuple(fn(row, ctx) for fn in group_fns)
+            accs = groups.get(key)
+            if accs is None:
+                accs = [
+                    make_accumulator(s.name, s.arg_fn is None, s.distinct)
+                    for s in specs
+                ]
+                groups[key] = accs
+            for spec, acc in zip(specs, accs):
+                acc.add(1 if spec.arg_fn is None else spec.arg_fn(row, ctx))
+        ctx.stats.agg_input_rows += rows
+        if not groups and not group_fns:
+            # global aggregate over an empty input still yields one row
+            groups[()] = [
+                make_accumulator(s.name, s.arg_fn is None, s.distinct)
+                for s in specs
+            ]
+        ctx.stats.groups += len(groups)
+        for key, accs in groups.items():
+            yield key + tuple(acc.result() for acc in accs)
+
+    def children(self):
+        return [self.child]
+
+
+class Sort(PlanNode):
+    """Materialising sort; stable multi-key with per-key direction."""
+
+    def __init__(self, child: PlanNode, key_specs):
+        # key_specs: list of (fn, descending)
+        self.child = child
+        self.key_specs = key_specs
+        self.schema = child.schema
+
+    def execute(self, ctx):
+        rows = list(self.child.execute(ctx))
+        ctx.stats.sort_rows += len(rows)
+        # stable sorts applied from the least-significant key backwards
+        for fn, descending in reversed(self.key_specs):
+            rows.sort(
+                key=lambda row: _sort_key(fn(row, ctx)),
+                reverse=descending,
+            )
+        yield from rows
+
+    def children(self):
+        return [self.child]
+
+
+def _sort_key(value):
+    """NULLs sort first (before any value), mixed types never compared."""
+    return (value is not None, value)
+
+
+class Limit(PlanNode):
+    def __init__(self, child: PlanNode, limit: int):
+        self.child = child
+        self.limit = limit
+        self.schema = child.schema
+
+    def execute(self, ctx):
+        remaining = self.limit
+        if remaining <= 0:
+            return
+        for row in self.child.execute(ctx):
+            yield row
+            remaining -= 1
+            if remaining == 0:
+                return
+
+    def children(self):
+        return [self.child]
+
+
+class Distinct(PlanNode):
+    def __init__(self, child: PlanNode):
+        self.child = child
+        self.schema = child.schema
+
+    def execute(self, ctx):
+        seen = set()
+        for row in self.child.execute(ctx):
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    def children(self):
+        return [self.child]
+
+
+# ---------------------------------------------------------------------------
+# prepared statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class AccessPath:
+    """How DML statements locate their target rows."""
+
+    kind: str  # "pk" | "pk_prefix" | "index" | "seq"
+    table: Table
+    key_fns: list
+    index_name: str | None
+    filter_fn: object | None  # full WHERE, compiled against the table schema
+
+
+@dataclass
+class SelectPlan:
+    root: PlanNode
+    columns: list[str]
+    for_update: AccessPath | None = None
+
+
+@dataclass
+class InsertPlan:
+    table: Table
+    columns: list[str]
+    row_fns: list  # one list of fns per VALUES tuple
+
+
+@dataclass
+class UpdatePlan:
+    table: Table
+    path: AccessPath
+    set_positions: list[int]
+    set_fns: list
+
+
+@dataclass
+class DeletePlan:
+    table: Table
+    path: AccessPath
+
+
+# ---------------------------------------------------------------------------
+# planner
+# ---------------------------------------------------------------------------
+
+def _flatten_and(expr: ast.Expr | None) -> list[ast.Expr]:
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        return _flatten_and(expr.left) + _flatten_and(expr.right)
+    return [expr]
+
+
+def _and_all(conjuncts: list[ast.Expr]) -> ast.Expr | None:
+    if not conjuncts:
+        return None
+    combined = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        combined = ast.BinaryOp("AND", combined, conjunct)
+    return combined
+
+
+def _is_constant(expr: ast.Expr) -> bool:
+    """No column references anywhere (literals, params, arithmetic on them)."""
+    if isinstance(expr, (ast.Literal, ast.Param)):
+        return True
+    if isinstance(expr, ast.ColumnRef):
+        return False
+    if isinstance(expr, (ast.ScalarSubquery, ast.InSubquery, ast.ExistsSubquery)):
+        return False
+    kids = ast.children(expr)
+    return bool(kids) and all(_is_constant(k) for k in kids)
+
+
+def _rewrite(expr: ast.Expr, mapping: dict) -> ast.Expr:
+    """Replace any subtree present in ``mapping`` with its synthetic column."""
+    if expr in mapping:
+        return ast.ColumnRef(None, mapping[expr])
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(expr.op, _rewrite(expr.left, mapping),
+                            _rewrite(expr.right, mapping))
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, _rewrite(expr.operand, mapping))
+    if isinstance(expr, ast.FuncCall):
+        return ast.FuncCall(expr.name,
+                            tuple(_rewrite(a, mapping) for a in expr.args),
+                            expr.distinct)
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(_rewrite(expr.operand, mapping), expr.negated)
+    if isinstance(expr, ast.Like):
+        return ast.Like(_rewrite(expr.operand, mapping),
+                        _rewrite(expr.pattern, mapping), expr.negated)
+    if isinstance(expr, ast.Between):
+        return ast.Between(_rewrite(expr.operand, mapping),
+                           _rewrite(expr.low, mapping),
+                           _rewrite(expr.high, mapping), expr.negated)
+    if isinstance(expr, ast.InList):
+        return ast.InList(_rewrite(expr.operand, mapping),
+                          tuple(_rewrite(i, mapping) for i in expr.items),
+                          expr.negated)
+    if isinstance(expr, ast.InSubquery):
+        return ast.InSubquery(_rewrite(expr.operand, mapping), expr.subquery,
+                              expr.negated)
+    if isinstance(expr, ast.CaseWhen):
+        return ast.CaseWhen(
+            tuple((_rewrite(c, mapping), _rewrite(r, mapping))
+                  for c, r in expr.branches),
+            _rewrite(expr.default, mapping) if expr.default else None,
+        )
+    return expr
+
+
+class Planner:
+    """Plans parsed statements against a catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # -- public entry points ------------------------------------------------
+
+    def plan(self, statement: ast.Statement):
+        if isinstance(statement, ast.Select):
+            return self.plan_select(statement)
+        if isinstance(statement, ast.Insert):
+            return self.plan_insert(statement)
+        if isinstance(statement, ast.Update):
+            return self.plan_update(statement)
+        if isinstance(statement, ast.Delete):
+            return self.plan_delete(statement)
+        raise PlanError(f"cannot plan statement {statement!r}")
+
+    def _plan_subquery(self, select: ast.Select) -> SelectPlan:
+        return self.plan_select(select)
+
+    # -- SELECT ----------------------------------------------------------------
+
+    def plan_select(self, select: ast.Select) -> SelectPlan:
+        sub = self._plan_subquery
+
+        if select.table is None:
+            node: PlanNode = DualScan()
+            bindings: dict[str, Table] = {}
+        else:
+            node, bindings = self._plan_from(select)
+
+        # -- aggregation ---------------------------------------------------
+        has_group = bool(select.group_by)
+        aggs = self._collect_aggregates(select)
+        if has_group or aggs:
+            node = self._plan_aggregate(select, node, aggs)
+            select = self._rewrite_above_aggregate(select, node)
+        elif select.having is not None:
+            raise PlanError("HAVING requires GROUP BY or aggregates")
+
+        input_schema = node.schema
+
+        # -- select list expansion -------------------------------------------
+        item_exprs: list[ast.Expr] = []
+        names: list[str] = []
+        aliases: dict[str, ast.Expr] = {}
+        for item in select.items:
+            if isinstance(item.expr, ast.Star):
+                star = item.expr
+                for binding, col in input_schema.entries:
+                    if star.table is None or binding == star.table.upper():
+                        item_exprs.append(ast.ColumnRef(binding, col))
+                        names.append(col)
+                continue
+            item_exprs.append(item.expr)
+            name = item.alias or expr_display_name(item.expr)
+            names.append(name.upper())
+            if item.alias:
+                aliases[item.alias.upper()] = item.expr
+
+        # -- HAVING (already rewritten when aggregated) ------------------------
+        if select.having is not None:
+            node = Filter(node, compile_expr(select.having, input_schema, sub))
+
+        # -- ORDER BY: projected together with hidden sort keys -----------------
+        order_exprs: list[tuple[ast.Expr, bool]] = []
+        for order in select.order_by:
+            expr = order.expr
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                ordinal = expr.value - 1
+                if not 0 <= ordinal < len(item_exprs):
+                    raise PlanError(f"ORDER BY ordinal {expr.value} out of range")
+                expr = item_exprs[ordinal]
+            elif (isinstance(expr, ast.ColumnRef) and expr.table is None
+                    and expr.name.upper() in aliases
+                    and not input_schema.binds(None, expr.name)):
+                expr = aliases[expr.name.upper()]
+            order_exprs.append((expr, order.descending))
+
+        visible = len(item_exprs)
+        all_fns = [compile_expr(e, input_schema, sub) for e in item_exprs]
+        all_names = list(names)
+        key_specs: list[tuple] = []
+        hidden = 0
+        for i, (expr, desc) in enumerate(order_exprs):
+            # sort on the visible output column when the key is one of the
+            # select items (also keeps DISTINCT compatible with ORDER BY)
+            if expr in item_exprs:
+                key_specs.append((self._position_fn(item_exprs.index(expr)),
+                                  desc))
+                continue
+            all_fns.append(compile_expr(expr, input_schema, sub))
+            all_names.append(f"__S{hidden}")
+            key_specs.append((self._position_fn(visible + hidden), desc))
+            hidden += 1
+
+        node = Project(node, all_fns, all_names)
+
+        if select.distinct:
+            if hidden:
+                raise PlanError(
+                    "DISTINCT with ORDER BY on a non-selected expression "
+                    "is unsupported"
+                )
+            node = Distinct(node)
+
+        if key_specs:
+            node = Sort(node, key_specs)
+        if hidden:
+            node = Project(
+                node,
+                [self._position_fn(i) for i in range(visible)],
+                names,
+            )
+
+        if select.limit is not None:
+            node = Limit(node, select.limit)
+
+        for_update_path = None
+        if select.for_update:
+            if select.joins or select.table is None:
+                raise PlanError("FOR UPDATE supports single-table SELECT only")
+            table = self.catalog.table(select.table.name)
+            for_update_path = self._access_path(
+                table, select.table.binding, _flatten_and(select.where)
+            )
+
+        return SelectPlan(node, names, for_update_path)
+
+    @staticmethod
+    def _position_fn(position: int):
+        return lambda row, ctx, _p=position: row[_p]
+
+    # -- FROM clause / joins ----------------------------------------------------
+
+    def _plan_from(self, select: ast.Select):
+        sub = self._plan_subquery
+        conjuncts = _flatten_and(select.where)
+        # join conditions contribute equi keys and filters exactly like WHERE
+        pending_on: list[tuple[int, ast.Expr]] = []
+        for join_index, join in enumerate(select.joins):
+            for conjunct in _flatten_and(join.condition):
+                pending_on.append((join_index, conjunct))
+
+        bindings: dict[str, Table] = {}
+        base_ref = select.table
+        base_table = self.catalog.table(base_ref.name)
+        bindings[base_ref.binding] = base_table
+
+        aggregates_present = bool(select.group_by) or \
+            self._collect_aggregates(select)
+
+        def single_table_conjuncts(binding: str, pool: list[ast.Expr],
+                                   schema: Schema) -> list[ast.Expr]:
+            mine = []
+            for conjunct in pool:
+                refs = collect_column_refs(conjunct)
+                if not refs:
+                    continue
+                if all(self._ref_binds_only(r, binding, schema) for r in refs):
+                    if not isinstance(conjunct, (ast.InSubquery,
+                                                 ast.ExistsSubquery)) and \
+                            not self._has_subquery(conjunct):
+                        mine.append(conjunct)
+            return mine
+
+        base_schema = Schema([(base_ref.binding, c)
+                              for c in base_table.column_names])
+        base_conjs = single_table_conjuncts(base_ref.binding, conjuncts,
+                                            base_schema)
+        base_path = self._access_path(base_table, base_ref.binding,
+                                      base_conjs)
+        node = self._path_to_node(base_path, base_ref.binding)
+        if base_conjs:
+            node = Filter(node, compile_expr(_and_all(base_conjs),
+                                             node.schema, sub))
+        # "selective" = the running pipeline produces few rows, so an
+        # index nested-loop join into the next table is the right plan
+        selective = base_path.kind != "seq"
+        consumed: set[int] = {id(c) for c in base_conjs}
+
+        for join_index, join in enumerate(select.joins):
+            right_table = self.catalog.table(join.table.name)
+            right_binding = join.table.binding
+            if right_binding in bindings:
+                raise BindError(f"duplicate table binding {right_binding!r}")
+            bindings[right_binding] = right_table
+            right_schema = Schema([(right_binding, c)
+                                   for c in right_table.column_names])
+
+            on_pool = [c for idx, c in pending_on if idx == join_index]
+            where_pool = [] if join.kind == "LEFT" else \
+                [c for c in conjuncts if id(c) not in consumed]
+
+            right_conjs = single_table_conjuncts(
+                right_binding, on_pool + where_pool, right_schema
+            )
+            for conjunct in right_conjs:
+                consumed.add(id(conjunct))
+
+            # find equi keys between current node and the new table
+            equi_pool = on_pool + where_pool
+            left_keys, right_keys, used = self._find_equi_keys(
+                equi_pool, node.schema, right_binding, right_schema, consumed
+            )
+            residual_on = [c for c in on_pool
+                           if id(c) not in consumed and id(c) not in used]
+
+            index_join = None
+            if left_keys and selective:
+                index_join = self._try_index_join(
+                    node, right_table, right_binding, left_keys, right_keys,
+                    right_conjs, right_schema, join.kind,
+                )
+
+            if index_join is not None:
+                for conjunct_id in used:
+                    consumed.add(conjunct_id)
+                joined, exact = index_join
+                if not exact:
+                    # prefix/index probes can return extra rows: re-check
+                    # every equi conjunct on the combined row
+                    recheck = [c for c in equi_pool if id(c) in used]
+                    joined = Filter(
+                        joined,
+                        compile_expr(_and_all(recheck), joined.schema, sub),
+                    )
+            elif left_keys:
+                selective = False
+                right_node = self._scan_with_filter(
+                    right_table, right_binding, right_conjs)
+                for conjunct_id in used:
+                    consumed.add(conjunct_id)
+                joined = HashJoin(
+                    node, right_node,
+                    [compile_expr(e, node.schema, sub) for e in left_keys],
+                    [compile_expr(e, right_schema, sub) for e in right_keys],
+                    join.kind,
+                )
+            else:
+                selective = False
+                right_node = self._scan_with_filter(
+                    right_table, right_binding, right_conjs)
+                condition_exprs = residual_on
+                residual_on = []
+                combined_schema = node.schema + right_schema
+                condition = None
+                if condition_exprs:
+                    condition = compile_expr(
+                        _and_all(condition_exprs), combined_schema, sub
+                    )
+                    for conjunct in condition_exprs:
+                        consumed.add(id(conjunct))
+                joined = NestedLoopJoin(node, right_node, condition, join.kind)
+            node = joined
+            if residual_on:
+                node = Filter(
+                    node,
+                    compile_expr(_and_all(residual_on), node.schema, sub),
+                )
+                for conjunct in residual_on:
+                    consumed.add(id(conjunct))
+
+        remaining = [c for c in conjuncts if id(c) not in consumed]
+        if remaining:
+            node = Filter(node, compile_expr(_and_all(remaining),
+                                             node.schema, sub))
+        del aggregates_present
+        return node, bindings
+
+    def _try_index_join(self, node: PlanNode, right_table: Table,
+                        right_binding: str, left_keys, right_keys,
+                        right_conjs, right_schema: Schema, kind: str):
+        """Build an IndexJoin when the equi keys cover the inner PK (or an
+        index).  Returns ``(plan, exact)`` or None; ``exact`` means the probe
+        returns only truly matching rows (full-PK lookups)."""
+        sub = self._plan_subquery
+        # inner sides must be plain columns of the inner table
+        key_by_column: dict[str, ast.Expr] = {}
+        for left_expr, right_expr in zip(left_keys, right_keys):
+            if not isinstance(right_expr, ast.ColumnRef):
+                return None
+            column = self._column_key(right_table, right_expr.name)
+            key_by_column.setdefault(column, left_expr)
+
+        inner_filter = None
+        if right_conjs:
+            inner_filter = compile_expr(_and_all(right_conjs), right_schema,
+                                        sub)
+
+        def outer_fns(columns):
+            return [compile_expr(key_by_column[c], node.schema, sub)
+                    for c in columns]
+
+        pk = [self._column_key(right_table, c)
+              for c in right_table.primary_key]
+        if all(c in key_by_column for c in pk):
+            return IndexJoin(node, right_table, right_binding, "pk",
+                             outer_fns(pk), inner_filter=inner_filter,
+                             kind=kind), True
+        if kind == "LEFT":
+            return None  # non-exact probes break null-extension rechecks
+        prefix = []
+        for c in pk:
+            if c in key_by_column:
+                prefix.append(c)
+            else:
+                break
+        if prefix:
+            return IndexJoin(node, right_table, right_binding, "pk_prefix",
+                             outer_fns(prefix), inner_filter=inner_filter,
+                             kind=kind), False
+        for index in right_table.indexes.values():
+            idx_cols = [self._column_key(right_table, c)
+                        for c in index.columns]
+            if all(c in key_by_column for c in idx_cols):
+                return IndexJoin(node, right_table, right_binding, "index",
+                                 outer_fns(idx_cols), index_name=index.name,
+                                 inner_filter=inner_filter,
+                                 kind=kind), False
+        return None
+
+    def _has_subquery(self, expr: ast.Expr) -> bool:
+        if isinstance(expr, (ast.ScalarSubquery, ast.InSubquery,
+                             ast.ExistsSubquery)):
+            return True
+        return any(self._has_subquery(k) for k in ast.children(expr))
+
+    def _ref_binds_only(self, ref: ast.ColumnRef, binding: str,
+                        schema: Schema) -> bool:
+        if ref.table is not None:
+            return ref.table.upper() == binding
+        return schema.binds(None, ref.name)
+
+    def _find_equi_keys(self, pool, left_schema: Schema, right_binding: str,
+                        right_schema: Schema, consumed: set):
+        """Equi-join keys between the current plan and the new table.
+
+        Sides may be arbitrary expressions as long as every column reference
+        of one side binds in the left schema and every reference of the
+        other binds in the new table — this lets CH-benCHmark's computed
+        joins (``su_suppkey = s_i_id % 100``-style) use hash joins.
+        """
+        left_keys: list[ast.Expr] = []
+        right_keys: list[ast.Expr] = []
+        used: set[int] = set()
+
+        def side_of(expr: ast.Expr) -> str | None:
+            refs = collect_column_refs(expr)
+            if not refs or self._has_subquery(expr):
+                return None
+            if all(self._binds_in(r, left_schema) for r in refs):
+                return "left"
+            if all(self._ref_binds_only(r, right_binding, right_schema)
+                   for r in refs):
+                return "right"
+            return None
+
+        for conjunct in pool:
+            if id(conjunct) in consumed:
+                continue
+            if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+                continue
+            left_side = side_of(conjunct.left)
+            right_side = side_of(conjunct.right)
+            if left_side == "left" and right_side == "right":
+                left_keys.append(conjunct.left)
+                right_keys.append(conjunct.right)
+                used.add(id(conjunct))
+            elif left_side == "right" and right_side == "left":
+                left_keys.append(conjunct.right)
+                right_keys.append(conjunct.left)
+                used.add(id(conjunct))
+        return left_keys, right_keys, used
+
+    @staticmethod
+    def _binds_in(ref: ast.ColumnRef, schema: Schema) -> bool:
+        return schema.try_resolve(ref.table, ref.name) is not None
+
+    # -- scans --------------------------------------------------------------------
+
+    def _scan_with_filter(self, table: Table, binding: str,
+                          conjuncts: list[ast.Expr]) -> PlanNode:
+        path = self._access_path(table, binding, conjuncts)
+        node = self._path_to_node(path, binding)
+        if conjuncts:
+            node = Filter(
+                node,
+                compile_expr(_and_all(conjuncts), node.schema,
+                             self._plan_subquery),
+            )
+        return node
+
+    def _access_path(self, table: Table, binding: str,
+                     conjuncts: list[ast.Expr]) -> AccessPath:
+        """Pick pk / pk_prefix / index / seq for the given predicates."""
+        eq: dict[str, ast.Expr] = {}
+        for conjunct in conjuncts:
+            if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+                continue
+            left, right = conjunct.left, conjunct.right
+            if isinstance(left, ast.ColumnRef) and _is_constant(right):
+                if table.has_column(left.name.upper()) or \
+                        table.has_column(left.name):
+                    eq.setdefault(self._column_key(table, left.name), right)
+            elif isinstance(right, ast.ColumnRef) and _is_constant(left):
+                if table.has_column(right.name.upper()) or \
+                        table.has_column(right.name):
+                    eq.setdefault(self._column_key(table, right.name), left)
+
+        empty = Schema([])
+        sub = self._plan_subquery
+
+        def fns(exprs):
+            return [compile_expr(e, empty, sub) for e in exprs]
+
+        full_filter = (
+            compile_expr(
+                _and_all(conjuncts),
+                Schema([(binding, c) for c in table.column_names]),
+                sub,
+            ) if conjuncts else None
+        )
+
+        pk = [self._column_key(table, c) for c in table.primary_key]
+        if all(col in eq for col in pk):
+            return AccessPath("pk", table, fns([eq[c] for c in pk]),
+                              None, full_filter)
+        prefix = []
+        for col in pk:
+            if col in eq:
+                prefix.append(eq[col])
+            else:
+                break
+        if prefix:
+            return AccessPath("pk_prefix", table, fns(prefix),
+                              None, full_filter)
+        for index in table.indexes.values():
+            idx_cols = [self._column_key(table, c) for c in index.columns]
+            if all(col in eq for col in idx_cols):
+                return AccessPath("index", table,
+                                  fns([eq[c] for c in idx_cols]),
+                                  index.name, full_filter)
+            idx_prefix = []
+            for col in idx_cols:
+                if col in eq:
+                    idx_prefix.append(eq[col])
+                else:
+                    break
+            if idx_prefix:
+                return AccessPath("index_prefix", table, fns(idx_prefix),
+                                  index.name, full_filter)
+        return AccessPath("seq", table, [], None, full_filter)
+
+    @staticmethod
+    def _column_key(table: Table, name: str) -> str:
+        """Canonical (case-insensitive) column key within a table."""
+        for col in table.column_names:
+            if col.upper() == name.upper():
+                return col
+        return name
+
+    def _path_to_node(self, path: AccessPath, binding: str) -> PlanNode:
+        if path.kind == "pk":
+            return PKLookup(path.table, binding, path.key_fns)
+        if path.kind == "pk_prefix":
+            return PKPrefixScan(path.table, binding, path.key_fns)
+        if path.kind == "index":
+            return IndexScan(path.table, binding, path.index_name,
+                             path.key_fns, prefix=False)
+        if path.kind == "index_prefix":
+            return IndexScan(path.table, binding, path.index_name,
+                             path.key_fns, prefix=True)
+        return SeqScan(path.table, binding)
+
+    # -- aggregation --------------------------------------------------------------
+
+    def _collect_aggregates(self, select: ast.Select) -> list[ast.FuncCall]:
+        aggs: list[ast.FuncCall] = []
+        seen: set = set()
+
+        def walk(expr: ast.Expr):
+            if ast.is_aggregate_call(expr):
+                if expr not in seen:
+                    seen.add(expr)
+                    aggs.append(expr)
+                return  # nested aggregates are invalid anyway
+            for child in ast.children(expr):
+                walk(child)
+
+        for item in select.items:
+            if not isinstance(item.expr, ast.Star):
+                walk(item.expr)
+        if select.having is not None:
+            walk(select.having)
+        for order in select.order_by:
+            walk(order.expr)
+        return aggs
+
+    def _plan_aggregate(self, select: ast.Select, node: PlanNode,
+                        aggs: list[ast.FuncCall]) -> Aggregate:
+        sub = self._plan_subquery
+        input_schema = node.schema
+        group_fns = [compile_expr(g, input_schema, sub)
+                     for g in select.group_by]
+        specs = []
+        for agg in aggs:
+            if agg.args and not isinstance(agg.args[0], ast.Star):
+                arg_fn = compile_expr(agg.args[0], input_schema, sub)
+            else:
+                arg_fn = None
+            specs.append(AggSpec(agg.name, arg_fn, agg.distinct))
+        return Aggregate(node, group_fns, specs)
+
+    def _rewrite_above_aggregate(self, select: ast.Select,
+                                 agg_node: Aggregate) -> ast.Select:
+        """Rewrite select/having/order expressions onto the aggregate output."""
+        mapping: dict = {}
+        for i, group in enumerate(select.group_by):
+            mapping[group] = f"__G{i}"
+        aggs = self._collect_aggregates(select)
+        for j, agg in enumerate(aggs):
+            mapping[agg] = f"__A{j}"
+        items = tuple(
+            ast.SelectItem(
+                item.expr if isinstance(item.expr, ast.Star)
+                else _rewrite(item.expr, mapping),
+                item.alias or (
+                    None if isinstance(item.expr, ast.Star)
+                    else expr_display_name(item.expr)
+                ),
+            )
+            for item in select.items
+        )
+        having = _rewrite(select.having, mapping) if select.having else None
+        order_by = tuple(
+            ast.OrderItem(_rewrite(o.expr, mapping), o.descending)
+            for o in select.order_by
+        )
+        return replace(select, items=items, having=having, order_by=order_by,
+                       group_by=(), where=None, joins=(), table=None)
+
+    # -- DML --------------------------------------------------------------------
+
+    def plan_insert(self, insert: ast.Insert) -> InsertPlan:
+        table = self.catalog.table(insert.table)
+        if insert.columns:
+            columns = [self._column_key(table, c) for c in insert.columns]
+            for col in columns:
+                if not table.has_column(col):
+                    raise BindError(
+                        f"unknown column {col!r} in INSERT into {table.name}"
+                    )
+        else:
+            columns = list(table.column_names)
+        empty = Schema([])
+        row_fns = []
+        for values in insert.values:
+            if len(values) != len(columns):
+                raise PlanError(
+                    f"INSERT into {table.name}: {len(columns)} columns but "
+                    f"{len(values)} values"
+                )
+            row_fns.append([compile_expr(v, empty, self._plan_subquery)
+                            for v in values])
+        return InsertPlan(table, columns, row_fns)
+
+    def plan_update(self, update: ast.Update) -> UpdatePlan:
+        table = self.catalog.table(update.table)
+        binding = table.name.upper()
+        path = self._access_path(table, binding, _flatten_and(update.where))
+        schema = Schema([(binding, c) for c in table.column_names])
+        positions = []
+        fns = []
+        for clause in update.sets:
+            column = self._column_key(table, clause.column)
+            positions.append(table.position(column))
+            fns.append(compile_expr(clause.value, schema, self._plan_subquery))
+        return UpdatePlan(table, path, positions, fns)
+
+    def plan_delete(self, delete: ast.Delete) -> DeletePlan:
+        table = self.catalog.table(delete.table)
+        binding = table.name.upper()
+        path = self._access_path(table, binding, _flatten_and(delete.where))
+        return DeletePlan(table, path)

@@ -1,0 +1,116 @@
+"""Statement results and execution statistics.
+
+``ExecStats`` is the bridge between logical execution and the cluster
+simulator's cost model: every operator records what it physically touched
+(rows scanned per store, index/PK lookups, join/sort/aggregate volumes,
+writes), and the per-engine cost model converts those counts into simulated
+service time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExecStats:
+    """Physical work done by one statement execution."""
+
+    # rows pulled from the row store / columnar replica, per table
+    rows_row_store: dict = field(default_factory=lambda: defaultdict(int))
+    # subset of rows_row_store read through key-ordered prefix scans
+    # (sequential page access, unlike random point lookups)
+    rows_row_prefix: dict = field(default_factory=lambda: defaultdict(int))
+    rows_columnar: dict = field(default_factory=lambda: defaultdict(int))
+    # number of full-table scans started, per table
+    full_scans: dict = field(default_factory=lambda: defaultdict(int))
+    pk_lookups: int = 0
+    index_lookups: int = 0
+    index_range_scans: int = 0
+    rows_joined: int = 0
+    join_ops: int = 0
+    sort_rows: int = 0
+    agg_input_rows: int = 0
+    groups: int = 0
+    subqueries: int = 0
+    rows_returned: int = 0
+    # committed-write intents, per table
+    writes: dict = field(default_factory=lambda: defaultdict(int))
+    used_columnar: bool = False
+
+    def merge(self, other: "ExecStats"):
+        """Accumulate ``other`` into this object (used per transaction)."""
+        for table, n in other.rows_row_store.items():
+            self.rows_row_store[table] += n
+        for table, n in other.rows_row_prefix.items():
+            self.rows_row_prefix[table] += n
+        for table, n in other.rows_columnar.items():
+            self.rows_columnar[table] += n
+        for table, n in other.full_scans.items():
+            self.full_scans[table] += n
+        for table, n in other.writes.items():
+            self.writes[table] += n
+        self.pk_lookups += other.pk_lookups
+        self.index_lookups += other.index_lookups
+        self.index_range_scans += other.index_range_scans
+        self.rows_joined += other.rows_joined
+        self.join_ops += other.join_ops
+        self.sort_rows += other.sort_rows
+        self.agg_input_rows += other.agg_input_rows
+        self.groups += other.groups
+        self.subqueries += other.subqueries
+        self.rows_returned += other.rows_returned
+        self.used_columnar = self.used_columnar or other.used_columnar
+
+    @property
+    def total_rows_scanned(self) -> int:
+        return (sum(self.rows_row_store.values())
+                + sum(self.rows_columnar.values()))
+
+    @property
+    def total_writes(self) -> int:
+        return sum(self.writes.values())
+
+    def tables_touched(self) -> set:
+        touched = set(self.rows_row_store) | set(self.rows_columnar)
+        touched |= set(self.writes)
+        return touched
+
+
+class Result:
+    """Rows plus column names plus the statement's ExecStats."""
+
+    def __init__(self, columns: list[str], rows: list[tuple], stats: ExecStats):
+        self.columns = columns
+        self.rows = rows
+        self.stats = stats
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self):
+        return len(self.rows)
+
+    def scalar(self):
+        """First column of the first row (None when the result is empty)."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def first(self) -> tuple | None:
+        return self.rows[0] if self.rows else None
+
+    def as_dicts(self) -> list[dict]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __repr__(self):
+        return f"Result({self.columns}, {len(self.rows)} rows)"
+
+
+@dataclass
+class DMLResult:
+    """Result of an INSERT/UPDATE/DELETE: affected row count + stats."""
+
+    rowcount: int
+    stats: ExecStats

@@ -1,0 +1,23 @@
+"""Storage substrate: MVCC row store, columnar replica, indexes, WAL, buffer pool."""
+
+from repro.storage.bufferpool import BufferPool, BufferPoolStats
+from repro.storage.columnstore import ColumnarReplica, ColumnarTable
+from repro.storage.index import HashIndex, OrderedIndex
+from repro.storage.rowstore import INF_TS, RowStorage, RowVersion, TableStore
+from repro.storage.wal import LogOp, LogRecord, WriteAheadLog
+
+__all__ = [
+    "BufferPool",
+    "BufferPoolStats",
+    "ColumnarReplica",
+    "ColumnarTable",
+    "HashIndex",
+    "OrderedIndex",
+    "INF_TS",
+    "RowStorage",
+    "RowVersion",
+    "TableStore",
+    "LogOp",
+    "LogRecord",
+    "WriteAheadLog",
+]

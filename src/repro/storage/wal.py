@@ -1,0 +1,62 @@
+"""Write-ahead log.
+
+Every committed write produces a ``LogRecord``.  The log serves two roles:
+
+* durability bookkeeping for the row store (as in TiKV's raft log), and
+* the replication feed for the columnar replica (as in TiFlash's
+  asynchronous log replication — the mechanism TiDB uses to keep fresh data
+  queryable in the column store).
+
+LSNs are dense integers; the columnar replica tracks the highest LSN it has
+applied, which defines its freshness watermark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class LogOp(Enum):
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One committed row mutation."""
+
+    lsn: int
+    commit_ts: int
+    table: str
+    pk: tuple
+    op: LogOp
+    values: tuple | None  # None for deletes
+
+
+class WriteAheadLog:
+    """Append-only commit log with LSN-addressed reads."""
+
+    def __init__(self):
+        self._records: list[LogRecord] = []
+
+    @property
+    def head_lsn(self) -> int:
+        """LSN that the *next* record will receive."""
+        return len(self._records)
+
+    def append(self, commit_ts: int, table: str, pk: tuple, op: LogOp,
+               values: tuple | None) -> LogRecord:
+        record = LogRecord(self.head_lsn, commit_ts, table, pk, op, values)
+        self._records.append(record)
+        return record
+
+    def read_from(self, lsn: int, limit: int | None = None) -> list[LogRecord]:
+        """Return records with LSN >= ``lsn`` (up to ``limit`` of them)."""
+        if limit is None:
+            return self._records[lsn:]
+        return self._records[lsn:lsn + limit]
+
+    def __len__(self):
+        return len(self._records)

@@ -1,0 +1,19 @@
+"""Transactions: MVCC manager, isolation levels, lock manager."""
+
+from repro.txn.locks import LockManager, LockMode, LockStats
+from repro.txn.manager import (
+    IsolationLevel,
+    Transaction,
+    TransactionManager,
+    TxnStatus,
+)
+
+__all__ = [
+    "IsolationLevel",
+    "LockManager",
+    "LockMode",
+    "LockStats",
+    "Transaction",
+    "TransactionManager",
+    "TxnStatus",
+]

@@ -1,0 +1,309 @@
+"""Transaction manager: MVCC snapshots, buffered writes, commit validation.
+
+Transactions buffer their writes locally and install them at commit with a
+fresh commit timestamp (optimistic concurrency, as in TiDB's default mode):
+
+* ``SNAPSHOT`` / ``REPEATABLE_READ`` — one read timestamp for the whole
+  transaction; commit runs first-committer-wins validation over the write
+  set and aborts with ``WriteConflictError`` on overlap.
+* ``READ_COMMITTED`` — the read timestamp is refreshed at every statement
+  (MemSQL only offers this level, per the paper); no first-committer-wins
+  validation, conflicts instead surface as lock waits in the simulator.
+
+Reads merge the transaction's own write buffer over the store snapshot, so a
+transaction always sees its own effects — crucial for hybrid transactions,
+whose embedded real-time query must observe the online statements that
+precede it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator
+from enum import Enum
+
+from repro.errors import (
+    ConnectionStateError,
+    IntegrityError,
+    WriteConflictError,
+)
+from repro.storage.rowstore import RowStorage
+from repro.storage.wal import LogOp
+from repro.txn.locks import LockManager, LockMode
+
+
+class IsolationLevel(Enum):
+    READ_COMMITTED = "read_committed"
+    SNAPSHOT = "snapshot"
+    REPEATABLE_READ = "repeatable_read"
+
+    @property
+    def statement_snapshot(self) -> bool:
+        """True when the read timestamp refreshes at each statement."""
+        return self is IsolationLevel.READ_COMMITTED
+
+    @property
+    def validates_writes(self) -> bool:
+        """True when commit runs first-committer-wins validation."""
+        return self is not IsolationLevel.READ_COMMITTED
+
+
+class TxnStatus(Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One in-flight transaction.  Obtain via ``TransactionManager.begin``."""
+
+    def __init__(self, manager: "TransactionManager", txn_id: int,
+                 start_ts: int, isolation: IsolationLevel):
+        self._manager = manager
+        self.txn_id = txn_id
+        self.start_ts = start_ts
+        self.read_ts = start_ts
+        self.isolation = isolation
+        self.status = TxnStatus.ACTIVE
+        self.commit_ts: int | None = None
+        # (table, pk) -> (values | None, LogOp); insertion order preserved
+        self._writes: dict[tuple, tuple] = {}
+        self._read_keys: set[tuple] = set()
+        self.lock_conflicts: list[int] = []  # txn ids we conflicted with
+        self.statements = 0
+
+    @property
+    def manager(self) -> "TransactionManager":
+        return self._manager
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _check_active(self):
+        if self.status is not TxnStatus.ACTIVE:
+            raise ConnectionStateError(
+                f"transaction {self.txn_id} is {self.status.value}"
+            )
+
+    def statement_begin(self):
+        """Per-statement bookkeeping; refreshes the snapshot under RC."""
+        self._check_active()
+        self.statements += 1
+        if self.isolation.statement_snapshot:
+            self.read_ts = self._manager.current_ts()
+
+    def commit(self):
+        self._manager.commit(self)
+
+    def rollback(self):
+        self._manager.rollback(self)
+
+    # -- reads (write buffer merged over MVCC snapshot) ---------------------
+
+    def get(self, table: str, pk: tuple) -> tuple | None:
+        self._check_active()
+        key = (table.upper(), pk)
+        self._read_keys.add(key)
+        if key in self._writes:
+            return self._writes[key][0]
+        return self._manager.storage.store(table).get(pk, self.read_ts)
+
+    def scan(self, table: str) -> Iterator[tuple[tuple, tuple]]:
+        self._check_active()
+        yield from self._merged(table,
+                                self._manager.storage.store(table).scan(self.read_ts))
+
+    def pk_prefix_scan(self, table: str, prefix: tuple) -> Iterator[tuple[tuple, tuple]]:
+        self._check_active()
+        store = self._manager.storage.store(table)
+        base = store.pk_prefix_scan(prefix, self.read_ts)
+        n = len(prefix)
+        yield from (
+            (pk, values) for pk, values in self._merged(table, base, prefix_len=n,
+                                                        prefix=prefix)
+        )
+
+    def index_candidate_pks(self, table: str, index_name: str, key: tuple) -> set:
+        """Primary keys the index suggests; caller re-checks visibility."""
+        self._check_active()
+        return set(self._manager.storage.store(table).index(index_name).lookup(key))
+
+    def index_range_pks(self, table: str, index_name: str,
+                        low: tuple | None, high: tuple | None) -> set:
+        self._check_active()
+        idx = self._manager.storage.store(table).index(index_name)
+        pks: set = set()
+        for _key, entry in idx.range_scan(low, high):
+            pks |= entry
+        return pks
+
+    def local_rows(self, table: str) -> Iterator[tuple[tuple, tuple | None]]:
+        """This transaction's buffered writes for ``table`` (pk, values|None).
+
+        Index scans consult this so a transaction's own uncommitted inserts
+        are visible to its later statements (hybrid transactions rely on the
+        embedded real-time query seeing the online statements before it).
+        """
+        table_key = table.upper()
+        for (tbl, pk), (values, _op) in self._writes.items():
+            if tbl == table_key:
+                yield pk, values
+
+    def _merged(self, table: str, base: Iterator, prefix_len: int = 0,
+                prefix: tuple = ()) -> Iterator[tuple[tuple, tuple]]:
+        """Overlay this transaction's buffered writes on a base scan."""
+        table_key = table.upper()
+        local = {
+            key[1]: payload for key, payload in self._writes.items()
+            if key[0] == table_key
+        }
+        if prefix_len:
+            local = {pk: payload for pk, payload in local.items()
+                     if pk[:prefix_len] == prefix}
+        for pk, values in base:
+            if pk in local:
+                buffered_values, _op = local.pop(pk)
+                if buffered_values is not None:
+                    yield pk, buffered_values
+            else:
+                yield pk, values
+        for pk, (values, _op) in local.items():
+            if values is not None:
+                yield pk, values
+
+    # -- writes (buffered) ---------------------------------------------------
+
+    def insert(self, table: str, pk: tuple, values: tuple):
+        self._check_active()
+        key = (table.upper(), pk)
+        if self.get(table, pk) is not None:
+            raise IntegrityError(
+                f"duplicate primary key {pk} in table {table}"
+            )
+        self._lock(table.upper(), pk)
+        self._writes[key] = (values, LogOp.INSERT)
+
+    def update(self, table: str, pk: tuple, values: tuple):
+        self._check_active()
+        key = (table.upper(), pk)
+        if self.get(table, pk) is None:
+            raise IntegrityError(f"update of missing row {pk} in table {table}")
+        self._lock(table.upper(), pk)
+        op = LogOp.INSERT if key in self._writes and \
+            self._writes[key][1] is LogOp.INSERT else LogOp.UPDATE
+        self._writes[key] = (values, op)
+
+    def delete(self, table: str, pk: tuple):
+        self._check_active()
+        key = (table.upper(), pk)
+        if self.get(table, pk) is None:
+            raise IntegrityError(f"delete of missing row {pk} in table {table}")
+        self._lock(table.upper(), pk)
+        self._writes[key] = (None, LogOp.DELETE)
+
+    def lock_for_update(self, table: str, pk: tuple):
+        """SELECT ... FOR UPDATE: take the write intent without writing."""
+        self._check_active()
+        self._lock(table.upper(), pk)
+
+    def _lock(self, table: str, pk: tuple):
+        conflicts = self._manager.locks.acquire(
+            self.txn_id, table, pk, LockMode.EXCLUSIVE
+        )
+        if conflicts:
+            self.lock_conflicts.extend(conflicts)
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def write_set(self) -> list[tuple]:
+        """Ordered ``(table, pk, values, op)`` tuples."""
+        return [
+            (table, pk, values, op)
+            for (table, pk), (values, op) in self._writes.items()
+        ]
+
+    @property
+    def is_read_only(self) -> bool:
+        return not self._writes
+
+    def written_keys(self) -> set[tuple]:
+        return set(self._writes)
+
+
+class TransactionManager:
+    """Issues timestamps, runs commit validation, installs write sets."""
+
+    def __init__(self, storage: RowStorage, lock_manager: LockManager | None = None):
+        self.storage = storage
+        self.locks = lock_manager or LockManager()
+        self._ts = itertools.count(1)
+        self._latest_ts = 0
+        self._txn_ids = itertools.count(1)
+        self._active: dict[int, Transaction] = {}
+        self.commits = 0
+        self.aborts = 0
+
+    def current_ts(self) -> int:
+        return self._latest_ts
+
+    def _next_ts(self) -> int:
+        self._latest_ts = next(self._ts)
+        return self._latest_ts
+
+    def begin(self, isolation: IsolationLevel = IsolationLevel.SNAPSHOT
+              ) -> Transaction:
+        txn = Transaction(self, next(self._txn_ids), self._latest_ts, isolation)
+        self._active[txn.txn_id] = txn
+        return txn
+
+    def commit(self, txn: Transaction):
+        txn._check_active()
+        try:
+            if txn.is_read_only:
+                txn.status = TxnStatus.COMMITTED
+                txn.commit_ts = self._latest_ts
+                self.commits += 1
+                return
+            if txn.isolation.validates_writes:
+                self._validate(txn)
+            commit_ts = self._next_ts()
+            self.storage.apply_commit(commit_ts, txn.write_set)
+            txn.commit_ts = commit_ts
+            txn.status = TxnStatus.COMMITTED
+            self.commits += 1
+        except Exception:
+            txn.status = TxnStatus.ABORTED
+            self.aborts += 1
+            raise
+        finally:
+            self._finish(txn)
+
+    def rollback(self, txn: Transaction):
+        if txn.status is TxnStatus.ACTIVE:
+            txn.status = TxnStatus.ABORTED
+            self.aborts += 1
+            self._finish(txn)
+
+    def _validate(self, txn: Transaction):
+        """First-committer-wins: abort if any written row changed since start."""
+        for table, pk, _values, op in txn.write_set:
+            latest = self.storage.store(table).latest_committed(pk)
+            if latest is not None and latest.begin_ts > txn.start_ts:
+                if op is LogOp.INSERT and latest.values is None:
+                    continue  # concurrent delete then our insert is fine
+                raise WriteConflictError(
+                    f"write-write conflict on {table}{pk}: committed at "
+                    f"{latest.begin_ts} > snapshot {txn.start_ts}"
+                )
+
+    def _finish(self, txn: Transaction):
+        self.locks.release_all(txn.txn_id)
+        self._active.pop(txn.txn_id, None)
+
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def oldest_active_ts(self) -> int:
+        if not self._active:
+            return self._latest_ts
+        return min(t.read_ts for t in self._active.values())

@@ -1,0 +1,137 @@
+"""Workload abstractions shared by the four benchmark suites.
+
+A ``Workload`` bundles a schema (in two variants, with and without foreign
+keys), a deterministic data loader, and three program families:
+
+* online transactions (``oltp``) — the write/read mix of the source
+  benchmark (TPC-C / SmallBank / TATP);
+* analytical queries (``olap``) — multi-join / aggregate / group-by /
+  order-by queries over the *same* semantically consistent schema;
+* hybrid transactions (``hybrid``) — an online transaction with a real-time
+  query executed in-between its statements (the paper's core abstraction).
+
+Programs are plain callables ``(session, rng) -> None``; weights give the
+default mix, overridable per run through ``BenchConfig``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable
+
+from repro.db import Database
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class TransactionProfile:
+    """One named program in a workload mix."""
+
+    name: str
+    program: Callable
+    weight: float = 1.0
+    read_only: bool = False
+    kind: str = "oltp"  # "oltp" | "olap" | "hybrid"
+
+    def __post_init__(self):
+        if self.weight < 0:
+            raise WorkloadError(f"negative weight for {self.name!r}")
+
+
+def weighted_choice(profiles: list[TransactionProfile], rng: Random,
+                    overrides: dict | None = None) -> TransactionProfile:
+    """Pick one profile by weight (with optional per-name overrides)."""
+    if not profiles:
+        raise WorkloadError("empty profile list")
+    weights = [
+        (overrides or {}).get(profile.name, profile.weight)
+        for profile in profiles
+    ]
+    total = sum(weights)
+    if total <= 0:
+        raise WorkloadError("profile weights sum to zero")
+    point = rng.random() * total
+    accumulated = 0.0
+    for profile, weight in zip(profiles, weights):
+        accumulated += weight
+        if point <= accumulated:
+            return profile
+    return profiles[-1]
+
+
+def read_only_fraction(profiles: list[TransactionProfile]) -> float:
+    """Weighted share of read-only programs (Table II's 'Read-only %')."""
+    total = sum(p.weight for p in profiles)
+    if total <= 0:
+        return 0.0
+    read_only = sum(p.weight for p in profiles if p.read_only)
+    return read_only / total
+
+
+class Workload:
+    """Base class: subclasses provide schema, loader and the three mixes."""
+
+    name = "abstract"
+    domain = "generic"  # "generic" | "banking" | "telecom" | ...
+    semantically_consistent = True
+
+    # -- subclass hooks ---------------------------------------------------------
+
+    def schema_script(self, with_foreign_keys: bool = False) -> str:
+        """DDL script (``;``-separated) for the chosen schema variant."""
+        raise NotImplementedError
+
+    def load(self, db: Database, rng: Random, scale: float = 1.0):
+        """Populate tables deterministically at the given scale factor."""
+        raise NotImplementedError
+
+    def oltp_transactions(self) -> list[TransactionProfile]:
+        raise NotImplementedError
+
+    def analytical_queries(self) -> list[TransactionProfile]:
+        raise NotImplementedError
+
+    def hybrid_transactions(self) -> list[TransactionProfile]:
+        raise NotImplementedError
+
+    # -- installation -------------------------------------------------------------
+
+    def install(self, db: Database, rng: Random, scale: float = 1.0,
+                with_foreign_keys: bool = False):
+        """Create the schema and load data into ``db``."""
+        db.run_script(self.schema_script(with_foreign_keys))
+        self.load(db, rng, scale)
+        db.replicate()
+
+    # -- Table II feature summary ---------------------------------------------------
+
+    def feature_summary(self, db: Database | None = None) -> dict:
+        """The workload-features row of the paper's Table II."""
+        oltp = self.oltp_transactions()
+        olap = self.analytical_queries()
+        hybrid = self.hybrid_transactions()
+        summary = {
+            "benchmark": self.name,
+            "oltp_transactions": len(oltp),
+            "read_only_oltp": read_only_fraction(oltp),
+            "queries": len(olap),
+            "hybrid_transactions": len(hybrid),
+            "read_only_hybrid": read_only_fraction(hybrid),
+        }
+        if db is not None:
+            summary.update(db.catalog.summary())
+        else:
+            probe = Database(supports_foreign_keys=True)
+            probe.run_script(self.schema_script(with_foreign_keys=False))
+            summary.update(probe.catalog.summary())
+        return summary
+
+    def profiles(self, kind: str) -> list[TransactionProfile]:
+        if kind == "oltp":
+            return self.oltp_transactions()
+        if kind == "olap":
+            return self.analytical_queries()
+        if kind == "hybrid":
+            return self.hybrid_transactions()
+        raise WorkloadError(f"unknown profile kind {kind!r}")

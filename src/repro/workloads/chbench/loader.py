@@ -1,0 +1,38 @@
+"""CH-benCHmark loader: TPC-C population plus static TPC-H side tables.
+
+SUPPLIER/NATION/REGION are populated once and — mirroring CH-benCHmark's
+design flaw — never touched by the online transactions afterwards.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.db import Database
+from repro.workloads.subench import loader as tpcc_loader
+
+SUPPLIERS = 100
+NATIONS = 25
+REGIONS = 5
+
+_REGION_NAMES = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+
+def load(db: Database, rng: Random, scale: float = 1.0) -> dict:
+    counts = tpcc_loader.load(db, rng, scale)
+    db.bulk_load("region", (
+        (r, _REGION_NAMES[r], f"region comment {r}") for r in range(REGIONS)
+    ))
+    db.bulk_load("nation", (
+        (n, f"nation_{n:02d}", n % REGIONS, f"nation comment {n}")
+        for n in range(NATIONS)
+    ))
+    db.bulk_load("supplier", (
+        (s, f"supplier_{s:03d}", f"address {s}", s % NATIONS,
+         f"{s:015d}", round(rng.uniform(-999.0, 9999.0), 2),
+         f"supplier comment {s}")
+        for s in range(SUPPLIERS)
+    ))
+    counts.update({"region": REGIONS, "nation": NATIONS,
+                   "supplier": SUPPLIERS})
+    return counts

@@ -1,0 +1,43 @@
+"""CH-benCHmark stitch schema — the baseline OLxPBench argues against.
+
+Twelve tables: the nine TPC-C tables (shared with subenchmark) *stitched*
+to the three TPC-H tables SUPPLIER, NATION and REGION.  The defining flaw
+(§III-B2): the online transactions never insert into or update SUPPLIER /
+NATION / REGION, yet 45.4% / 40.9% / 13.6% of the 22 analytical queries
+read them — so OLTP and OLAP largely operate on different data and the
+real contention between them is hidden.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.subench.schema import schema_script as tpcc_schema_script
+
+_TPCH_TABLES = """
+CREATE TABLE supplier (
+    su_suppkey INT NOT NULL,
+    su_name VARCHAR(25),
+    su_address VARCHAR(40),
+    su_nationkey INT NOT NULL,
+    su_phone CHAR(15),
+    su_acctbal DECIMAL(12, 2),
+    su_comment VARCHAR(101),
+    PRIMARY KEY (su_suppkey)
+);
+CREATE TABLE nation (
+    n_nationkey INT NOT NULL,
+    n_name VARCHAR(25),
+    n_regionkey INT NOT NULL,
+    n_comment VARCHAR(152),
+    PRIMARY KEY (n_nationkey)
+);
+CREATE TABLE region (
+    r_regionkey INT NOT NULL,
+    r_name VARCHAR(25),
+    r_comment VARCHAR(152),
+    PRIMARY KEY (r_regionkey)
+)
+"""
+
+
+def schema_script(with_foreign_keys: bool = False) -> str:
+    return tpcc_schema_script(with_foreign_keys) + ";" + _TPCH_TABLES

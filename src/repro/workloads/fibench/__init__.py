@@ -1,0 +1,47 @@
+"""fibenchmark — the banking domain-specific benchmark (SmallBank-derived)."""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.db import Database
+from repro.workloads.base import TransactionProfile, Workload
+from repro.workloads.fibench import loader, schema
+from repro.workloads.fibench.hybrid import make_hybrids
+from repro.workloads.fibench.queries import make_queries
+from repro.workloads.fibench.transactions import make_transactions
+
+
+class Fibenchmark(Workload):
+    """Banking scenario: 3 tables, 6 columns, 4 indexes; 6 OLTP transactions
+    (15% read-only), 4 analytical queries, 6 hybrid transactions (20%
+    read-only) — Table II's fibenchmark row."""
+
+    name = "fibenchmark"
+    domain = "banking"
+
+    def __init__(self, scale: float = 1.0):
+        self._n_accounts = loader.account_count(scale)
+
+    @property
+    def n_accounts(self) -> int:
+        return self._n_accounts
+
+    def schema_script(self, with_foreign_keys: bool = False) -> str:
+        return schema.schema_script(with_foreign_keys)
+
+    def load(self, db: Database, rng: Random, scale: float = 1.0):
+        self._n_accounts = loader.account_count(scale)
+        return loader.load(db, rng, scale)
+
+    def oltp_transactions(self) -> list[TransactionProfile]:
+        return make_transactions(self._n_accounts)
+
+    def analytical_queries(self) -> list[TransactionProfile]:
+        return make_queries(self._n_accounts)
+
+    def hybrid_transactions(self) -> list[TransactionProfile]:
+        return make_hybrids(self._n_accounts)
+
+
+__all__ = ["Fibenchmark"]

@@ -1,0 +1,124 @@
+"""fibenchmark hybrid transactions — real-time financial analysis inside
+online banking transactions.
+
+Six hybrid transactions (Table II; 20% of the default mix is read-only).
+Each performs a real-time query *in-between* the statements of an online
+transaction — the query runs inside the same transaction, sees the
+transaction's own writes, and holds its locks while scanning, which is the
+behaviour pattern the paper shows conventional HTAP benchmarks miss.
+
+X6 is the paper's named example: the Checking Balance Transaction checks
+whether the cheque balance is sufficient and aggregates the minimum savings
+value (extreme-value volatility being a financial-analysis staple).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import TransactionProfile
+from repro.workloads.fibench.transactions import _pick_customer
+
+
+def make_hybrids(n_accounts: int) -> list[TransactionProfile]:
+
+    def x1_balance_vs_average(session, rng):
+        """Read-only: balance check plus a real-time percentile-style
+        comparison against the live average."""
+        cust = _pick_customer(rng, n_accounts)
+        session.execute(
+            "SELECT s.bal + c.bal FROM saving s, checking c "
+            "WHERE s.custid = ? AND c.custid = ?", (cust, cust))
+        with session.realtime_query():
+            session.execute("SELECT AVG(bal), MAX(bal) FROM checking")
+
+    def x2_deposit_with_floor(session, rng):
+        """Deposit, consulting the real-time minimum savings first."""
+        cust = _pick_customer(rng, n_accounts)
+        amount = round(rng.uniform(1.0, 100.0), 2)
+        with session.realtime_query():
+            floor = session.query_scalar("SELECT MIN(bal) FROM saving")
+        bonus = 1.0 if floor is not None and floor <= 0.0 else 0.0
+        session.execute(
+            "UPDATE checking SET bal = bal + ? WHERE custid = ?",
+            (amount + bonus, cust))
+
+    def x3_payment_with_risk_check(session, rng):
+        """Send a payment after a real-time fraud-style aggregate check."""
+        sender = _pick_customer(rng, n_accounts)
+        receiver = _pick_customer(rng, n_accounts)
+        if receiver == sender:
+            receiver = (receiver + 1) % n_accounts
+        amount = round(rng.uniform(1.0, 50.0), 2)
+        available = session.query_scalar(
+            "SELECT bal FROM checking WHERE custid = ?", (sender,))
+        with session.realtime_query():
+            session.execute(
+                "SELECT COUNT(*), AVG(bal) FROM checking WHERE bal < 0")
+        if available is not None and available >= amount:
+            session.execute(
+                "UPDATE checking SET bal = bal - ? WHERE custid = ?",
+                (amount, sender))
+            session.execute(
+                "UPDATE checking SET bal = bal + ? WHERE custid = ?",
+                (amount, receiver))
+
+    def x4_savings_with_ceiling(session, rng):
+        """Savings movement gated on the live maximum savings balance."""
+        cust = _pick_customer(rng, n_accounts)
+        amount = round(rng.uniform(1.0, 100.0), 2)
+        with session.realtime_query():
+            ceiling = session.query_scalar("SELECT MAX(bal) FROM saving")
+        if ceiling is None or ceiling < 1_000_000.0:
+            session.execute(
+                "UPDATE saving SET bal = bal + ? WHERE custid = ?",
+                (amount, cust))
+
+    def x5_amalgamate_with_audit(session, rng):
+        """Amalgamate plus a real-time total-holdings audit aggregate."""
+        source = _pick_customer(rng, n_accounts)
+        dest = _pick_customer(rng, n_accounts)
+        if dest == source:
+            dest = (dest + 1) % n_accounts
+        savings = session.query_scalar(
+            "SELECT bal FROM saving WHERE custid = ?", (source,))
+        checking = session.query_scalar(
+            "SELECT bal FROM checking WHERE custid = ?", (source,))
+        with session.realtime_query():
+            session.execute("SELECT SUM(bal) FROM checking")
+        total = (savings or 0.0) + (checking or 0.0)
+        session.execute("UPDATE saving SET bal = 0 WHERE custid = ?",
+                        (source,))
+        session.execute("UPDATE checking SET bal = 0 WHERE custid = ?",
+                        (source,))
+        session.execute(
+            "UPDATE checking SET bal = bal + ? WHERE custid = ?",
+            (total, dest))
+
+    def x6_checking_balance(session, rng):
+        """Checking Balance Transaction (paper's X6): verify the cheque
+        balance is sufficient and aggregate the minimum savings value."""
+        cust = _pick_customer(rng, n_accounts)
+        amount = round(rng.uniform(1.0, 200.0), 2)
+        available = session.query_scalar(
+            "SELECT bal FROM checking WHERE custid = ?", (cust,))
+        with session.realtime_query():
+            session.execute(
+                "SELECT MIN(bal), AVG(bal) FROM saving")
+        if available is not None and available >= amount:
+            session.execute(
+                "UPDATE checking SET bal = bal - ? WHERE custid = ?",
+                (amount, cust))
+
+    return [
+        TransactionProfile("X1", x1_balance_vs_average, weight=0.20,
+                           read_only=True, kind="hybrid"),
+        TransactionProfile("X2", x2_deposit_with_floor, weight=0.16,
+                           kind="hybrid"),
+        TransactionProfile("X3", x3_payment_with_risk_check, weight=0.16,
+                           kind="hybrid"),
+        TransactionProfile("X4", x4_savings_with_ceiling, weight=0.16,
+                           kind="hybrid"),
+        TransactionProfile("X5", x5_amalgamate_with_audit, weight=0.16,
+                           kind="hybrid"),
+        TransactionProfile("X6", x6_checking_balance, weight=0.16,
+                           kind="hybrid"),
+    ]

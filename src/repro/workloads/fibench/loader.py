@@ -1,0 +1,36 @@
+"""fibenchmark data loader.
+
+Deterministic synthetic population: ``scale`` multiplies the default
+account count.  Balances follow a seeded uniform distribution, so analytic
+aggregates are stable across runs with the same seed.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.db import Database
+
+DEFAULT_ACCOUNTS = 30_000
+
+
+def account_count(scale: float = 1.0) -> int:
+    return max(100, int(DEFAULT_ACCOUNTS * scale))
+
+
+def load(db: Database, rng: Random, scale: float = 1.0) -> dict:
+    """Populate account/saving/checking; returns row counts per table."""
+    n = account_count(scale)
+    db.bulk_load(
+        "account",
+        ((cid, f"customer_{cid:08d}") for cid in range(n)),
+    )
+    db.bulk_load(
+        "saving",
+        ((cid, round(rng.uniform(0.0, 50_000.0), 2)) for cid in range(n)),
+    )
+    db.bulk_load(
+        "checking",
+        ((cid, round(rng.uniform(0.0, 10_000.0), 2)) for cid in range(n)),
+    )
+    return {"account": n, "saving": n, "checking": n}

@@ -1,0 +1,58 @@
+"""fibenchmark analytical queries — real-time customer account analytics.
+
+Four complex queries (Table II) covering the operator mix §IV-B2 calls out:
+join, aggregate, sub-selection, ORDER BY and GROUP BY, all on the
+semantically consistent schema (the exact tables the online transactions
+mutate).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import TransactionProfile
+
+
+def make_queries(n_accounts: int) -> list[TransactionProfile]:
+
+    def q1_account_name(session, rng):
+        """Account Name Query (paper's Q1): names from the combined row of
+        ACCOUNT and CHECKING, largest balances first."""
+        session.execute(
+            "SELECT a.name, c.bal FROM account a "
+            "JOIN checking c ON a.custid = c.custid "
+            "WHERE c.bal > ? ORDER BY c.bal DESC LIMIT 100",
+            (9_000.0,))
+
+    def q2_savings_distribution(session, rng):
+        """Savings balance histogram: GROUP BY bucket with aggregates."""
+        session.execute(
+            "SELECT ROUND(bal / 5000) AS bucket, COUNT(*) AS n, "
+            "AVG(bal) AS avg_bal, MAX(bal) AS max_bal "
+            "FROM saving GROUP BY ROUND(bal / 5000) ORDER BY bucket")
+
+    def q3_below_average(session, rng):
+        """Sub-selection: how many checking accounts sit below the mean."""
+        session.execute(
+            "SELECT COUNT(*) FROM checking "
+            "WHERE bal < (SELECT AVG(bal) FROM checking)")
+
+    def q4_wealth_report(session, rng):
+        """Three-way join with aggregates over combined balances."""
+        session.execute(
+            "SELECT COUNT(*) AS wealthy, SUM(s.bal + c.bal) AS holdings, "
+            "AVG(s.bal + c.bal) AS avg_holdings "
+            "FROM account a "
+            "JOIN saving s ON a.custid = s.custid "
+            "JOIN checking c ON a.custid = c.custid "
+            "WHERE s.bal + c.bal > ?",
+            (40_000.0,))
+
+    return [
+        TransactionProfile("Q1", q1_account_name, kind="olap",
+                           read_only=True),
+        TransactionProfile("Q2", q2_savings_distribution, kind="olap",
+                           read_only=True),
+        TransactionProfile("Q3", q3_below_average, kind="olap",
+                           read_only=True),
+        TransactionProfile("Q4", q4_wealth_report, kind="olap",
+                           read_only=True),
+    ]

@@ -1,0 +1,58 @@
+"""fibenchmark schema — banking (SmallBank-derived).
+
+Three tables, six columns, four secondary indexes (Table II).  The paper
+modifies SmallBank's integrity constraints so the same logical schema loads
+on MemSQL, which lacks foreign keys: both variants are provided.
+"""
+
+from __future__ import annotations
+
+TABLES_NO_FK = """
+CREATE TABLE account (
+    custid INT NOT NULL,
+    name VARCHAR(64) NOT NULL,
+    PRIMARY KEY (custid)
+);
+CREATE TABLE saving (
+    custid INT NOT NULL,
+    bal FLOAT NOT NULL,
+    PRIMARY KEY (custid)
+);
+CREATE TABLE checking (
+    custid INT NOT NULL,
+    bal FLOAT NOT NULL,
+    PRIMARY KEY (custid)
+)
+"""
+
+TABLES_FK = """
+CREATE TABLE account (
+    custid INT NOT NULL,
+    name VARCHAR(64) NOT NULL,
+    PRIMARY KEY (custid)
+);
+CREATE TABLE saving (
+    custid INT NOT NULL,
+    bal FLOAT NOT NULL,
+    PRIMARY KEY (custid),
+    FOREIGN KEY (custid) REFERENCES account (custid)
+);
+CREATE TABLE checking (
+    custid INT NOT NULL,
+    bal FLOAT NOT NULL,
+    PRIMARY KEY (custid),
+    FOREIGN KEY (custid) REFERENCES account (custid)
+)
+"""
+
+INDEXES = """
+CREATE INDEX idx_account_name ON account (name);
+CREATE UNIQUE INDEX idx_account_custid ON account (custid);
+CREATE INDEX idx_saving_bal ON saving (bal);
+CREATE INDEX idx_checking_bal ON checking (bal)
+"""
+
+
+def schema_script(with_foreign_keys: bool = False) -> str:
+    tables = TABLES_FK if with_foreign_keys else TABLES_NO_FK
+    return tables + ";" + INDEXES

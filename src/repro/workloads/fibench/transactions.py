@@ -1,0 +1,111 @@
+"""fibenchmark online transactions (the six SmallBank transactions).
+
+All of SmallBank's transactions are kept (§IV-B2): Amalgamate, Balance,
+DepositChecking, SendPayment, TransactSavings, WriteCheck.  Fifteen percent
+of the default mix is read-only (Balance), matching Table II.
+
+Each program is ``(session, rng) -> None`` and receives the number of
+loaded accounts through the closure built by ``make_transactions``.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.workloads.base import TransactionProfile
+
+# hotspot: a small fraction of customers receives a disproportionate share
+# of traffic, which is what makes simulated row-lock waits observable
+HOTSPOT_FRACTION = 0.05
+HOTSPOT_PROBABILITY = 0.30
+
+
+def _pick_customer(rng: Random, n_accounts: int) -> int:
+    if rng.random() < HOTSPOT_PROBABILITY:
+        return rng.randrange(max(1, int(n_accounts * HOTSPOT_FRACTION)))
+    return rng.randrange(n_accounts)
+
+
+def make_transactions(n_accounts: int) -> list[TransactionProfile]:
+    """Build the six SmallBank transaction profiles."""
+
+    def amalgamate(session, rng):
+        """Move all funds of customer A into customer B's checking."""
+        source = _pick_customer(rng, n_accounts)
+        dest = _pick_customer(rng, n_accounts)
+        if dest == source:
+            dest = (dest + 1) % n_accounts
+        savings = session.query_scalar(
+            "SELECT bal FROM saving WHERE custid = ?", (source,))
+        checking = session.query_scalar(
+            "SELECT bal FROM checking WHERE custid = ?", (source,))
+        total = (savings or 0.0) + (checking or 0.0)
+        session.execute(
+            "UPDATE saving SET bal = 0 WHERE custid = ?", (source,))
+        session.execute(
+            "UPDATE checking SET bal = 0 WHERE custid = ?", (source,))
+        session.execute(
+            "UPDATE checking SET bal = bal + ? WHERE custid = ?",
+            (total, dest))
+
+    def balance(session, rng):
+        """Read-only: total balance of one customer."""
+        cust = _pick_customer(rng, n_accounts)
+        session.execute(
+            "SELECT a.name, s.bal + c.bal "
+            "FROM account a, saving s, checking c "
+            "WHERE a.custid = ? AND s.custid = ? AND c.custid = ?",
+            (cust, cust, cust))
+
+    def deposit_checking(session, rng):
+        cust = _pick_customer(rng, n_accounts)
+        amount = round(rng.uniform(1.0, 100.0), 2)
+        session.execute(
+            "UPDATE checking SET bal = bal + ? WHERE custid = ?",
+            (amount, cust))
+
+    def send_payment(session, rng):
+        sender = _pick_customer(rng, n_accounts)
+        receiver = _pick_customer(rng, n_accounts)
+        if receiver == sender:
+            receiver = (receiver + 1) % n_accounts
+        amount = round(rng.uniform(1.0, 50.0), 2)
+        available = session.query_scalar(
+            "SELECT bal FROM checking WHERE custid = ?", (sender,))
+        if available is not None and available >= amount:
+            session.execute(
+                "UPDATE checking SET bal = bal - ? WHERE custid = ?",
+                (amount, sender))
+            session.execute(
+                "UPDATE checking SET bal = bal + ? WHERE custid = ?",
+                (amount, receiver))
+
+    def transact_savings(session, rng):
+        cust = _pick_customer(rng, n_accounts)
+        amount = round(rng.uniform(-100.0, 100.0), 2)
+        current = session.query_scalar(
+            "SELECT bal FROM saving WHERE custid = ?", (cust,))
+        if current is not None and current + amount >= 0:
+            session.execute(
+                "UPDATE saving SET bal = bal + ? WHERE custid = ?",
+                (amount, cust))
+
+    def write_check(session, rng):
+        cust = _pick_customer(rng, n_accounts)
+        amount = round(rng.uniform(1.0, 200.0), 2)
+        total = session.query_scalar(
+            "SELECT s.bal + c.bal FROM saving s, checking c "
+            "WHERE s.custid = ? AND c.custid = ?", (cust, cust))
+        penalty = 1.0 if (total or 0.0) < amount else 0.0
+        session.execute(
+            "UPDATE checking SET bal = bal - ? WHERE custid = ?",
+            (amount + penalty, cust))
+
+    return [
+        TransactionProfile("Amalgamate", amalgamate, weight=0.15),
+        TransactionProfile("Balance", balance, weight=0.15, read_only=True),
+        TransactionProfile("DepositChecking", deposit_checking, weight=0.20),
+        TransactionProfile("SendPayment", send_payment, weight=0.20),
+        TransactionProfile("TransactSavings", transact_savings, weight=0.15),
+        TransactionProfile("WriteCheck", write_check, weight=0.15),
+    ]

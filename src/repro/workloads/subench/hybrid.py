@@ -1,0 +1,83 @@
+"""subenchmark hybrid transactions — real-time retail decisions.
+
+Five hybrid transactions, 60% read-only by weight (Table II).  X1 is the
+paper's motivating example: a customer about to create a NewOrder first
+runs a real-time query for the *lowest* price of the item — not a random
+price — before ordering (§III-B1); the query executes inside the NewOrder
+transaction, in the row engine, holding its locks.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import TransactionProfile
+from repro.workloads.subench.transactions import (
+    TpccContext,
+    new_order_body,
+    order_status_body,
+    payment_body,
+    stock_level_body,
+)
+
+
+def make_hybrids(ctx: TpccContext) -> list[TransactionProfile]:
+
+    def x1_new_order_lowest_price(session, rng):
+        """NewOrder with a real-time lowest-price lookup (paper's X1)."""
+        with session.realtime_query():
+            session.execute(
+                "SELECT MIN(i_price), AVG(i_price) FROM item")
+        new_order_body(session, rng, ctx)
+
+    def x2_payment_with_spend_profile(session, rng):
+        """Payment consulting the live district payment profile first."""
+        with session.realtime_query():
+            session.execute(
+                "SELECT AVG(h_amount), MAX(h_amount) FROM history "
+                "WHERE h_w_id = ?", (ctx.pick_warehouse(rng),))
+        payment_body(session, rng, ctx)
+
+    def x3_order_status_with_benchmarking(session, rng):
+        """Read-only: order status plus live basket-size benchmarking."""
+        order_status_body(session, rng, ctx)
+        with session.realtime_query():
+            session.execute(
+                "SELECT AVG(ol_amount), AVG(ol_quantity) FROM order_line "
+                "WHERE ol_w_id = ?", (ctx.pick_warehouse(rng),))
+
+    def x4_stock_level_with_floor(session, rng):
+        """Read-only: stock level plus the live warehouse-wide minimum."""
+        stock_level_body(session, rng, ctx)
+        with session.realtime_query():
+            session.execute(
+                "SELECT MIN(s_quantity), AVG(s_quantity) FROM stock "
+                "WHERE s_w_id = ?", (ctx.pick_warehouse(rng),))
+
+    def x5_price_browse(session, rng):
+        """Read-only: a browsing customer compares an item against the
+        live price distribution before deciding."""
+        w_id = ctx.pick_warehouse(rng)
+        d_id = ctx.pick_district(rng)
+        c_id = ctx.pick_customer(rng)
+        session.execute(
+            "SELECT c_discount, c_balance FROM customer "
+            "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+            (w_id, d_id, c_id))
+        i_id = ctx.pick_item(rng)
+        session.execute("SELECT i_price, i_name FROM item WHERE i_id = ?",
+                        (i_id,))
+        with session.realtime_query():
+            session.execute(
+                "SELECT MIN(i_price), AVG(i_price), MAX(i_price) FROM item")
+
+    return [
+        TransactionProfile("X1", x1_new_order_lowest_price, weight=0.20,
+                           kind="hybrid"),
+        TransactionProfile("X2", x2_payment_with_spend_profile, weight=0.20,
+                           kind="hybrid"),
+        TransactionProfile("X3", x3_order_status_with_benchmarking,
+                           weight=0.20, read_only=True, kind="hybrid"),
+        TransactionProfile("X4", x4_stock_level_with_floor, weight=0.20,
+                           read_only=True, kind="hybrid"),
+        TransactionProfile("X5", x5_price_browse, weight=0.20,
+                           read_only=True, kind="hybrid"),
+    ]

@@ -1,0 +1,110 @@
+"""subenchmark analytical queries — nine reports over the semantically
+consistent retail schema.
+
+Q1 is the paper's named example (Orders Analytical Report Query): the
+magnitude summary of ORDER_LINE as of a given date — total/average quantity
+and amount, grouped by line number, ascending.  Q2/Q3/Q8 deliberately
+analyse HISTORY, WAREHOUSE and DISTRICT: the tables §III-B2 shows stitch-
+schema benchmarks can never analyse even though OLTP keeps writing them.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import TransactionProfile
+from repro.workloads.subench.transactions import TpccContext
+
+
+def make_queries(ctx: TpccContext) -> list[TransactionProfile]:
+
+    def q1_orders_report(session, rng):
+        """Orders Analytical Report (paper's Q1): ORDER_LINE magnitude
+        summary as of a given date, grouped by line number, ascending."""
+        session.execute(
+            "SELECT ol_number, SUM(ol_quantity) AS total_qty, "
+            "SUM(ol_amount) AS total_amount, AVG(ol_quantity) AS avg_qty, "
+            "AVG(ol_amount) AS avg_amount, COUNT(*) AS line_count "
+            "FROM order_line WHERE ol_delivery_d IS NOT NULL "
+            "GROUP BY ol_number ORDER BY ol_number")
+
+    def q2_payment_history(session, rng):
+        """HISTORY analysis (impossible on stitch schema): payment volume
+        and averages per warehouse/district."""
+        session.execute(
+            "SELECT h_w_id, h_d_id, COUNT(*) AS payments, "
+            "SUM(h_amount) AS volume, AVG(h_amount) AS avg_payment "
+            "FROM history GROUP BY h_w_id, h_d_id "
+            "ORDER BY volume DESC")
+
+    def q3_ytd_reconciliation(session, rng):
+        """WAREHOUSE/DISTRICT join: does district YTD roll up to the
+        warehouse YTD? (stitch schemas have no query on these tables)."""
+        session.execute(
+            "SELECT w.w_id, w.w_ytd, SUM(d.d_ytd) AS district_ytd "
+            "FROM warehouse w JOIN district d ON d.d_w_id = w.w_id "
+            "GROUP BY w.w_id, w.w_ytd ORDER BY w.w_id")
+
+    def q4_customer_balances(session, rng):
+        """Balance distribution per district with credit-class split."""
+        session.execute(
+            "SELECT c_d_id, c_credit, COUNT(*) AS customers, "
+            "AVG(c_balance) AS avg_balance, MIN(c_balance) AS min_balance "
+            "FROM customer WHERE c_w_id = ? "
+            "GROUP BY c_d_id, c_credit ORDER BY c_d_id, c_credit",
+            (rng.randint(1, ctx.warehouses),))
+
+    def q5_top_items(session, rng):
+        """Revenue top-list: ORDER_LINE x ITEM join, grouped and ranked."""
+        session.execute(
+            "SELECT ol.ol_i_id, i.i_name, SUM(ol.ol_amount) AS revenue, "
+            "SUM(ol.ol_quantity) AS units "
+            "FROM order_line ol JOIN item i ON i.i_id = ol.ol_i_id "
+            "GROUP BY ol.ol_i_id, i.i_name ORDER BY revenue DESC LIMIT 10")
+
+    def q6_stock_pressure(session, rng):
+        """Low-stock exposure: STOCK x ITEM join with aggregates."""
+        session.execute(
+            "SELECT COUNT(*) AS low_items, AVG(s.s_quantity) AS avg_qty, "
+            "SUM(s.s_ytd) AS committed "
+            "FROM stock s JOIN item i ON i.i_id = s.s_i_id "
+            "WHERE s.s_quantity < ?", (rng.randint(15, 25),))
+
+    def q7_fulfilment(session, rng):
+        """Delivery pipeline: delivered vs pending orders via CASE."""
+        session.execute(
+            "SELECT o_d_id, "
+            "SUM(CASE WHEN o_carrier_id IS NULL THEN 1 ELSE 0 END) AS pending, "
+            "SUM(CASE WHEN o_carrier_id IS NULL THEN 0 ELSE 1 END) AS done, "
+            "AVG(o_ol_cnt) AS avg_lines "
+            "FROM orders WHERE o_w_id = ? GROUP BY o_d_id ORDER BY o_d_id",
+            (rng.randint(1, ctx.warehouses),))
+
+    def q8_backlog(session, rng):
+        """NEW_ORDER backlog per district joined back to DISTRICT."""
+        session.execute(
+            "SELECT d.d_w_id, d.d_id, d.d_name, COUNT(*) AS backlog "
+            "FROM new_order no "
+            "JOIN district d ON d.d_w_id = no.no_w_id AND d.d_id = no.no_d_id "
+            "GROUP BY d.d_w_id, d.d_id, d.d_name "
+            "ORDER BY backlog DESC LIMIT 10")
+
+    def q9_payment_behaviour(session, rng):
+        """HISTORY x CUSTOMER join: payment behaviour by credit class."""
+        session.execute(
+            "SELECT c.c_credit, COUNT(*) AS payments, "
+            "AVG(h.h_amount) AS avg_amount, MAX(h.h_amount) AS max_amount "
+            "FROM history h JOIN customer c "
+            "ON c.c_w_id = h.h_c_w_id AND c.c_d_id = h.h_c_d_id "
+            "AND c.c_id = h.h_c_id "
+            "GROUP BY c.c_credit ORDER BY c.c_credit")
+
+    programs = [
+        ("Q1", q1_orders_report), ("Q2", q2_payment_history),
+        ("Q3", q3_ytd_reconciliation), ("Q4", q4_customer_balances),
+        ("Q5", q5_top_items), ("Q6", q6_stock_pressure),
+        ("Q7", q7_fulfilment), ("Q8", q8_backlog),
+        ("Q9", q9_payment_behaviour),
+    ]
+    return [
+        TransactionProfile(name, program, kind="olap", read_only=True)
+        for name, program in programs
+    ]

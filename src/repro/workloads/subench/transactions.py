@@ -1,0 +1,246 @@
+"""subenchmark online transactions — the five TPC-C transactions.
+
+The online workloads are the same as TPC-C's (§IV-B1): NewOrder, Payment,
+OrderStatus, Delivery and StockLevel at the standard 45/43/4/4/4 mix, which
+makes 8% of the weight read-only (OrderStatus + StockLevel), matching
+Table II.
+
+A shared ``TpccContext`` carries the data-population parameters and a
+monotonic timestamp counter (used for o_entry_d / h_date uniqueness).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from random import Random
+
+from repro.workloads.base import TransactionProfile
+from repro.workloads.subench.loader import (
+    CUSTOMERS_PER_DISTRICT,
+    DISTRICTS_PER_WAREHOUSE,
+    ITEMS,
+    customer_last_name,
+)
+
+
+@dataclass
+class TpccContext:
+    """Run-scoped parameters shared by all subenchmark programs."""
+
+    warehouses: int = 1
+    districts: int = DISTRICTS_PER_WAREHOUSE
+    customers: int = CUSTOMERS_PER_DISTRICT
+    items: int = ITEMS
+    _clock: itertools.count = field(
+        default_factory=lambda: itertools.count(1_000_000))
+
+    def next_ts(self) -> float:
+        return float(next(self._clock))
+
+    def pick_warehouse(self, rng: Random) -> int:
+        return rng.randint(1, self.warehouses)
+
+    def pick_district(self, rng: Random) -> int:
+        return rng.randint(1, self.districts)
+
+    def pick_customer(self, rng: Random) -> int:
+        # NURand-style skew: favour a hot third of the customers
+        if rng.random() < 0.5:
+            return rng.randint(1, max(1, self.customers // 3))
+        return rng.randint(1, self.customers)
+
+    def pick_item(self, rng: Random) -> int:
+        if rng.random() < 0.5:
+            return rng.randint(1, max(1, self.items // 10))
+        return rng.randint(1, self.items)
+
+    def pick_last_name(self, rng: Random) -> str:
+        return customer_last_name(rng.randint(0, min(self.customers,
+                                                     1000) - 1))
+
+
+def new_order_body(session, rng, ctx: TpccContext):
+    """The NewOrder logic, shared with hybrid X1 (which injects a real-time
+    query before item selection)."""
+    w_id = ctx.pick_warehouse(rng)
+    d_id = ctx.pick_district(rng)
+    c_id = ctx.pick_customer(rng)
+    ol_cnt = rng.randint(5, 15)
+
+    session.execute("SELECT w_tax FROM warehouse WHERE w_id = ?", (w_id,))
+    district = session.execute(
+        "SELECT d_tax, d_next_o_id FROM district "
+        "WHERE d_w_id = ? AND d_id = ? FOR UPDATE", (w_id, d_id)).first()
+    o_id = district[1]
+    session.execute(
+        "UPDATE district SET d_next_o_id = ? WHERE d_w_id = ? AND d_id = ?",
+        (o_id + 1, w_id, d_id))
+    session.execute(
+        "SELECT c_discount, c_last, c_credit FROM customer "
+        "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?", (w_id, d_id, c_id))
+    entry_d = ctx.next_ts()
+    session.execute(
+        "INSERT INTO orders (o_id, o_d_id, o_w_id, o_c_id, o_entry_d, "
+        "o_carrier_id, o_ol_cnt, o_all_local) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+        (o_id, d_id, w_id, c_id, entry_d, None, ol_cnt, 1))
+    session.execute(
+        "INSERT INTO new_order (no_o_id, no_d_id, no_w_id) VALUES (?, ?, ?)",
+        (o_id, d_id, w_id))
+    for ol_number in range(1, ol_cnt + 1):
+        i_id = ctx.pick_item(rng)
+        price = session.execute(
+            "SELECT i_price, i_name, i_data FROM item WHERE i_id = ?",
+            (i_id,)).first()[0]
+        stock = session.execute(
+            "SELECT s_quantity, s_ytd, s_order_cnt FROM stock "
+            "WHERE s_w_id = ? AND s_i_id = ?", (w_id, i_id)).first()
+        quantity = rng.randint(1, 10)
+        new_quantity = stock[0] - quantity
+        if new_quantity < 10:
+            new_quantity += 91
+        session.execute(
+            "UPDATE stock SET s_quantity = ?, s_ytd = ?, s_order_cnt = ? "
+            "WHERE s_w_id = ? AND s_i_id = ?",
+            (new_quantity, stock[1] + quantity, stock[2] + 1, w_id, i_id))
+        session.execute(
+            "INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, ol_number, "
+            "ol_i_id, ol_supply_w_id, ol_delivery_d, ol_quantity, ol_amount, "
+            "ol_dist_info) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (o_id, d_id, w_id, ol_number, i_id, w_id, None, quantity,
+             round(price * quantity, 2), f"dist_{d_id:02d}_{i_id:06d}"[:24]))
+
+
+def payment_body(session, rng, ctx: TpccContext):
+    """The Payment logic, shared with hybrid X2."""
+    w_id = ctx.pick_warehouse(rng)
+    d_id = ctx.pick_district(rng)
+    amount = round(rng.uniform(1.0, 5000.0), 2)
+    session.execute(
+        "UPDATE warehouse SET w_ytd = w_ytd + ? WHERE w_id = ?",
+        (amount, w_id))
+    session.execute(
+        "UPDATE district SET d_ytd = d_ytd + ? WHERE d_w_id = ? AND d_id = ?",
+        (amount, w_id, d_id))
+    if rng.random() < 0.6:
+        last = ctx.pick_last_name(rng)
+        rows = session.execute(
+            "SELECT c_id FROM customer WHERE c_w_id = ? AND c_d_id = ? "
+            "AND c_last = ? ORDER BY c_first", (w_id, d_id, last)).rows
+        if rows:
+            c_id = rows[len(rows) // 2][0]
+        else:
+            c_id = ctx.pick_customer(rng)
+    else:
+        c_id = ctx.pick_customer(rng)
+    customer = session.execute(
+        "SELECT c_balance, c_ytd_payment, c_payment_cnt FROM customer "
+        "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+        (w_id, d_id, c_id)).first()
+    session.execute(
+        "UPDATE customer SET c_balance = ?, c_ytd_payment = ?, "
+        "c_payment_cnt = ? WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+        (customer[0] - amount, customer[1] + amount, customer[2] + 1,
+         w_id, d_id, c_id))
+    session.execute(
+        "INSERT INTO history (h_c_id, h_c_d_id, h_c_w_id, h_d_id, h_w_id, "
+        "h_date, h_amount, h_data) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+        (c_id, d_id, w_id, d_id, w_id, ctx.next_ts(), amount,
+         f"wh{w_id}dist{d_id}"))
+
+
+def order_status_body(session, rng, ctx: TpccContext):
+    """The OrderStatus logic, shared with hybrid X3 (read-only)."""
+    w_id = ctx.pick_warehouse(rng)
+    d_id = ctx.pick_district(rng)
+    if rng.random() < 0.6:
+        last = ctx.pick_last_name(rng)
+        rows = session.execute(
+            "SELECT c_id, c_balance FROM customer WHERE c_w_id = ? "
+            "AND c_d_id = ? AND c_last = ? ORDER BY c_first",
+            (w_id, d_id, last)).rows
+        c_id = rows[len(rows) // 2][0] if rows else ctx.pick_customer(rng)
+    else:
+        c_id = ctx.pick_customer(rng)
+        session.execute(
+            "SELECT c_balance, c_first, c_last FROM customer "
+            "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+            (w_id, d_id, c_id))
+    order = session.execute(
+        "SELECT o_id, o_entry_d, o_carrier_id FROM orders "
+        "WHERE o_w_id = ? AND o_d_id = ? AND o_c_id = ? "
+        "ORDER BY o_id DESC LIMIT 1", (w_id, d_id, c_id)).first()
+    if order is not None:
+        session.execute(
+            "SELECT ol_i_id, ol_quantity, ol_amount, ol_delivery_d "
+            "FROM order_line WHERE ol_w_id = ? AND ol_d_id = ? "
+            "AND ol_o_id = ?", (w_id, d_id, order[0]))
+
+
+def delivery_body(session, rng, ctx: TpccContext):
+    """The Delivery logic (one carrier delivering the oldest undelivered
+    order in every district of one warehouse)."""
+    w_id = ctx.pick_warehouse(rng)
+    carrier = rng.randint(1, 10)
+    delivery_d = ctx.next_ts()
+    for d_id in range(1, ctx.districts + 1):
+        oldest = session.execute(
+            "SELECT MIN(no_o_id) FROM new_order "
+            "WHERE no_w_id = ? AND no_d_id = ?", (w_id, d_id)).scalar()
+        if oldest is None:
+            continue
+        session.execute(
+            "DELETE FROM new_order WHERE no_w_id = ? AND no_d_id = ? "
+            "AND no_o_id = ?", (w_id, d_id, oldest))
+        c_id = session.execute(
+            "SELECT o_c_id FROM orders WHERE o_w_id = ? AND o_d_id = ? "
+            "AND o_id = ?", (w_id, d_id, oldest)).scalar()
+        session.execute(
+            "UPDATE orders SET o_carrier_id = ? WHERE o_w_id = ? "
+            "AND o_d_id = ? AND o_id = ?", (carrier, w_id, d_id, oldest))
+        session.execute(
+            "UPDATE order_line SET ol_delivery_d = ? WHERE ol_w_id = ? "
+            "AND ol_d_id = ? AND ol_o_id = ?",
+            (delivery_d, w_id, d_id, oldest))
+        amount = session.execute(
+            "SELECT SUM(ol_amount) FROM order_line WHERE ol_w_id = ? "
+            "AND ol_d_id = ? AND ol_o_id = ?", (w_id, d_id, oldest)).scalar()
+        if c_id is not None and amount is not None:
+            session.execute(
+                "UPDATE customer SET c_balance = c_balance + ?, "
+                "c_delivery_cnt = c_delivery_cnt + 1 "
+                "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+                (amount, w_id, d_id, c_id))
+
+
+def stock_level_body(session, rng, ctx: TpccContext):
+    """The StockLevel logic, shared with hybrid X4 (read-only)."""
+    w_id = ctx.pick_warehouse(rng)
+    d_id = ctx.pick_district(rng)
+    threshold = rng.randint(10, 20)
+    next_o_id = session.execute(
+        "SELECT d_next_o_id FROM district WHERE d_w_id = ? AND d_id = ?",
+        (w_id, d_id)).scalar()
+    session.execute(
+        "SELECT COUNT(DISTINCT s.s_i_id) FROM order_line ol "
+        "JOIN stock s ON s.s_i_id = ol.ol_i_id AND s.s_w_id = ol.ol_w_id "
+        "WHERE ol.ol_w_id = ? AND ol.ol_d_id = ? AND ol.ol_o_id >= ? "
+        "AND ol.ol_o_id < ? AND s.s_quantity < ?",
+        (w_id, d_id, next_o_id - 20, next_o_id, threshold))
+
+
+def make_transactions(ctx: TpccContext) -> list[TransactionProfile]:
+    return [
+        TransactionProfile(
+            "NewOrder", lambda s, r: new_order_body(s, r, ctx), weight=0.45),
+        TransactionProfile(
+            "Payment", lambda s, r: payment_body(s, r, ctx), weight=0.43),
+        TransactionProfile(
+            "OrderStatus", lambda s, r: order_status_body(s, r, ctx),
+            weight=0.04, read_only=True),
+        TransactionProfile(
+            "Delivery", lambda s, r: delivery_body(s, r, ctx), weight=0.04),
+        TransactionProfile(
+            "StockLevel", lambda s, r: stock_level_body(s, r, ctx),
+            weight=0.04, read_only=True),
+    ]

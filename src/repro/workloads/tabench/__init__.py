@@ -1,0 +1,50 @@
+"""tabenchmark — the telecom domain-specific benchmark (TATP-derived)."""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.db import Database
+from repro.workloads.base import TransactionProfile, Workload
+from repro.workloads.tabench import loader, schema
+from repro.workloads.tabench.hybrid import make_hybrids
+from repro.workloads.tabench.queries import make_queries
+from repro.workloads.tabench.transactions import make_transactions
+
+
+class Tabenchmark(Workload):
+    """Telecom HLR scenario: 4 tables, 51 columns, 5 indexes; 7 OLTP
+    transactions (80% read-only), 5 analytical queries, 6 hybrid
+    transactions (40% read-only) — Table II's tabenchmark row.  SUBSCRIBER
+    carries the composite (s_id, sf_type) primary key."""
+
+    name = "tabenchmark"
+    domain = "telecom"
+
+    def __init__(self, scale: float = 1.0, composite_pk: bool = True):
+        self._n_subscribers = loader.subscriber_count(scale)
+        self.composite_pk = composite_pk
+
+    @property
+    def n_subscribers(self) -> int:
+        return self._n_subscribers
+
+    def schema_script(self, with_foreign_keys: bool = False) -> str:
+        return schema.schema_script(with_foreign_keys,
+                                    composite_pk=self.composite_pk)
+
+    def load(self, db: Database, rng: Random, scale: float = 1.0):
+        self._n_subscribers = loader.subscriber_count(scale)
+        return loader.load(db, rng, scale)
+
+    def oltp_transactions(self) -> list[TransactionProfile]:
+        return make_transactions(self._n_subscribers)
+
+    def analytical_queries(self) -> list[TransactionProfile]:
+        return make_queries(self._n_subscribers)
+
+    def hybrid_transactions(self) -> list[TransactionProfile]:
+        return make_hybrids(self._n_subscribers)
+
+
+__all__ = ["Tabenchmark"]

@@ -1,0 +1,117 @@
+"""tabenchmark hybrid transactions — real-time activities on mobile users.
+
+Six hybrid transactions, 40% read-only by weight (Table II).  X6 is the
+paper's named Fuzzy Search Transaction: it queries all information about a
+subscriber, selecting subscriber ids whose user data matches a fuzzy
+(substring) search criterion — the real-time query here is not just an
+aggregation but a LIKE scan.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import TransactionProfile
+from repro.workloads.tabench.loader import CF_START_TIMES, sub_nbr_of
+
+
+def make_hybrids(n_subscribers: int) -> list[TransactionProfile]:
+
+    def x1_profile_with_network_average(session, rng):
+        """Read-only: subscriber profile plus live network-location average."""
+        s_id = rng.randint(1, n_subscribers)
+        session.execute("SELECT * FROM subscriber WHERE s_id = ?", (s_id,))
+        with session.realtime_query():
+            session.execute(
+                "SELECT AVG(vlr_location), AVG(msc_location) FROM subscriber")
+
+    def x2_destination_with_active_count(session, rng):
+        """Read-only: destination lookup plus live active-facility count."""
+        s_id = rng.randint(1, n_subscribers)
+        sf_type = rng.randint(1, 4)
+        session.execute(
+            "SELECT cf.numberx FROM special_facility sf "
+            "JOIN call_forwarding cf "
+            "ON sf.s_id = cf.s_id AND sf.sf_type = cf.sf_type "
+            "WHERE sf.s_id = ? AND sf.sf_type = ? AND sf.is_active = 1",
+            (s_id, sf_type))
+        with session.realtime_query():
+            session.execute(
+                "SELECT COUNT(*) FROM special_facility WHERE is_active = 1")
+
+    def x3_relocation_with_load_forecast(session, rng):
+        """UpdateLocation consulting the live start-time average first."""
+        sub_nbr = sub_nbr_of(rng.randint(1, n_subscribers))
+        s_id = session.execute(
+            "SELECT s_id FROM subscriber WHERE sub_nbr = ?",
+            (sub_nbr,)).scalar()
+        with session.realtime_query():
+            session.execute(
+                "SELECT AVG(start_time), COUNT(*) FROM call_forwarding")
+        if s_id is not None:
+            session.execute(
+                "UPDATE subscriber SET vlr_location = ? WHERE s_id = ?",
+                (rng.randint(1, 2 ** 20), s_id))
+
+    def x4_forwarding_with_rule_budget(session, rng):
+        """Insert a forwarding rule after checking the live rule volume."""
+        s_id = rng.randint(1, n_subscribers)
+        sf_rows = session.execute(
+            "SELECT sf_type FROM special_facility WHERE s_id = ?",
+            (s_id,)).rows
+        with session.realtime_query():
+            total_rules = session.execute(
+                "SELECT COUNT(*) FROM call_forwarding").scalar()
+        if not sf_rows or (total_rules or 0) > 10 * n_subscribers:
+            return
+        sf_type = rng.choice(sf_rows)[0]
+        start_time = rng.choice(CF_START_TIMES)
+        exists = session.execute(
+            "SELECT COUNT(*) FROM call_forwarding "
+            "WHERE s_id = ? AND sf_type = ? AND start_time = ?",
+            (s_id, sf_type, start_time)).scalar()
+        if not exists:
+            session.execute(
+                "INSERT INTO call_forwarding "
+                "(s_id, sf_type, start_time, end_time, numberx) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (s_id, sf_type, start_time, start_time + rng.randint(1, 8),
+                 sub_nbr_of(rng.randint(1, n_subscribers))))
+
+    def x5_maintenance_with_error_audit(session, rng):
+        """Facility-data update gated on a live error-control aggregate."""
+        s_id = rng.randint(1, n_subscribers)
+        sf_type = rng.randint(1, 4)
+        with session.realtime_query():
+            session.execute(
+                "SELECT AVG(error_cntrl), MAX(error_cntrl) "
+                "FROM special_facility")
+        session.execute(
+            "UPDATE special_facility SET data_a = ? "
+            "WHERE s_id = ? AND sf_type = ?",
+            (rng.randint(0, 255), s_id, sf_type))
+
+    def x6_fuzzy_search(session, rng):
+        """Fuzzy Search Transaction (paper's X6): all subscriber info, with
+        a real-time substring search over user data."""
+        s_id = rng.randint(1, n_subscribers)
+        session.execute("SELECT * FROM subscriber WHERE s_id = ?", (s_id,))
+        fragment = sub_nbr_of(s_id)[-4:]
+        with session.realtime_query():
+            session.execute(
+                "SELECT s_id, sub_nbr FROM subscriber "
+                "WHERE sub_nbr LIKE ? LIMIT 50",
+                (f"%{fragment}%",))
+
+    return [
+        TransactionProfile("X1", x1_profile_with_network_average,
+                           weight=0.15, read_only=True, kind="hybrid"),
+        TransactionProfile("X2", x2_destination_with_active_count,
+                           weight=0.15, read_only=True, kind="hybrid"),
+        TransactionProfile("X3", x3_relocation_with_load_forecast,
+                           weight=0.20, kind="hybrid"),
+        TransactionProfile("X4", x4_forwarding_with_rule_budget,
+                           weight=0.20, kind="hybrid"),
+        TransactionProfile("X5", x5_maintenance_with_error_audit,
+                           weight=0.20, kind="hybrid"),
+        TransactionProfile("X6", x6_fuzzy_search, weight=0.10,
+                           read_only=True, kind="hybrid"),
+    ]

@@ -1,0 +1,77 @@
+"""tabenchmark data loader (TATP population rules, scaled down).
+
+Per subscriber: 1 SUBSCRIBER row, 1..4 ACCESS_INFO rows, 1..4
+SPECIAL_FACILITY rows, and 0..3 CALL_FORWARDING rows per special facility —
+the standard TATP ratios.  ``sub_nbr`` is the zero-padded subscriber id, as
+in TATP, which is what makes the fuzzy-search hybrid transaction (LIKE on a
+substring) meaningful.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.db import Database
+
+DEFAULT_SUBSCRIBERS = 20_000
+CF_START_TIMES = (0, 8, 16)
+
+
+def subscriber_count(scale: float = 1.0) -> int:
+    return max(200, int(DEFAULT_SUBSCRIBERS * scale))
+
+
+def sub_nbr_of(s_id: int) -> str:
+    return f"{s_id:015d}"
+
+
+def load(db: Database, rng: Random, scale: float = 1.0) -> dict:
+    n = subscriber_count(scale)
+    subscribers = []
+    access_info = []
+    special_facility = []
+    call_forwarding = []
+    for s_id in range(1, n + 1):
+        sf_types = rng.sample((1, 2, 3, 4), rng.randint(1, 4))
+        # the composite PK means one subscriber row per (s_id, primary
+        # sf_type); the remaining facility detail lives in SPECIAL_FACILITY
+        subscribers.append((
+            s_id, sf_types[0], sub_nbr_of(s_id),
+            *(rng.randint(0, 1) for _ in range(9)),      # bit_1..bit_9
+            *(rng.randint(0, 15) for _ in range(10)),    # hex_1..hex_10
+            *(rng.randint(0, 255) for _ in range(10)),   # byte2_1..byte2_10
+            rng.randint(1, 2 ** 20),                     # msc_location
+            rng.randint(1, 2 ** 20),                     # vlr_location
+        ))
+        for ai_type in rng.sample((1, 2, 3, 4), rng.randint(1, 4)):
+            access_info.append((
+                s_id, ai_type, rng.randint(0, 255), rng.randint(0, 255),
+                "".join(rng.choice("ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+                        for _ in range(3)),
+                "".join(rng.choice("ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+                        for _ in range(5)),
+            ))
+        for sf_type in sf_types:
+            special_facility.append((
+                s_id, sf_type,
+                1 if rng.random() < 0.85 else 0,
+                rng.randint(0, 255), rng.randint(0, 255),
+                "".join(rng.choice("ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+                        for _ in range(5)),
+            ))
+            for start_time in rng.sample(CF_START_TIMES, rng.randint(0, 3)):
+                call_forwarding.append((
+                    s_id, sf_type, start_time,
+                    start_time + rng.randint(1, 8),
+                    sub_nbr_of(rng.randint(1, n)),
+                ))
+    db.bulk_load("subscriber", subscribers)
+    db.bulk_load("access_info", access_info)
+    db.bulk_load("special_facility", special_facility)
+    db.bulk_load("call_forwarding", call_forwarding)
+    return {
+        "subscriber": len(subscribers),
+        "access_info": len(access_info),
+        "special_facility": len(special_facility),
+        "call_forwarding": len(call_forwarding),
+    }

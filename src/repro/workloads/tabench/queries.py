@@ -1,0 +1,69 @@
+"""tabenchmark analytical queries — real-time mobile-user behaviour analysis.
+
+Five queries (Table II).  Beyond the fibenchmark operator mix, these also
+include arithmetic operations (§IV-B3); Q3 is the paper's named example,
+the Start Time Query: the average start time of call forwarding, an input
+to load forecasting.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import TransactionProfile
+
+
+def make_queries(n_subscribers: int) -> list[TransactionProfile]:
+
+    def q1_location_density(session, rng):
+        """Arithmetic + GROUP BY: subscriber density per VLR region."""
+        session.execute(
+            "SELECT ROUND(vlr_location / 65536) AS region, COUNT(*) AS subs, "
+            "AVG(msc_location) AS avg_msc "
+            "FROM subscriber GROUP BY ROUND(vlr_location / 65536) "
+            "ORDER BY subs DESC LIMIT 20")
+
+    def q2_access_profile(session, rng):
+        """Access-technology mix: aggregates per ai_type."""
+        session.execute(
+            "SELECT ai_type, COUNT(*) AS n, AVG(data1) AS avg_d1, "
+            "AVG(data2) AS avg_d2 "
+            "FROM access_info GROUP BY ai_type ORDER BY ai_type")
+
+    def q3_start_time(session, rng):
+        """Start Time Query (paper's Q3): average call-forwarding start
+        time, with arithmetic normalisation to a day fraction."""
+        session.execute(
+            "SELECT AVG(start_time), AVG(start_time * 1.0 / 24), "
+            "AVG(end_time - start_time) "
+            "FROM call_forwarding")
+
+    def q4_facility_health(session, rng):
+        """Join + aggregate: active-facility ratio per facility type."""
+        session.execute(
+            "SELECT sf.sf_type, COUNT(*) AS total, SUM(sf.is_active) AS live, "
+            "AVG(sf.data_a) AS avg_a "
+            "FROM special_facility sf "
+            "JOIN subscriber s ON sf.s_id = s.s_id "
+            "GROUP BY sf.sf_type ORDER BY sf.sf_type")
+
+    def q5_forwarding_hotlist(session, rng):
+        """Multi-join + GROUP BY + ORDER BY: subscribers with the most
+        forwarding rules (churn/fraud signal)."""
+        session.execute(
+            "SELECT cf.s_id, COUNT(*) AS rules, MAX(cf.end_time) AS horizon "
+            "FROM call_forwarding cf "
+            "JOIN special_facility sf "
+            "ON cf.s_id = sf.s_id AND cf.sf_type = sf.sf_type "
+            "WHERE sf.is_active = 1 "
+            "GROUP BY cf.s_id ORDER BY rules DESC, cf.s_id LIMIT 10")
+
+    return [
+        TransactionProfile("Q1", q1_location_density, kind="olap",
+                           read_only=True),
+        TransactionProfile("Q2", q2_access_profile, kind="olap",
+                           read_only=True),
+        TransactionProfile("Q3", q3_start_time, kind="olap", read_only=True),
+        TransactionProfile("Q4", q4_facility_health, kind="olap",
+                           read_only=True),
+        TransactionProfile("Q5", q5_forwarding_hotlist, kind="olap",
+                           read_only=True),
+    ]

@@ -1,0 +1,88 @@
+"""tabenchmark schema — telecom (TATP-derived Home Location Register).
+
+Four tables, 51 columns, five secondary indexes (Table II).  Following
+§IV-B3, the SUBSCRIBER primary key is changed from ``s_id`` to the
+composite ``(s_id, sf_type)`` — composite keys being standard in real
+business scenarios — and, crucially, there is *no* index on ``sub_nbr``:
+the paper's slow query ``SELECT s_id FROM subscriber WHERE sub_nbr = ?``
+therefore full-scans on every engine (in-memory scan on MemSQL, index full
+scan with random SSD reads on TiDB).  The original single-column-key DDL is
+also provided (the paper keeps the original data definition language file
+as a choice).
+"""
+
+from __future__ import annotations
+
+
+def _subscriber(composite_pk: bool) -> str:
+    pk = "PRIMARY KEY (s_id, sf_type)" if composite_pk else \
+        "PRIMARY KEY (s_id)"
+    bits = ",\n    ".join(f"bit_{i} INT" for i in range(1, 10))
+    hexes = ",\n    ".join(f"hex_{i} INT" for i in range(1, 11))
+    bytes2 = ",\n    ".join(f"byte2_{i} INT" for i in range(1, 11))
+    return f"""
+CREATE TABLE subscriber (
+    s_id INT NOT NULL,
+    sf_type INT NOT NULL,
+    sub_nbr VARCHAR(15) NOT NULL,
+    {bits},
+    {hexes},
+    {bytes2},
+    msc_location INT,
+    vlr_location INT,
+    {pk}
+)"""
+
+
+_ACCESS_INFO = """
+CREATE TABLE access_info (
+    s_id INT NOT NULL,
+    ai_type INT NOT NULL,
+    data1 INT,
+    data2 INT,
+    data3 VARCHAR(3),
+    data4 VARCHAR(5),
+    PRIMARY KEY (s_id, ai_type){fk}
+)"""
+
+_SPECIAL_FACILITY = """
+CREATE TABLE special_facility (
+    s_id INT NOT NULL,
+    sf_type INT NOT NULL,
+    is_active INT NOT NULL,
+    error_cntrl INT,
+    data_a INT,
+    data_b VARCHAR(5),
+    PRIMARY KEY (s_id, sf_type){fk}
+)"""
+
+_CALL_FORWARDING = """
+CREATE TABLE call_forwarding (
+    s_id INT NOT NULL,
+    sf_type INT NOT NULL,
+    start_time INT NOT NULL,
+    end_time INT,
+    numberx VARCHAR(15),
+    PRIMARY KEY (s_id, sf_type, start_time){fk}
+)"""
+
+INDEXES = """
+CREATE INDEX idx_ai_type ON access_info (ai_type);
+CREATE INDEX idx_sf_active ON special_facility (is_active);
+CREATE INDEX idx_cf_start ON call_forwarding (start_time);
+CREATE INDEX idx_sub_vlr ON subscriber (vlr_location);
+CREATE INDEX idx_sub_msc ON subscriber (msc_location)
+"""
+
+
+def schema_script(with_foreign_keys: bool = False,
+                  composite_pk: bool = True) -> str:
+    fk_sub = (",\n    FOREIGN KEY (s_id) REFERENCES subscriber (s_id)"
+              if with_foreign_keys and not composite_pk else "")
+    parts = [
+        _subscriber(composite_pk),
+        _ACCESS_INFO.format(fk=fk_sub),
+        _SPECIAL_FACILITY.format(fk=fk_sub),
+        _CALL_FORWARDING.format(fk=""),
+    ]
+    return ";".join(parts) + ";" + INDEXES

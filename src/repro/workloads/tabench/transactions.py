@@ -1,0 +1,133 @@
+"""tabenchmark online transactions — the seven TATP HLR transactions.
+
+All of TATP's transactions are kept (§IV-B3), at TATP's standard mix: 80%
+of the weight is read-only (GetSubscriberData 35%, GetNewDestination 10%,
+GetAccessData 35%), matching Table II.
+
+The paper's composite-primary-key change bites here: transactions keyed by
+``sub_nbr`` (UpdateLocation, Insert/DeleteCallForwarding) must run
+``SELECT s_id FROM subscriber WHERE sub_nbr = ?`` — a predicate on a
+non-key, non-indexed column — which full-scans SUBSCRIBER.  That statement
+is the slow query §VI-C blames for tabenchmark's low throughput on both
+DBMSs.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.workloads.base import TransactionProfile
+from repro.workloads.tabench.loader import CF_START_TIMES, sub_nbr_of
+
+
+def _pick_sid(rng: Random, n_subscribers: int) -> int:
+    return rng.randint(1, n_subscribers)
+
+
+def make_transactions(n_subscribers: int) -> list[TransactionProfile]:
+
+    def get_subscriber_data(session, rng):
+        """Read the full subscriber record (PK-prefix lookup on s_id)."""
+        s_id = _pick_sid(rng, n_subscribers)
+        session.execute("SELECT * FROM subscriber WHERE s_id = ?", (s_id,))
+
+    def get_new_destination(session, rng):
+        """Current forwarding target of an active special facility."""
+        s_id = _pick_sid(rng, n_subscribers)
+        sf_type = rng.randint(1, 4)
+        start_time = rng.choice(CF_START_TIMES)
+        end_time = start_time + rng.randint(1, 8)
+        session.execute(
+            "SELECT cf.numberx FROM special_facility sf "
+            "JOIN call_forwarding cf "
+            "ON sf.s_id = cf.s_id AND sf.sf_type = cf.sf_type "
+            "WHERE sf.s_id = ? AND sf.sf_type = ? AND sf.is_active = 1 "
+            "AND cf.start_time <= ? AND cf.end_time > ?",
+            (s_id, sf_type, start_time, end_time))
+
+    def get_access_data(session, rng):
+        s_id = _pick_sid(rng, n_subscribers)
+        ai_type = rng.randint(1, 4)
+        session.execute(
+            "SELECT data1, data2, data3, data4 FROM access_info "
+            "WHERE s_id = ? AND ai_type = ?", (s_id, ai_type))
+
+    def update_subscriber_data(session, rng):
+        s_id = _pick_sid(rng, n_subscribers)
+        sf_type = rng.randint(1, 4)
+        session.execute(
+            "UPDATE subscriber SET bit_1 = ? WHERE s_id = ?",
+            (rng.randint(0, 1), s_id))
+        session.execute(
+            "UPDATE special_facility SET data_a = ? "
+            "WHERE s_id = ? AND sf_type = ?",
+            (rng.randint(0, 255), s_id, sf_type))
+
+    def update_location(session, rng):
+        """THE slow query: locate the subscriber by sub_nbr (full scan)."""
+        sub_nbr = sub_nbr_of(_pick_sid(rng, n_subscribers))
+        result = session.execute(
+            "SELECT s_id FROM subscriber WHERE sub_nbr = ?", (sub_nbr,))
+        s_id = result.scalar()
+        if s_id is not None:
+            session.execute(
+                "UPDATE subscriber SET vlr_location = ? WHERE s_id = ?",
+                (rng.randint(1, 2 ** 20), s_id))
+
+    def insert_call_forwarding(session, rng):
+        sub_nbr = sub_nbr_of(_pick_sid(rng, n_subscribers))
+        result = session.execute(
+            "SELECT s_id FROM subscriber WHERE sub_nbr = ?", (sub_nbr,))
+        s_id = result.scalar()
+        if s_id is None:
+            return
+        sf_rows = session.execute(
+            "SELECT sf_type FROM special_facility WHERE s_id = ?",
+            (s_id,)).rows
+        if not sf_rows:
+            return
+        sf_type = rng.choice(sf_rows)[0]
+        start_time = rng.choice(CF_START_TIMES)
+        existing = session.execute(
+            "SELECT COUNT(*) FROM call_forwarding "
+            "WHERE s_id = ? AND sf_type = ? AND start_time = ?",
+            (s_id, sf_type, start_time)).scalar()
+        if not existing:
+            session.execute(
+                "INSERT INTO call_forwarding "
+                "(s_id, sf_type, start_time, end_time, numberx) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (s_id, sf_type, start_time,
+                 start_time + rng.randint(1, 8),
+                 sub_nbr_of(rng.randint(1, n_subscribers))))
+
+    def delete_call_forwarding(session, rng):
+        """Named by the paper as the >1s slow-query transaction."""
+        sub_nbr = sub_nbr_of(_pick_sid(rng, n_subscribers))
+        result = session.execute(
+            "SELECT s_id FROM subscriber WHERE sub_nbr = ?", (sub_nbr,))
+        s_id = result.scalar()
+        if s_id is None:
+            return
+        sf_type = rng.randint(1, 4)
+        start_time = rng.choice(CF_START_TIMES)
+        session.execute(
+            "DELETE FROM call_forwarding "
+            "WHERE s_id = ? AND sf_type = ? AND start_time = ?",
+            (s_id, sf_type, start_time))
+
+    return [
+        TransactionProfile("GetSubscriberData", get_subscriber_data,
+                           weight=0.35, read_only=True),
+        TransactionProfile("GetNewDestination", get_new_destination,
+                           weight=0.10, read_only=True),
+        TransactionProfile("GetAccessData", get_access_data,
+                           weight=0.35, read_only=True),
+        TransactionProfile("UpdateSubscriberData", update_subscriber_data,
+                           weight=0.02),
+        TransactionProfile("UpdateLocation", update_location, weight=0.14),
+        TransactionProfile("InsertCallForwarding", insert_call_forwarding,
+                           weight=0.02),
+        TransactionProfile("DeleteCallForwarding", delete_call_forwarding,
+                           weight=0.02),
+    ]

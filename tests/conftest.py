@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.db import Database
+
+
+@pytest.fixture
+def db() -> Database:
+    """Empty database with a columnar replica."""
+    return Database(with_columnar=True)
+
+
+@pytest.fixture
+def orders_db() -> Database:
+    """Small two-table database used across SQL tests."""
+    database = Database(with_columnar=True)
+    database.run_script("""
+    CREATE TABLE item (
+        i_id INT NOT NULL, i_name VARCHAR(24), i_price DECIMAL(5, 2),
+        PRIMARY KEY (i_id)
+    );
+    CREATE TABLE orders (
+        o_id INT NOT NULL, o_c_id INT, o_total DECIMAL(8, 2),
+        PRIMARY KEY (o_id)
+    );
+    CREATE INDEX idx_orders_cust ON orders (o_c_id)
+    """)
+    with database.connect() as conn:
+        conn.begin()
+        for i in range(20):
+            conn.execute(
+                "INSERT INTO item (i_id, i_name, i_price) VALUES (?, ?, ?)",
+                (i, f"item{i}", float(i) + 0.5))
+            conn.execute(
+                "INSERT INTO orders (o_id, o_c_id, o_total) VALUES (?, ?, ?)",
+                (i, i % 4, 10.0 * i))
+        conn.commit()
+    database.replicate()
+    return database
+
+
+@pytest.fixture
+def rng() -> Random:
+    return Random(1234)

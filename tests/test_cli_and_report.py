@@ -1,0 +1,102 @@
+"""CLI and report rendering."""
+
+import pytest
+
+from repro.cli import main
+from repro.core import BenchConfig, OLxPBench
+from repro.core.report import (
+    render_csv,
+    render_markdown,
+    render_text,
+    write_report,
+)
+from repro.engines import TiDBCluster
+from repro.workloads import make_workload
+
+
+@pytest.fixture(scope="module")
+def report():
+    engine = TiDBCluster(nodes=4)
+    bench = OLxPBench(engine, make_workload("fibenchmark"), scale=0.02,
+                      seed=3)
+    return bench.run(BenchConfig(workload="fibenchmark", oltp_rate=200,
+                                 olap_rate=2, duration_ms=500,
+                                 warmup_ms=100))
+
+
+class TestReport:
+    def test_text_contains_classes_and_percentiles(self, report):
+        text = render_text(report, per_transaction=True)
+        assert "oltp" in text and "olap" in text
+        assert "p95" in text
+        assert "utilisation" in text
+
+    def test_markdown_table_shape(self, report):
+        md = render_markdown(report)
+        lines = md.splitlines()
+        assert lines[0].startswith("| class |")
+        assert len(lines) == 2 + len(report.classes)
+        assert all(line.startswith("|") for line in lines)
+
+    def test_csv_row_per_class(self, report):
+        csv_text = render_csv([report, report])
+        rows = [line for line in csv_text.strip().splitlines() if line]
+        assert len(rows) == 1 + 2 * len(report.classes)
+        assert rows[0].startswith("workload,engine,mode")
+        assert "p99.9" in rows[0]
+
+    def test_write_report(self, report, tmp_path):
+        path = tmp_path / "stats.txt"
+        write_report(report, str(path))
+        content = path.read_text()
+        assert "tput" in content
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "subenchmark" in out and "tidb" in out
+
+    def test_inspect(self, capsys):
+        assert main(["inspect", "fibenchmark"]) == 0
+        out = capsys.readouterr().out
+        assert "hybrid transactions: X1" in out
+        assert "tables" in out
+
+    def test_run_with_flags(self, capsys):
+        code = main([
+            "run", "--workload", "fibenchmark", "--engine", "memsql",
+            "--oltp-rate", "100", "--duration-ms", "300",
+            "--warmup-ms", "50", "--scale", "0.02",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "oltp" in out
+
+    def test_run_with_xml_config(self, capsys, tmp_path):
+        config = tmp_path / "config.xml"
+        config.write_text("""
+        <olxpbench>
+          <workload>fibenchmark</workload>
+          <rates oltp="100" olap="0" hybrid="0"/>
+          <run duration_ms="300" warmup_ms="50"/>
+          <data scale="0.02" seed="5"/>
+        </olxpbench>
+        """)
+        code = main(["run", "--config", str(config), "--engine", "tidb",
+                     "--markdown"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.lstrip().startswith("| class |")
+
+    def test_run_writes_out_file(self, tmp_path, capsys):
+        out_path = tmp_path / "report.txt"
+        code = main([
+            "run", "--workload", "fibenchmark", "--oltp-rate", "50",
+            "--duration-ms", "300", "--warmup-ms", "50",
+            "--scale", "0.02", "--out", str(out_path),
+        ])
+        assert code == 0
+        assert out_path.exists()
+        assert "tput" in out_path.read_text()

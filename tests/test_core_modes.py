@@ -1,0 +1,94 @@
+"""Agent combination modes and loop semantics (§IV-C details)."""
+
+import pytest
+
+from repro.core import BenchConfig, OLxPBench
+from repro.core.runner import OLxPBench as Runner
+from repro.engines import TiDBCluster
+from repro.workloads import make_workload
+
+
+@pytest.fixture(scope="module")
+def bench():
+    engine = TiDBCluster(nodes=4)
+    return OLxPBench(engine, make_workload("fibenchmark"), scale=0.02,
+                     seed=8)
+
+
+class TestHybridMode:
+    def test_hybrid_rate_defaults_from_oltp_rate(self, bench):
+        """mode=hybrid with only an OLTP rate set reuses it for hybrids."""
+        report = bench.run(BenchConfig(
+            workload="fibenchmark", mode="hybrid", oltp_rate=20,
+            hybrid_rate=0, duration_ms=500, warmup_ms=100))
+        assert report.metrics("hybrid").attempted > 0
+        assert "oltp" not in report.classes
+
+    def test_hybrid_plus_background_oltp(self, bench):
+        report = bench.run(BenchConfig(
+            workload="fibenchmark", mode="hybrid", hybrid_rate=10,
+            oltp_rate=100, duration_ms=500, warmup_ms=100))
+        assert report.metrics("hybrid").attempted > 0
+        assert report.metrics("oltp").attempted > 0
+
+    def test_hybrid_latency_includes_realtime_query(self, bench):
+        hybrid = bench.run(BenchConfig(
+            workload="fibenchmark", mode="hybrid", hybrid_rate=10,
+            oltp_rate=0, duration_ms=800, warmup_ms=100))
+        oltp = bench.run(BenchConfig(
+            workload="fibenchmark", oltp_rate=10,
+            duration_ms=800, warmup_ms=100))
+        assert hybrid.latency("hybrid").mean > oltp.latency("oltp").mean
+
+
+class TestSequentialMode:
+    def test_pattern_proportional_to_rates(self):
+        pattern = Runner._sequential_pattern({"oltp": 3.0, "olap": 1.0})
+        assert pattern.count("oltp") == 3
+        assert pattern.count("olap") == 1
+
+    def test_sequential_never_overlaps(self, bench):
+        """One closed-loop thread: completions never outnumber arrivals+1
+        in flight — equivalently, attempted counts stay serial."""
+        report = bench.run(BenchConfig(
+            workload="fibenchmark", mode="sequential", oltp_rate=3,
+            olap_rate=1, duration_ms=500, warmup_ms=0))
+        total = sum(m.attempted for m in report.classes.values())
+        # a single serial thread at ~ms latencies cannot exceed the window
+        max_possible = 500 / 1.0
+        assert 0 < total < max_possible
+
+
+class TestClosedLoop:
+    def test_think_time_reduces_throughput(self, bench):
+        fast = bench.run(BenchConfig(
+            workload="fibenchmark", loop="closed", closed_threads=2,
+            oltp_rate=1, think_time_ms=0, duration_ms=500, warmup_ms=0))
+        slow = bench.run(BenchConfig(
+            workload="fibenchmark", loop="closed", closed_threads=2,
+            oltp_rate=1, think_time_ms=20, duration_ms=500, warmup_ms=0))
+        assert slow.metrics("oltp").attempted < fast.metrics("oltp").attempted
+
+    def test_more_threads_more_throughput(self, bench):
+        one = bench.run(BenchConfig(
+            workload="fibenchmark", loop="closed", closed_threads=1,
+            oltp_rate=1, duration_ms=500, warmup_ms=0))
+        eight = bench.run(BenchConfig(
+            workload="fibenchmark", loop="closed", closed_threads=8,
+            oltp_rate=1, duration_ms=500, warmup_ms=0))
+        assert eight.metrics("oltp").attempted > \
+            2 * one.metrics("oltp").attempted
+
+
+class TestOpenLoopExactness:
+    """The paper's open-loop generator sends at the precise request rate
+    without waiting for responses."""
+
+    @pytest.mark.parametrize("rate", [50, 250, 1000])
+    def test_attempted_matches_rate(self, bench, rate):
+        report = bench.run(BenchConfig(
+            workload="fibenchmark", oltp_rate=rate, duration_ms=1000,
+            warmup_ms=0))
+        expected = rate  # 1 second of arrivals
+        assert report.metrics("oltp").attempted == pytest.approx(
+            expected, rel=0.02)

@@ -1,0 +1,189 @@
+"""Runner: sessions, load generation, agent modes, measurement windows."""
+
+import pytest
+
+from repro.core import BenchConfig, OLxPBench, Session, run_transaction
+from repro.core.runner import open_loop_arrivals
+from repro.db import Database
+from repro.engines import MemSQLCluster, TiDBCluster
+from repro.errors import ConfigError
+from repro.workloads.fibench import Fibenchmark
+
+
+class TestSession:
+    @pytest.fixture
+    def conn(self):
+        db = Database()
+        db.run_script("CREATE TABLE t (a INT PRIMARY KEY, b INT)")
+        db.query("INSERT INTO t (a, b) VALUES (1, 10), (2, 20)")
+        return db.connect()
+
+    def test_stats_accumulate_per_statement(self, conn):
+        conn.begin()
+        session = Session(conn)
+        session.execute("SELECT b FROM t WHERE a = ?", (1,))
+        session.execute("SELECT COUNT(*) FROM t")
+        conn.commit()
+        assert session._n_statements == 2
+        assert session._stats.pk_lookups == 1
+        assert session._stats.full_scans["t"] == 1
+
+    def test_realtime_section_separated(self, conn):
+        conn.begin()
+        session = Session(conn)
+        session.execute("SELECT b FROM t WHERE a = ?", (1,))
+        with session.realtime_query():
+            session.execute("SELECT SUM(b) FROM t")
+        conn.commit()
+        assert session._n_statements == 1
+        assert session._n_realtime_statements == 1
+        assert session._realtime_stats.full_scans["t"] == 1
+        assert not session._stats.full_scans
+
+    def test_realtime_sections_cannot_nest(self, conn):
+        conn.begin()
+        session = Session(conn)
+        with session.realtime_query():
+            with pytest.raises(RuntimeError):
+                with session.realtime_query():
+                    pass
+        conn.rollback()
+
+    def test_run_transaction_collects_write_keys(self, conn):
+        def program(session, rng):
+            session.execute("UPDATE t SET b = b + 1 WHERE a = 1")
+
+        work = run_transaction(conn, "oltp", "bump", program, rng=None)
+        assert work.write_keys == frozenset({("T", (1,))})
+        assert work.n_statements == 1
+        assert not work.aborted
+
+    def test_run_transaction_rolls_back_on_error(self, conn):
+        def bad_program(session, rng):
+            session.execute("UPDATE t SET b = b + 1 WHERE a = 1")
+            raise ValueError("app bug")
+
+        with pytest.raises(ValueError):
+            run_transaction(conn, "oltp", "bad", bad_program, rng=None)
+        assert not conn.in_transaction
+        assert conn.db.query("SELECT b FROM t WHERE a = 1").scalar() == 10
+
+
+class TestArrivals:
+    def test_rate_and_spacing(self):
+        arrivals = open_loop_arrivals(100.0, "oltp", total_ms=1000.0)
+        assert len(arrivals) == 100
+        gaps = {round(b.time_ms - a.time_ms, 9)
+                for a, b in zip(arrivals, arrivals[1:])}
+        assert gaps == {10.0}
+
+    def test_zero_rate_empty(self):
+        assert open_loop_arrivals(0.0, "oltp", 1000.0) == []
+
+    def test_phase_offset(self):
+        arrivals = open_loop_arrivals(10.0, "olap", 1000.0, phase_ms=50.0)
+        assert arrivals[0].time_ms == 50.0
+
+
+@pytest.fixture(scope="module")
+def fibench():
+    engine = TiDBCluster(nodes=4)
+    return OLxPBench(engine, Fibenchmark(), scale=0.02, seed=3)
+
+
+class TestRunner:
+    def test_open_loop_throughput_tracks_rate(self, fibench):
+        config = BenchConfig(workload="fibenchmark", oltp_rate=300,
+                             duration_ms=500, warmup_ms=100)
+        report = fibench.run(config)
+        assert report.throughput("oltp") == pytest.approx(300, rel=0.1)
+
+    def test_warmup_excluded_from_metrics(self, fibench):
+        config = BenchConfig(workload="fibenchmark", oltp_rate=100,
+                             duration_ms=500, warmup_ms=500)
+        report = fibench.run(config)
+        # arrivals over the full second: 100; only the measured half counts
+        assert report.metrics("oltp").attempted == pytest.approx(50, abs=2)
+
+    def test_hybrid_mode_uses_hybrid_agents(self, fibench):
+        config = BenchConfig(workload="fibenchmark", mode="hybrid",
+                             hybrid_rate=10, oltp_rate=0,
+                             duration_ms=500, warmup_ms=100)
+        report = fibench.run(config)
+        assert "hybrid" in report.classes
+        assert "oltp" not in report.classes
+
+    def test_concurrent_mode_mixes_classes(self, fibench):
+        config = BenchConfig(workload="fibenchmark", oltp_rate=100,
+                             olap_rate=4, duration_ms=500, warmup_ms=100)
+        report = fibench.run(config)
+        assert set(report.classes) == {"oltp", "olap"}
+
+    def test_closed_loop_runs(self, fibench):
+        config = BenchConfig(workload="fibenchmark", loop="closed",
+                             oltp_rate=1, closed_threads=4,
+                             duration_ms=300, warmup_ms=50)
+        report = fibench.run(config)
+        assert report.metrics("oltp").attempted > 0
+
+    def test_sequential_mode_single_thread(self, fibench):
+        config = BenchConfig(workload="fibenchmark", mode="sequential",
+                             oltp_rate=3, olap_rate=1,
+                             duration_ms=300, warmup_ms=0)
+        report = fibench.run(config)
+        assert set(report.classes) <= {"oltp", "olap"}
+        assert report.metrics("oltp").attempted > 0
+
+    def test_per_transaction_latency_recorded(self, fibench):
+        config = BenchConfig(workload="fibenchmark", oltp_rate=300,
+                             duration_ms=500, warmup_ms=0)
+        report = fibench.run(config)
+        names = set(report.per_transaction)
+        assert names <= {"Amalgamate", "Balance", "DepositChecking",
+                         "SendPayment", "TransactSavings", "WriteCheck"}
+        assert len(names) >= 4
+
+    def test_zero_rates_rejected(self, fibench):
+        config = BenchConfig(workload="fibenchmark", oltp_rate=0,
+                             olap_rate=0, hybrid_rate=0)
+        with pytest.raises(ConfigError):
+            fibench.run(config)
+
+    def test_workload_mismatch_rejected(self, fibench):
+        config = BenchConfig(workload="tabenchmark", oltp_rate=10)
+        with pytest.raises(ConfigError):
+            fibench.run(config)
+
+    def test_weight_override_respected(self, fibench):
+        config = BenchConfig(
+            workload="fibenchmark", oltp_rate=200, duration_ms=500,
+            warmup_ms=0,
+            oltp_weights={"Balance": 1.0, "Amalgamate": 0.0,
+                          "DepositChecking": 0.0, "SendPayment": 0.0,
+                          "TransactSavings": 0.0, "WriteCheck": 0.0})
+        report = fibench.run(config)
+        assert set(report.per_transaction) == {"Balance"}
+
+    def test_summary_text_renders(self, fibench):
+        config = BenchConfig(workload="fibenchmark", oltp_rate=50,
+                             duration_ms=300, warmup_ms=0)
+        text = fibench.run(config).summary_text()
+        assert "oltp" in text and "tput" in text
+
+    def test_fk_workload_rejected_on_memsql(self):
+        engine = MemSQLCluster(nodes=4)
+        with pytest.raises(ConfigError):
+            OLxPBench(engine, Fibenchmark(), scale=0.02,
+                      with_foreign_keys=True)
+
+    def test_overload_caps_completions(self):
+        # MemSQL has no columnar replica to offload to: analytical full
+        # scans at 60/s swamp a single leaf core and completions fall
+        # behind arrivals inside the measurement window
+        engine = MemSQLCluster(nodes=3, cores_per_node=1)
+        bench = OLxPBench(engine, Fibenchmark(), scale=0.2, seed=5)
+        config = BenchConfig(workload="fibenchmark", oltp_rate=30,
+                             olap_rate=60, duration_ms=400, warmup_ms=100)
+        report = bench.run(config)
+        assert report.metrics("olap").completed < \
+            report.metrics("olap").attempted

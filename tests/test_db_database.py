@@ -1,0 +1,185 @@
+"""Database facade: DDL, connections, autocommit, FK enforcement, replication."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import (
+    CatalogError,
+    ConnectionStateError,
+    IntegrityError,
+    SQLError,
+    UnsupportedFeatureError,
+)
+from repro.txn import IsolationLevel
+
+
+class TestDDL:
+    def test_create_table_registers_everywhere(self, db):
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY, b INT)")
+        assert db.catalog.has_table("t")
+        assert db.storage.store("t") is not None
+        assert db.columnar.has_table("t")
+
+    def test_drop_table(self, db):
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY)")
+        db.execute_ddl("DROP TABLE t")
+        assert not db.catalog.has_table("t")
+
+    def test_create_index_backfills(self, db):
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY, b INT)")
+        db.query("INSERT INTO t (a, b) VALUES (1, 5)")
+        db.execute_ddl("CREATE INDEX ib ON t (b)")
+        result = db.query("SELECT a FROM t WHERE b = 5")
+        assert result.rows == [(1,)]
+        assert result.stats.index_lookups == 1
+
+    def test_non_ddl_rejected(self, db):
+        with pytest.raises(SQLError):
+            db.execute_ddl("SELECT 1")
+
+    def test_fk_rejected_when_unsupported(self):
+        memsql_like = Database(supports_foreign_keys=False)
+        memsql_like.execute_ddl("CREATE TABLE p (a INT PRIMARY KEY)")
+        with pytest.raises(UnsupportedFeatureError):
+            memsql_like.execute_ddl(
+                "CREATE TABLE c (a INT PRIMARY KEY, "
+                "FOREIGN KEY (a) REFERENCES p (a))")
+
+    def test_run_script_splits_statements(self, db):
+        db.run_script("""
+        CREATE TABLE a (x INT PRIMARY KEY);
+        CREATE TABLE b (y INT PRIMARY KEY);
+        """)
+        assert db.catalog.has_table("a") and db.catalog.has_table("b")
+
+
+class TestForeignKeyEnforcement:
+    @pytest.fixture
+    def fk_db(self):
+        database = Database(enforce_foreign_keys=True)
+        database.run_script("""
+        CREATE TABLE parent (id INT PRIMARY KEY, v INT);
+        CREATE TABLE child (
+            id INT PRIMARY KEY, pid INT,
+            FOREIGN KEY (pid) REFERENCES parent (id)
+        )
+        """)
+        database.query("INSERT INTO parent (id, v) VALUES (1, 10)")
+        return database
+
+    def test_valid_reference_accepted(self, fk_db):
+        fk_db.query("INSERT INTO child (id, pid) VALUES (1, 1)")
+
+    def test_dangling_reference_rejected(self, fk_db):
+        with pytest.raises(IntegrityError):
+            fk_db.query("INSERT INTO child (id, pid) VALUES (2, 99)")
+
+    def test_null_fk_allowed(self, fk_db):
+        fk_db.query("INSERT INTO child (id, pid) VALUES (3, NULL)")
+
+
+class TestConnections:
+    def test_autocommit_per_statement(self, db):
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY)")
+        with db.connect() as conn:
+            conn.execute("INSERT INTO t (a) VALUES (1)")
+            assert not conn.in_transaction  # autocommitted
+        assert db.query("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_explicit_transaction_rollback(self, db):
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY)")
+        with db.connect() as conn:
+            conn.begin()
+            conn.execute("INSERT INTO t (a) VALUES (1)")
+            conn.rollback()
+        assert db.query("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_context_manager_rolls_back_on_error(self, db):
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY)")
+        with pytest.raises(RuntimeError):
+            with db.connect() as conn:
+                conn.begin()
+                conn.execute("INSERT INTO t (a) VALUES (1)")
+                raise RuntimeError("boom")
+        assert db.query("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_double_begin_rejected(self, db):
+        with db.connect() as conn:
+            conn.begin()
+            with pytest.raises(ConnectionStateError):
+                conn.begin()
+
+    def test_closed_connection_rejects_execute(self, db):
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY)")
+        conn = db.connect()
+        conn.close()
+        with pytest.raises(ConnectionStateError):
+            conn.execute("SELECT 1")
+
+    def test_autocommit_rolls_back_failed_statement(self, db):
+        db.execute_ddl("CREATE TABLE t (a INT NOT NULL PRIMARY KEY)")
+        with db.connect() as conn:
+            with pytest.raises(IntegrityError):
+                conn.execute("INSERT INTO t (a) VALUES (NULL)")
+            assert not conn.in_transaction
+
+    def test_isolation_override(self, db):
+        conn = db.connect(isolation=IsolationLevel.READ_COMMITTED)
+        assert conn.isolation is IsolationLevel.READ_COMMITTED
+
+
+class TestBulkLoadAndReplication:
+    def test_bulk_load_round_trip(self, db):
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY, b INT)")
+        loaded = db.bulk_load("t", ((i, i * 2) for i in range(100)))
+        assert loaded == 100
+        assert db.query("SELECT COUNT(*), SUM(b) FROM t").first() == (100, 9900)
+
+    def test_bulk_load_width_mismatch(self, db):
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY, b INT)")
+        with pytest.raises(SQLError):
+            db.bulk_load("t", [(1,)])
+
+    def test_replication_lag_and_catchup(self, db):
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY)")
+        db.bulk_load("t", ((i,) for i in range(10)))
+        assert db.replication_lag() == 10
+        assert db.replicate() == 10
+        assert db.replication_lag() == 0
+
+    def test_columnar_scan_serves_routed_queries(self, db):
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY, b INT)")
+        db.bulk_load("t", ((i, i) for i in range(50)))
+        db.replicate()
+        with db.connect() as conn:
+            result = conn.execute("SELECT SUM(b) FROM t",
+                                  route_columnar=True)
+            assert result.scalar() == 1225
+            assert result.stats.used_columnar
+            assert result.stats.rows_columnar["t"] == 50
+
+    def test_columnar_freshness_is_replication_bound(self, db):
+        """Rows not yet replicated are invisible to columnar scans."""
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY)")
+        db.bulk_load("t", ((i,) for i in range(10)))
+        db.replicate()
+        db.bulk_load("t", ((i,) for i in range(10, 20)))  # not replicated
+        with db.connect() as conn:
+            stale = conn.execute("SELECT COUNT(*) FROM t",
+                                 route_columnar=True).scalar()
+            fresh = conn.execute("SELECT COUNT(*) FROM t").scalar()
+        assert stale == 10
+        assert fresh == 20
+
+    def test_plan_cache_reused(self, db):
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY)")
+        p1 = db.prepare("SELECT a FROM t WHERE a = ?")
+        p2 = db.prepare("SELECT a FROM t WHERE a = ?")
+        assert p1 is p2
+
+    def test_plan_cache_cleared_on_ddl(self, db):
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY)")
+        p1 = db.prepare("SELECT a FROM t WHERE a = ?")
+        db.execute_ddl("CREATE TABLE u (b INT PRIMARY KEY)")
+        p2 = db.prepare("SELECT a FROM t WHERE a = ?")
+        assert p1 is not p2

@@ -1,0 +1,125 @@
+"""Engine interference mechanisms: flood windows, forced misses, freshness.
+
+These pin down the timing-model behaviours the figure benches rely on.
+"""
+
+import pytest
+
+from repro.engines import MemSQLCluster, TiDBCluster
+from repro.sim.work import WorkResult
+from repro.sql.result import ExecStats
+
+
+def scan_work(table: str, rows: int, kind: str = "olap") -> WorkResult:
+    stats = ExecStats()
+    stats.rows_row_store[table] = rows
+    stats.full_scans[table] = 1
+    return WorkResult(kind=kind, name="scan", stats=stats, n_statements=1)
+
+
+def point_work(table: str, rows: int) -> WorkResult:
+    stats = ExecStats()
+    stats.rows_row_store[table] = rows
+    stats.pk_lookups = rows
+    return WorkResult(kind="oltp", name="points", stats=stats,
+                      n_statements=2)
+
+
+def prefix_work(table: str, rows: int) -> WorkResult:
+    stats = ExecStats()
+    stats.rows_row_store[table] = rows
+    stats.rows_row_prefix[table] = rows
+    stats.index_range_scans = 1
+    return WorkResult(kind="oltp", name="prefix", stats=stats,
+                      n_statements=1)
+
+
+@pytest.fixture
+def engine():
+    cluster = TiDBCluster(nodes=4, buffer_pool_pages=128)
+    cluster.db.execute_ddl("CREATE TABLE big (a INT PRIMARY KEY, b INT)")
+    cluster.db.bulk_load("big", ((i, i) for i in range(20_000)))
+    cluster.db.execute_ddl("CREATE TABLE hot (a INT PRIMARY KEY, b INT)")
+    cluster.db.bulk_load("hot", ((i, i) for i in range(2_000)))
+    cluster.reset_sim()
+    return cluster
+
+
+class TestFloodWindow:
+    def test_big_scan_opens_flood_window(self, engine):
+        assert engine._flood_until == 0.0
+        engine.account(0.0, scan_work("big", 20_000))
+        assert engine._flood_until > engine.flood_recovery_ms
+
+    def test_small_scan_does_not_flood(self, engine):
+        engine.account(0.0, scan_work("hot", 2_000))
+        assert engine._flood_until == 0.0
+
+    def test_point_reads_miss_during_flood(self, engine):
+        # warm the hot working set
+        engine.account(0.0, point_work("hot", 40))
+        warm = engine.account(1.0, point_work("hot", 40)).io
+        engine.account(2.0, scan_work("big", 20_000))
+        flooded = engine.account(3.0, point_work("hot", 40)).io
+        assert flooded > 5 * max(warm, 0.001)
+
+    def test_forced_misses_capped(self, engine):
+        """During a flood a single request pays at most ~64 forced misses."""
+        engine.account(0.0, scan_work("big", 20_000))
+        io = engine.account(1.0, point_work("hot", 2_000)).io
+        max_io = (64 + 32) * engine.cost.params.page_miss_penalty
+        assert io <= max_io
+
+    def test_flood_window_expires(self, engine):
+        engine.account(0.0, scan_work("big", 20_000))
+        after = engine._flood_until + 1.0
+        engine.account(after, point_work("hot", 40))       # reload set
+        relaxed = engine.account(after + 1.0, point_work("hot", 40)).io
+        assert relaxed < 1.0
+
+    def test_reset_sim_clears_flood(self, engine):
+        engine.account(0.0, scan_work("big", 20_000))
+        engine.reset_sim()
+        assert engine._flood_until == 0.0
+
+    def test_prefix_rows_charge_pages_not_rows(self, engine):
+        points = engine.account(0.0, point_work("big", 640)).io
+        engine.reset_sim()
+        prefix = engine.account(0.0, prefix_work("big", 640)).io
+        assert prefix < points / 3
+
+
+class TestFreshnessGate:
+    def test_write_burst_diverts_analytics(self, engine):
+        assert engine.route_analytical(0.0)
+        engine.db.bulk_load("big", ((i, i) for i in range(20_000, 21_000)))
+        assert not engine.route_analytical(0.1)
+
+    def test_columnar_queries_do_not_flood(self, engine):
+        stats = ExecStats()
+        stats.rows_columnar["big"] = 20_000
+        stats.full_scans["big"] = 1
+        stats.used_columnar = True
+        work = WorkResult(kind="olap", name="q", stats=stats, n_statements=1)
+        engine.account(0.0, work, columnar=True)
+        assert engine._flood_until == 0.0
+
+    def test_columnar_query_pays_tispark_overhead(self, engine):
+        stats = ExecStats()
+        stats.rows_columnar["big"] = 100
+        stats.used_columnar = True
+        work = WorkResult(kind="olap", name="q", stats=stats, n_statements=1)
+        breakdown = engine.account(0.0, work, columnar=True)
+        assert breakdown.service >= \
+            engine.cost.params.columnar_stmt_overhead
+
+
+class TestMemSQLContrast:
+    def test_memsql_misses_are_cheap(self):
+        memsql = MemSQLCluster(nodes=4, buffer_pool_pages=128)
+        memsql.db.execute_ddl("CREATE TABLE big (a INT PRIMARY KEY, b INT)")
+        memsql.db.bulk_load("big", ((i, i) for i in range(20_000)))
+        memsql.reset_sim()
+        memsql.account(0.0, scan_work("big", 20_000))
+        io = memsql.account(1.0, point_work("big", 100)).io
+        assert io < 1.0  # in-memory: flooding has no IO cost to speak of

@@ -1,0 +1,121 @@
+"""End-to-end integration: every workload on every engine, key shapes.
+
+Small scales keep these fast; the full-shape reproduction lives in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.core import BenchConfig, OLxPBench
+from repro.engines import MemSQLCluster, OceanBaseCluster, TiDBCluster
+from repro.workloads import make_workload, workload_names
+
+SMALL_SCALE = {"subenchmark": 1.0, "fibenchmark": 0.02,
+               "tabenchmark": 0.02, "chbenchmark": 1.0}
+
+
+@pytest.mark.parametrize("engine_cls", [TiDBCluster, MemSQLCluster,
+                                        OceanBaseCluster])
+@pytest.mark.parametrize("workload_name", workload_names())
+def test_every_workload_runs_on_every_engine(engine_cls, workload_name):
+    engine = engine_cls(nodes=4)
+    bench = OLxPBench(engine, make_workload(workload_name),
+                      scale=SMALL_SCALE[workload_name], seed=9)
+    report = bench.run(BenchConfig(
+        workload=workload_name, oltp_rate=60, olap_rate=1,
+        duration_ms=500, warmup_ms=100))
+    assert report.metrics("oltp").completed > 0
+    assert report.latency("oltp").mean > 0
+    assert report.metrics("oltp").aborted == 0
+
+
+@pytest.mark.parametrize("workload_name", ["subenchmark", "fibenchmark",
+                                           "tabenchmark"])
+def test_hybrid_mode_on_both_main_engines(workload_name):
+    for engine_cls in (TiDBCluster, MemSQLCluster):
+        engine = engine_cls(nodes=4)
+        bench = OLxPBench(engine, make_workload(workload_name),
+                          scale=SMALL_SCALE[workload_name], seed=9)
+        report = bench.run(BenchConfig(
+            workload=workload_name, mode="hybrid", hybrid_rate=4,
+            oltp_rate=0, duration_ms=800, warmup_ms=200))
+        assert report.metrics("hybrid").completed > 0
+
+
+class TestPaperShapesSmall:
+    """Scaled-down sanity versions of the headline shapes."""
+
+    def test_hybrid_latency_exceeds_oltp_latency(self):
+        engine = TiDBCluster(nodes=4)
+        bench = OLxPBench(engine, make_workload("subenchmark"), seed=4)
+        oltp = bench.run(BenchConfig(
+            workload="subenchmark", oltp_rate=20, duration_ms=1500,
+            warmup_ms=300,
+            oltp_weights={"NewOrder": 1.0, "Payment": 0, "OrderStatus": 0,
+                          "Delivery": 0, "StockLevel": 0}))
+        hybrid = bench.run(BenchConfig(
+            workload="subenchmark", mode="hybrid", hybrid_rate=20,
+            oltp_rate=0, duration_ms=1500, warmup_ms=300,
+            hybrid_weights={"X1": 1.0, "X2": 0, "X3": 0, "X4": 0, "X5": 0}))
+        assert hybrid.latency("hybrid").mean > 2 * oltp.latency("oltp").mean
+
+    def test_memsql_oltp_faster_than_tidb(self):
+        latencies = {}
+        for engine_cls in (TiDBCluster, MemSQLCluster):
+            engine = engine_cls(nodes=4)
+            bench = OLxPBench(engine, make_workload("fibenchmark"),
+                              scale=0.02, seed=4)
+            report = bench.run(BenchConfig(
+                workload="fibenchmark", oltp_rate=500, duration_ms=800,
+                warmup_ms=200))
+            latencies[engine.name] = report.latency("oltp").mean
+        assert latencies["memsql"] < latencies["tidb"]
+
+    def test_memsql_hybrid_slower_than_tidb_on_subench(self):
+        latencies = {}
+        for engine_cls in (TiDBCluster, MemSQLCluster):
+            engine = engine_cls(nodes=4)
+            bench = OLxPBench(engine, make_workload("subenchmark"), seed=4)
+            report = bench.run(BenchConfig(
+                workload="subenchmark", mode="hybrid", hybrid_rate=4,
+                oltp_rate=0, duration_ms=1500, warmup_ms=300))
+            latencies[engine.name] = report.latency("hybrid").mean
+        assert latencies["memsql"] > latencies["tidb"]
+
+    def test_tabench_slow_query_dominates(self):
+        engine = TiDBCluster(nodes=4)
+        bench = OLxPBench(engine, make_workload("tabenchmark"), scale=0.2,
+                          seed=4)
+        report = bench.run(BenchConfig(
+            workload="tabenchmark", oltp_rate=60, duration_ms=2500,
+            warmup_ms=400))
+        slow = report.transaction_latency("UpdateLocation")
+        fast = report.transaction_latency("GetSubscriberData")
+        assert slow.count and fast.count
+        assert slow.mean > 3 * fast.mean
+
+    def test_scaling_penalty_orders_engines(self):
+        """TiDB's latency grows more than OceanBase's from 4 to 16 nodes."""
+        growth = {}
+        for engine_cls in (TiDBCluster, OceanBaseCluster):
+            latencies = []
+            for nodes in (4, 16):
+                engine = engine_cls(nodes=nodes)
+                bench = OLxPBench(engine, make_workload("fibenchmark"),
+                                  scale=0.02, seed=4)
+                report = bench.run(BenchConfig(
+                    workload="fibenchmark", oltp_rate=200, duration_ms=800,
+                    warmup_ms=200))
+                latencies.append(report.latency("oltp").mean)
+            growth[engine_cls.name] = latencies[1] / latencies[0]
+        assert growth["tidb"] > growth["oceanbase"] > 1.0
+
+    def test_olap_only_uses_columnar_on_tidb(self):
+        engine = TiDBCluster(nodes=4)
+        bench = OLxPBench(engine, make_workload("fibenchmark"), scale=0.05,
+                          seed=4)
+        report = bench.run(BenchConfig(
+            workload="fibenchmark", oltp_rate=0, olap_rate=10,
+            duration_ms=1000, warmup_ms=200))
+        assert report.columnar_routed > 0
+        assert report.columnar_refused == 0

@@ -1,0 +1,202 @@
+"""Property-based MVCC tests: randomly interleaved transactions.
+
+Hypothesis drives random schedules of concurrent transactions over a tiny
+bank schema and checks the invariants snapshot isolation must provide:
+
+* committed money is conserved by transfer transactions;
+* a snapshot transaction's reads are repeatable regardless of interleaved
+  commits;
+* first-committer-wins: overlapping writers never both commit;
+* aborted transactions leave no trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database
+from repro.errors import TransactionAborted
+from repro.txn import IsolationLevel
+
+N_ACCOUNTS = 6
+INITIAL = 100
+
+
+def make_bank() -> Database:
+    db = Database()
+    db.run_script("CREATE TABLE acct (id INT PRIMARY KEY, bal INT)")
+    db.bulk_load("acct", ((i, INITIAL) for i in range(N_ACCOUNTS)))
+    return db
+
+
+def total(db: Database) -> int:
+    return db.query("SELECT SUM(bal) FROM acct").scalar()
+
+
+# an operation is (source, destination, amount) for one transfer txn
+transfers = st.lists(
+    st.tuples(st.integers(0, N_ACCOUNTS - 1),
+              st.integers(0, N_ACCOUNTS - 1),
+              st.integers(1, 30)),
+    min_size=1, max_size=25,
+)
+
+
+@given(transfers)
+@settings(max_examples=50, deadline=None)
+def test_serial_transfers_conserve_money(ops):
+    db = make_bank()
+    for source, dest, amount in ops:
+        with db.connect() as conn:
+            conn.begin()
+            balance = conn.execute(
+                "SELECT bal FROM acct WHERE id = ?", (source,)).scalar()
+            if balance >= amount:
+                conn.execute(
+                    "UPDATE acct SET bal = bal - ? WHERE id = ?",
+                    (amount, source))
+                conn.execute(
+                    "UPDATE acct SET bal = bal + ? WHERE id = ?",
+                    (amount, dest))
+            conn.commit()
+    assert total(db) == N_ACCOUNTS * INITIAL
+    assert db.query("SELECT MIN(bal) FROM acct").scalar() >= 0
+
+
+@given(transfers, st.integers(0, N_ACCOUNTS - 1))
+@settings(max_examples=40, deadline=None)
+def test_snapshot_reads_repeatable_under_interleaving(ops, watched):
+    """A long-running snapshot reader sees the same balance every time, no
+    matter how many transfers commit meanwhile."""
+    db = make_bank()
+    reader = db.connect(isolation=IsolationLevel.SNAPSHOT)
+    reader.begin()
+    first = reader.execute(
+        "SELECT bal FROM acct WHERE id = ?", (watched,)).scalar()
+    first_total = reader.execute("SELECT SUM(bal) FROM acct").scalar()
+    for source, dest, amount in ops:
+        with db.connect() as conn:
+            conn.begin()
+            conn.execute("UPDATE acct SET bal = bal - ? WHERE id = ?",
+                         (amount, source))
+            conn.execute("UPDATE acct SET bal = bal + ? WHERE id = ?",
+                         (amount, dest))
+            conn.commit()
+        again = reader.execute(
+            "SELECT bal FROM acct WHERE id = ?", (watched,)).scalar()
+        assert again == first
+        assert reader.execute(
+            "SELECT SUM(bal) FROM acct").scalar() == first_total
+    reader.rollback()
+
+
+@given(st.lists(st.integers(0, N_ACCOUNTS - 1), min_size=2, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_first_committer_wins_over_any_overlap(targets):
+    """Two snapshot transactions writing overlapping rows: exactly one of
+    any conflicting pair commits."""
+    db = make_bank()
+    t1 = db.connect(isolation=IsolationLevel.SNAPSHOT)
+    t2 = db.connect(isolation=IsolationLevel.SNAPSHOT)
+    t1.begin()
+    t2.begin()
+    half = max(1, len(targets) // 2)
+    set1, set2 = set(targets[:half]), set(targets[half:])
+    for acct in set1:
+        t1.execute("UPDATE acct SET bal = bal + 1 WHERE id = ?", (acct,))
+    for acct in set2:
+        t2.execute("UPDATE acct SET bal = bal + 2 WHERE id = ?", (acct,))
+    t1.commit()
+    overlapping = bool(set1 & set2)
+    if overlapping:
+        with pytest.raises(TransactionAborted):
+            t2.commit()
+    else:
+        t2.commit()
+    # sum must reflect exactly the committed increments
+    expected = N_ACCOUNTS * INITIAL + len(set1) + \
+        (0 if overlapping else 2 * len(set2))
+    assert total(db) == expected
+
+
+@given(transfers)
+@settings(max_examples=30, deadline=None)
+def test_rollback_leaves_no_trace(ops):
+    db = make_bank()
+    before = [tuple(r) for r in db.query(
+        "SELECT id, bal FROM acct ORDER BY id").rows]
+    conn = db.connect()
+    conn.begin()
+    for source, dest, amount in ops:
+        conn.execute("UPDATE acct SET bal = bal - ? WHERE id = ?",
+                     (amount, source))
+        conn.execute("UPDATE acct SET bal = bal + ? WHERE id = ?",
+                     (amount, dest))
+    conn.rollback()
+    after = [tuple(r) for r in db.query(
+        "SELECT id, bal FROM acct ORDER BY id").rows]
+    assert before == after
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 100)),
+                min_size=1, max_size=40))
+@settings(max_examples=30, deadline=None)
+def test_read_committed_always_sees_latest_commit(pairs):
+    """Under RC, a reader's per-statement snapshot equals the last commit."""
+    db = make_bank()
+    db.run_script("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+    reader = db.connect(isolation=IsolationLevel.READ_COMMITTED)
+    reader.begin()
+    current = {}
+    for key, value in pairs:
+        with db.connect() as writer:
+            writer.begin()
+            if key in current:
+                writer.execute("UPDATE kv SET v = ? WHERE k = ?",
+                               (value, key))
+            else:
+                writer.execute("INSERT INTO kv (k, v) VALUES (?, ?)",
+                               (key, value))
+            writer.commit()
+        current[key] = value
+        seen = reader.execute("SELECT v FROM kv WHERE k = ?",
+                              (key,)).scalar()
+        assert seen == value
+    reader.rollback()
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_columnar_replica_converges_to_row_store(data):
+    """After arbitrary committed mutations plus full replication, columnar
+    scans agree exactly with row-store scans."""
+    db = Database(with_columnar=True)
+    db.run_script("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+    live = {}
+    ops = data.draw(st.lists(
+        st.tuples(st.sampled_from(["put", "delete"]),
+                  st.integers(0, 10), st.integers(0, 99)),
+        max_size=40))
+    for op, key, value in ops:
+        with db.connect() as conn:
+            conn.begin()
+            if op == "put":
+                if key in live:
+                    conn.execute("UPDATE kv SET v = ? WHERE k = ?",
+                                 (value, key))
+                else:
+                    conn.execute("INSERT INTO kv (k, v) VALUES (?, ?)",
+                                 (key, value))
+                live[key] = value
+            elif key in live:
+                conn.execute("DELETE FROM kv WHERE k = ?", (key,))
+                del live[key]
+            conn.commit()
+    db.replicate()
+    with db.connect() as conn:
+        row_side = sorted(conn.execute("SELECT k, v FROM kv").rows)
+        col_side = sorted(conn.execute("SELECT k, v FROM kv",
+                                       route_columnar=True).rows)
+    assert row_side == col_side == sorted(live.items())

@@ -1,0 +1,196 @@
+"""Simulation layer: node queues, lock table, replication, cost model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    CostModel,
+    CostParams,
+    LockTable,
+    NodeGroup,
+    ReplicationState,
+)
+from repro.sim.cluster import BufferPoolModel
+from repro.sql.result import ExecStats
+from repro.storage.bufferpool import BufferPool
+
+
+class TestNodeGroup:
+    def test_idle_server_starts_immediately(self):
+        group = NodeGroup("g", nodes=1, cores_per_node=2)
+        start, completion = group.admit(arrival=10.0, demand=5.0)
+        assert (start, completion) == (10.0, 15.0)
+
+    def test_queueing_when_cores_busy(self):
+        group = NodeGroup("g", nodes=1, cores_per_node=1)
+        group.admit(0.0, 10.0)
+        start, completion = group.admit(1.0, 5.0)
+        assert start == 10.0          # waits for the single core
+        assert completion == 15.0
+
+    def test_parallel_cores_no_wait(self):
+        group = NodeGroup("g", nodes=1, cores_per_node=2)
+        group.admit(0.0, 10.0)
+        start, _ = group.admit(1.0, 5.0)
+        assert start == 1.0           # second core is free
+
+    def test_extra_hold_extends_occupancy(self):
+        group = NodeGroup("g", nodes=1, cores_per_node=1)
+        _, completion = group.admit(0.0, 5.0, extra_hold=3.0)
+        assert completion == 8.0
+        start, _ = group.admit(0.0, 1.0)
+        assert start == 8.0
+
+    def test_utilisation(self):
+        group = NodeGroup("g", nodes=1, cores_per_node=2)
+        group.admit(0.0, 10.0)
+        assert group.utilisation(10.0) == pytest.approx(0.5)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            NodeGroup("g", 0, 4)
+
+    @given(st.lists(st.tuples(st.floats(0, 100), st.floats(0.1, 10)),
+                    min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_work_conservation(self, jobs):
+        """Total busy time equals total demand; completions never precede
+        arrival + demand."""
+        jobs = sorted(jobs)
+        group = NodeGroup("g", nodes=2, cores_per_node=2)
+        total_demand = 0.0
+        for arrival, demand in jobs:
+            start, completion = group.admit(arrival, demand)
+            assert start >= arrival
+            assert completion == pytest.approx(start + demand)
+            total_demand += demand
+        assert group.busy_ms == pytest.approx(total_demand)
+
+
+class TestLockTable:
+    def test_no_wait_on_free_keys(self):
+        locks = LockTable()
+        assert locks.wait_and_hold({("t", (1,))}, start=0.0, service=5.0) == 0.0
+
+    def test_wait_behind_holder(self):
+        locks = LockTable()
+        locks.wait_and_hold({("t", (1,))}, start=0.0, service=10.0)
+        wait = locks.wait_and_hold({("t", (1,))}, start=2.0, service=1.0)
+        assert wait == 8.0            # released at 10
+        assert locks.total_wait_ms == 8.0
+        assert locks.waits == 1
+
+    def test_disjoint_keys_no_interaction(self):
+        locks = LockTable()
+        locks.wait_and_hold({("t", (1,))}, 0.0, 10.0)
+        assert locks.wait_and_hold({("t", (2,))}, 2.0, 1.0) == 0.0
+
+    def test_chained_waits_accumulate(self):
+        locks = LockTable()
+        locks.wait_and_hold({("t", (1,))}, 0.0, 10.0)   # holds until 10
+        locks.wait_and_hold({("t", (1,))}, 0.0, 10.0)   # waits 10, holds to 20
+        wait = locks.wait_and_hold({("t", (1,))}, 0.0, 1.0)
+        assert wait == 20.0
+
+
+class TestReplication:
+    def test_advance_applies_at_rate(self):
+        repl = ReplicationState(apply_rate_per_ms=2.0)
+        repl.advance(now_ms=10.0, wal_head=100)
+        assert repl.applied == 20.0
+        assert repl.lag(100) == 80.0
+
+    def test_apply_capped_at_head(self):
+        repl = ReplicationState(apply_rate_per_ms=1000.0)
+        repl.advance(1.0, wal_head=5)
+        assert repl.applied == 5.0
+        assert repl.lag(5) == 0.0
+
+    def test_time_never_rewinds(self):
+        repl = ReplicationState(1.0)
+        repl.advance(10.0, 100)
+        applied = repl.applied
+        repl.advance(5.0, 100)  # stale tick is ignored
+        assert repl.applied == applied
+
+
+class TestCostModel:
+    def make_stats(self, **kwargs):
+        stats = ExecStats()
+        for key, value in kwargs.items():
+            setattr(stats, key, value)
+        return stats
+
+    def test_scan_cost_scales_with_rows(self):
+        model = CostModel(CostParams())
+        small = ExecStats()
+        small.rows_row_store["t"] = 10
+        big = ExecStats()
+        big.rows_row_store["t"] = 10_000
+        assert model.statement_cost(big).cpu > model.statement_cost(small).cpu
+
+    def test_columnar_rows_cheaper_than_row_store(self):
+        model = CostModel(CostParams())
+        row = ExecStats()
+        row.rows_row_store["t"] = 10_000
+        col = ExecStats()
+        col.rows_columnar["t"] = 10_000
+        assert model.statement_cost(col).cpu < model.statement_cost(row).cpu
+
+    def test_hybrid_amplification_applies_to_joins(self):
+        plain = CostModel(CostParams(hybrid_join_amplification=1.0))
+        vertical = CostModel(CostParams(hybrid_join_amplification=8.0))
+        stats = ExecStats()
+        stats.rows_joined = 1000
+        stats.join_ops = 2
+        base = plain.statement_cost(stats, hybrid_context=True).cpu
+        amplified = vertical.statement_cost(stats, hybrid_context=True).cpu
+        assert amplified > base * 4
+
+    def test_transaction_cost_adds_overheads(self):
+        model = CostModel(CostParams(txn_overhead=2.0, stmt_overhead=0.5))
+        stats = ExecStats()
+        one = model.transaction_cost(stats, n_statements=1).cpu
+        five = model.transaction_cost(stats, n_statements=5).cpu
+        assert five == pytest.approx(one + 4 * 0.5)
+
+    def test_io_cost(self):
+        model = CostModel(CostParams(page_miss_penalty=0.1,
+                                     page_hit_cost=0.001))
+        assert model.io_cost(10, 100) == pytest.approx(1.0 + 0.1)
+
+    def test_scaled_params(self):
+        params = CostParams(txn_overhead=1.0, network_hop=0.2)
+        scaled = params.scaled(2.0)
+        assert scaled.txn_overhead == 2.0
+        assert scaled.network_hop == 0.4
+        assert scaled.pk_lookup == params.pk_lookup  # per-row costs unscaled
+
+
+class TestBufferPoolModel:
+    def test_scan_charges_pages(self):
+        model = BufferPoolModel(BufferPool(64, rows_per_page=10))
+        misses, hits, flooded = model.charge_scan("t", rows=100)
+        assert misses == 10 and hits == 0 and not flooded
+        misses, hits, flooded = model.charge_scan("t", rows=100)
+        assert misses == 0 and hits == 10
+
+    def test_scan_flood_flag(self):
+        model = BufferPoolModel(BufferPool(8, rows_per_page=10))
+        _m, _h, flooded = model.charge_scan("t", rows=100)
+        assert flooded
+
+    def test_point_accesses_hit_after_warmup(self):
+        model = BufferPoolModel(BufferPool(1024, rows_per_page=10))
+        m1, _h1 = model.charge_point("t", rows=50, spread=100)
+        m2, h2 = model.charge_point("t", rows=50, spread=100)
+        assert m1 > 0
+        assert h2 > 0
+
+    def test_big_scan_evicts_point_working_set(self):
+        model = BufferPoolModel(BufferPool(32, rows_per_page=10))
+        model.charge_point("hot", rows=20, spread=100)
+        model.charge_scan("big", rows=10_000)
+        misses, hits = model.charge_point("hot", rows=20, spread=100)
+        assert misses > 0  # working set was flushed by the scan

@@ -1,0 +1,283 @@
+"""SQL execution semantics: selections, joins, aggregation, DML, stats."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import BindError, ExecutionError, IntegrityError, PlanError
+
+
+class TestSelect:
+    def test_point_lookup(self, orders_db):
+        result = orders_db.query("SELECT i_name FROM item WHERE i_id = ?", (3,))
+        assert result.rows == [("item3",)]
+        assert result.stats.pk_lookups == 1
+        assert not result.stats.full_scans
+
+    def test_full_scan_counts_rows(self, orders_db):
+        result = orders_db.query("SELECT COUNT(*) FROM item")
+        assert result.scalar() == 20
+        assert result.stats.full_scans["item"] == 1
+        assert result.stats.rows_row_store["item"] == 20
+
+    def test_index_scan_used(self, orders_db):
+        result = orders_db.query(
+            "SELECT o_id FROM orders WHERE o_c_id = ?", (2,))
+        assert sorted(result.rows) == [(2,), (6,), (10,), (14,), (18,)]
+        assert result.stats.index_lookups == 1
+        assert not result.stats.full_scans
+
+    def test_projection_expressions(self, orders_db):
+        result = orders_db.query(
+            "SELECT i_id * 2 + 1, i_price - 0.5 FROM item WHERE i_id = 4")
+        assert result.rows == [(9, 4.0)]
+
+    def test_order_by_directions(self, orders_db):
+        result = orders_db.query(
+            "SELECT i_id FROM item WHERE i_id < 5 ORDER BY i_id DESC")
+        assert [r[0] for r in result.rows] == [4, 3, 2, 1, 0]
+
+    def test_order_by_alias_and_ordinal(self, orders_db):
+        by_alias = orders_db.query(
+            "SELECT i_id, i_price AS p FROM item WHERE i_id < 4 ORDER BY p DESC")
+        by_ordinal = orders_db.query(
+            "SELECT i_id, i_price FROM item WHERE i_id < 4 ORDER BY 2 DESC")
+        assert by_alias.rows == by_ordinal.rows
+
+    def test_order_by_hidden_key(self, orders_db):
+        result = orders_db.query(
+            "SELECT i_name FROM item WHERE i_id < 4 ORDER BY i_price DESC")
+        assert result.columns == ["I_NAME"]
+        assert [r[0] for r in result.rows] == ["item3", "item2", "item1",
+                                               "item0"]
+
+    def test_limit(self, orders_db):
+        result = orders_db.query("SELECT i_id FROM item ORDER BY i_id LIMIT 3")
+        assert [r[0] for r in result.rows] == [0, 1, 2]
+
+    def test_distinct(self, orders_db):
+        result = orders_db.query("SELECT DISTINCT o_c_id FROM orders")
+        assert sorted(r[0] for r in result.rows) == [0, 1, 2, 3]
+
+    def test_like_and_between(self, orders_db):
+        result = orders_db.query(
+            "SELECT i_id FROM item WHERE i_name LIKE 'item1%' "
+            "AND i_id BETWEEN 10 AND 19")
+        assert sorted(r[0] for r in result.rows) == list(range(10, 20))
+
+    def test_in_list_and_not_in(self, orders_db):
+        got = orders_db.query(
+            "SELECT i_id FROM item WHERE i_id IN (1, 2, 3) "
+            "AND i_id NOT IN (2)")
+        assert sorted(r[0] for r in got.rows) == [1, 3]
+
+    def test_case_expression(self, orders_db):
+        result = orders_db.query(
+            "SELECT SUM(CASE WHEN o_total >= 100 THEN 1 ELSE 0 END) "
+            "FROM orders")
+        assert result.scalar() == 10
+
+
+class TestJoins:
+    def test_hash_join(self, orders_db):
+        result = orders_db.query(
+            "SELECT i.i_name, o.o_total FROM item i "
+            "JOIN orders o ON i.i_id = o.o_id WHERE o.o_total > 170")
+        assert sorted(result.rows) == [("item18", 180.0), ("item19", 190.0)]
+        assert result.stats.join_ops == 1
+
+    def test_left_join_null_extension(self, db):
+        db.run_script("""
+        CREATE TABLE a (id INT PRIMARY KEY, v INT);
+        CREATE TABLE b (id INT PRIMARY KEY, w INT)
+        """)
+        db.query("INSERT INTO a (id, v) VALUES (1, 10), (2, 20)")
+        db.query("INSERT INTO b (id, w) VALUES (1, 100)")
+        result = db.query(
+            "SELECT a.id, b.w FROM a LEFT JOIN b ON a.id = b.id "
+            "ORDER BY a.id")
+        assert result.rows == [(1, 100), (2, None)]
+
+    def test_comma_join_with_where_keys(self, orders_db):
+        result = orders_db.query(
+            "SELECT COUNT(*) FROM item i, orders o WHERE i.i_id = o.o_id")
+        assert result.scalar() == 20
+
+    def test_computed_key_join(self, orders_db):
+        """Expressions as join keys (CH-benCHmark's mod-join convention)."""
+        result = orders_db.query(
+            "SELECT COUNT(*) FROM item i JOIN orders o "
+            "ON o.o_c_id = i.i_id % 4")
+        assert result.scalar() == 100  # 20 items x 5 orders per customer
+
+    def test_non_equi_join_nested_loop(self, db):
+        db.run_script("CREATE TABLE n (id INT PRIMARY KEY, v INT)")
+        db.query("INSERT INTO n (id, v) VALUES (1, 1), (2, 2), (3, 3)")
+        result = db.query(
+            "SELECT COUNT(*) FROM n a JOIN n b ON a.v < b.v")
+        assert result.scalar() == 3
+
+    def test_three_way_join(self, db):
+        db.run_script("""
+        CREATE TABLE x (id INT PRIMARY KEY, v INT);
+        CREATE TABLE y (id INT PRIMARY KEY, v INT);
+        CREATE TABLE z (id INT PRIMARY KEY, v INT)
+        """)
+        for table in "xyz":
+            db.query(f"INSERT INTO {table} (id, v) VALUES (1, 1), (2, 2)")
+        result = db.query(
+            "SELECT COUNT(*) FROM x JOIN y ON x.id = y.id "
+            "JOIN z ON y.id = z.id")
+        assert result.scalar() == 2
+
+
+class TestAggregation:
+    def test_global_aggregates(self, orders_db):
+        result = orders_db.query(
+            "SELECT COUNT(*), SUM(o_total), AVG(o_total), MIN(o_total), "
+            "MAX(o_total) FROM orders")
+        count, total, avg, lo, hi = result.rows[0]
+        assert (count, total, lo, hi) == (20, 1900.0, 0.0, 190.0)
+        assert avg == pytest.approx(95.0)
+
+    def test_group_by_with_having(self, orders_db):
+        result = orders_db.query(
+            "SELECT o_c_id, COUNT(*) AS n, SUM(o_total) AS total FROM orders "
+            "GROUP BY o_c_id HAVING SUM(o_total) > 450 ORDER BY total DESC")
+        assert result.rows == [(3, 5, 550.0), (2, 5, 500.0)]
+
+    def test_count_distinct(self, orders_db):
+        result = orders_db.query("SELECT COUNT(DISTINCT o_c_id) FROM orders")
+        assert result.scalar() == 4
+
+    def test_aggregate_over_empty_input(self, orders_db):
+        result = orders_db.query(
+            "SELECT COUNT(*), SUM(o_total) FROM orders WHERE o_id > 999")
+        assert result.rows == [(0, None)]
+
+    def test_group_by_expression(self, orders_db):
+        result = orders_db.query(
+            "SELECT o_c_id % 2, COUNT(*) FROM orders GROUP BY o_c_id % 2 "
+            "ORDER BY 1")
+        assert result.rows == [(0, 10), (1, 10)]
+
+    def test_aggregate_arithmetic_above(self, orders_db):
+        result = orders_db.query(
+            "SELECT SUM(o_total) / COUNT(*) FROM orders")
+        assert result.scalar() == pytest.approx(95.0)
+
+    def test_non_grouped_column_rejected(self, orders_db):
+        with pytest.raises(BindError):
+            orders_db.query(
+                "SELECT o_id, COUNT(*) FROM orders GROUP BY o_c_id")
+
+    def test_having_without_group_rejected(self, orders_db):
+        with pytest.raises(PlanError):
+            orders_db.query("SELECT o_id FROM orders HAVING o_id > 1")
+
+
+class TestSubqueries:
+    def test_scalar_subquery(self, orders_db):
+        result = orders_db.query(
+            "SELECT COUNT(*) FROM orders "
+            "WHERE o_total > (SELECT AVG(o_total) FROM orders)")
+        assert result.scalar() == 10
+
+    def test_in_subquery(self, orders_db):
+        result = orders_db.query(
+            "SELECT COUNT(*) FROM item "
+            "WHERE i_id IN (SELECT o_id FROM orders WHERE o_total >= 150)")
+        assert result.scalar() == 5
+
+    def test_not_in_subquery(self, orders_db):
+        result = orders_db.query(
+            "SELECT COUNT(*) FROM item "
+            "WHERE i_id NOT IN (SELECT o_id FROM orders)")
+        assert result.scalar() == 0
+
+    def test_exists(self, orders_db):
+        result = orders_db.query(
+            "SELECT COUNT(*) FROM item "
+            "WHERE EXISTS (SELECT 1 FROM orders WHERE o_total > 10000)")
+        assert result.scalar() == 0
+
+    def test_scalar_subquery_multi_row_rejected(self, orders_db):
+        with pytest.raises(ExecutionError):
+            orders_db.query(
+                "SELECT (SELECT o_id FROM orders) FROM item WHERE i_id = 1")
+
+
+class TestDML:
+    def test_insert_and_rowcount(self, orders_db):
+        result = orders_db.query(
+            "INSERT INTO item (i_id, i_name, i_price) VALUES (100, 'new', 9.9)")
+        assert result.rowcount == 1
+        assert orders_db.query(
+            "SELECT i_name FROM item WHERE i_id = 100").scalar() == "new"
+
+    def test_insert_missing_columns_default_null(self, orders_db):
+        orders_db.query("INSERT INTO item (i_id) VALUES (101)")
+        row = orders_db.query(
+            "SELECT i_name, i_price FROM item WHERE i_id = 101").first()
+        assert row == (None, None)
+
+    def test_insert_null_pk_rejected(self, orders_db):
+        with pytest.raises(IntegrityError):
+            orders_db.query(
+                "INSERT INTO item (i_id, i_name) VALUES (NULL, 'x')")
+
+    def test_update_with_expression(self, orders_db):
+        result = orders_db.query(
+            "UPDATE orders SET o_total = o_total * 2 WHERE o_c_id = 1")
+        assert result.rowcount == 5
+        total = orders_db.query(
+            "SELECT SUM(o_total) FROM orders WHERE o_c_id = 1").scalar()
+        assert total == 900.0
+
+    def test_update_primary_key_moves_row(self, orders_db):
+        orders_db.query("UPDATE item SET i_id = 500 WHERE i_id = 5")
+        assert orders_db.query(
+            "SELECT COUNT(*) FROM item WHERE i_id = 5").scalar() == 0
+        assert orders_db.query(
+            "SELECT i_name FROM item WHERE i_id = 500").scalar() == "item5"
+
+    def test_delete(self, orders_db):
+        result = orders_db.query("DELETE FROM orders WHERE o_total < 50")
+        assert result.rowcount == 5
+        assert orders_db.query("SELECT COUNT(*) FROM orders").scalar() == 15
+
+    def test_writes_tracked_in_stats(self, orders_db):
+        result = orders_db.query("DELETE FROM orders WHERE o_id = 1")
+        assert result.stats.writes["orders"] == 1
+
+
+class TestNullSemantics:
+    @pytest.fixture
+    def null_db(self):
+        database = Database()
+        database.run_script("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        database.query(
+            "INSERT INTO t (id, v) VALUES (1, 10), (2, NULL), (3, 30)")
+        return database
+
+    def test_comparison_with_null_filters_out(self, null_db):
+        assert null_db.query(
+            "SELECT COUNT(*) FROM t WHERE v > 5").scalar() == 2
+
+    def test_is_null(self, null_db):
+        assert null_db.query(
+            "SELECT id FROM t WHERE v IS NULL").rows == [(2,)]
+        assert sorted(null_db.query(
+            "SELECT id FROM t WHERE v IS NOT NULL").rows) == [(1,), (3,)]
+
+    def test_aggregates_skip_null(self, null_db):
+        row = null_db.query(
+            "SELECT COUNT(*), COUNT(v), SUM(v), AVG(v) FROM t").first()
+        assert row == (3, 2, 40, 20.0)
+
+    def test_null_sorts_first(self, null_db):
+        result = null_db.query("SELECT v FROM t ORDER BY v")
+        assert [r[0] for r in result.rows] == [None, 10, 30]
+
+    def test_arithmetic_with_null_is_null(self, null_db):
+        assert null_db.query(
+            "SELECT v + 1 FROM t WHERE id = 2").scalar() is None

@@ -1,0 +1,208 @@
+"""Expression compiler: schema resolution, operators, functions, LIKE."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database
+from repro.errors import BindError, ExecutionError
+from repro.sql.expressions import Schema
+from repro.sql.functions import like_to_predicate, make_accumulator
+
+
+class TestSchema:
+    def test_resolve_qualified_and_bare(self):
+        schema = Schema([("t", "a"), ("t", "b"), ("u", "c")])
+        assert schema.resolve("t", "a") == 0
+        assert schema.resolve(None, "b") == 1
+        assert schema.resolve("u", "c") == 2
+
+    def test_case_insensitive(self):
+        schema = Schema([("T", "Col")])
+        assert schema.resolve("t", "col") == 0
+        assert schema.resolve("T", "COL") == 0
+
+    def test_ambiguous_bare_name_rejected(self):
+        schema = Schema([("t", "a"), ("u", "a")])
+        with pytest.raises(BindError):
+            schema.resolve(None, "a")
+        assert schema.resolve("u", "a") == 1
+
+    def test_unknown_rejected(self):
+        schema = Schema([("t", "a")])
+        with pytest.raises(BindError):
+            schema.resolve(None, "zz")
+        assert schema.try_resolve(None, "zz") is None
+
+    def test_concatenation(self):
+        left = Schema([("t", "a")])
+        right = Schema([("u", "b")])
+        combined = left + right
+        assert combined.resolve("u", "b") == 1
+        assert combined.bindings() == {"T", "U"}
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.run_script(
+        "CREATE TABLE v (id INT PRIMARY KEY, x INT, y FLOAT, s VARCHAR(20))")
+    database.query(
+        "INSERT INTO v (id, x, y, s) VALUES "
+        "(1, 7, 2.5, 'hello'), (2, -3, 0.5, 'World'), (3, NULL, NULL, NULL)")
+    return database
+
+
+def scalar(db, expression, where="id = 1"):
+    return db.query(f"SELECT {expression} FROM v WHERE {where}").scalar()
+
+
+class TestOperators:
+    def test_arithmetic(self, db):
+        assert scalar(db, "x + 1") == 8
+        assert scalar(db, "x - 10") == -3
+        assert scalar(db, "x * 2") == 14
+        assert scalar(db, "x / 2") == 3.5
+        assert scalar(db, "x % 4") == 3
+
+    def test_division_by_zero_raises(self, db):
+        with pytest.raises(ExecutionError):
+            scalar(db, "x / 0")
+
+    def test_unary_minus(self, db):
+        assert scalar(db, "-x") == -7
+        assert scalar(db, "-x", where="id = 3") is None
+
+    def test_concatenation_operator(self, db):
+        assert scalar(db, "s || '!'") == "hello!"
+        assert scalar(db, "s || s", where="id = 3") is None
+
+    def test_comparison_chaining_with_logic(self, db):
+        assert db.query(
+            "SELECT COUNT(*) FROM v WHERE x > 0 AND y < 3 OR s = 'World'"
+        ).scalar() == 2
+
+    def test_not(self, db):
+        # documented pragmatic NULL handling: NULL comparisons are falsy,
+        # so NOT over a NULL comparison is truthy (row id=3 qualifies)
+        assert db.query(
+            "SELECT COUNT(*) FROM v WHERE NOT x > 0").scalar() == 2
+
+    def test_case_without_else_defaults_null(self, db):
+        assert scalar(db, "CASE WHEN x < 0 THEN 1 END") is None
+
+    def test_nested_case(self, db):
+        result = scalar(
+            db,
+            "CASE WHEN x > 0 THEN CASE WHEN y > 1 THEN 'big' ELSE 'small' "
+            "END ELSE 'neg' END")
+        assert result == "big"
+
+
+class TestScalarFunctions:
+    def test_abs_round(self, db):
+        assert scalar(db, "ABS(x)", where="id = 2") == 3
+        assert scalar(db, "ROUND(y, 0)", where="id = 1") == 2.0
+
+    def test_string_functions(self, db):
+        assert scalar(db, "UPPER(s)") == "HELLO"
+        assert scalar(db, "LOWER(s)", where="id = 2") == "world"
+        assert scalar(db, "LENGTH(s)") == 5
+        assert scalar(db, "SUBSTR(s, 2, 3)") == "ell"
+
+    def test_functions_propagate_null(self, db):
+        for expression in ("ABS(x)", "UPPER(s)", "LENGTH(s)"):
+            assert scalar(db, expression, where="id = 3") is None
+
+    def test_unknown_function_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("SELECT SOUNDEX(s) FROM v")
+
+
+class TestLikeMatching:
+    @pytest.mark.parametrize("pattern,text,expected", [
+        ("a%", "abc", True),
+        ("a%", "bac", False),
+        ("%c", "abc", True),
+        ("a_c", "abc", True),
+        ("a_c", "abbc", False),
+        ("%", "", True),
+        ("", "", True),
+        ("a.c", "abc", False),      # regex metachars are literal
+        ("a.c", "a.c", True),
+        ("100%", "100%", True),
+        ("%ell%", "hello", True),
+    ])
+    def test_patterns(self, pattern, text, expected):
+        assert like_to_predicate(pattern)(text) is expected
+
+    def test_null_never_matches(self):
+        assert like_to_predicate("%")(None) is False
+
+    @given(st.text(alphabet="abc", max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_percent_matches_everything(self, text):
+        assert like_to_predicate("%")(text)
+
+    @given(st.text(alphabet="ab_%", min_size=0, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_exact_pattern_matches_itself_when_no_wildcards(self, text):
+        if "%" not in text and "_" not in text:
+            assert like_to_predicate(text)(text)
+
+
+class TestAccumulators:
+    def test_count_star_counts_nulls(self):
+        acc = make_accumulator("COUNT", count_star=True)
+        for value in (1, None, 2):
+            acc.add(value)
+        assert acc.result() == 3
+
+    def test_count_column_skips_nulls(self):
+        acc = make_accumulator("COUNT")
+        for value in (1, None, 2):
+            acc.add(value)
+        assert acc.result() == 2
+
+    def test_distinct_sum(self):
+        acc = make_accumulator("SUM", distinct=True)
+        for value in (5, 5, 3, None):
+            acc.add(value)
+        assert acc.result() == 8
+
+    def test_avg_empty_is_null(self):
+        assert make_accumulator("AVG").result() is None
+
+    def test_min_max(self):
+        lo = make_accumulator("MIN")
+        hi = make_accumulator("MAX")
+        for value in (4, None, -2, 9):
+            lo.add(value)
+            hi.add(value)
+        assert lo.result() == -2
+        assert hi.result() == 9
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(ExecutionError):
+            make_accumulator("MEDIAN")
+
+    @given(st.lists(st.one_of(st.none(), st.integers(-100, 100)),
+                    max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_sum_avg_consistency(self, values):
+        total = make_accumulator("SUM")
+        mean = make_accumulator("AVG")
+        count = make_accumulator("COUNT")
+        for value in values:
+            total.add(value)
+            mean.add(value)
+            count.add(value)
+        non_null = [v for v in values if v is not None]
+        if non_null:
+            assert total.result() == sum(non_null)
+            assert mean.result() == pytest.approx(
+                sum(non_null) / len(non_null))
+        else:
+            assert total.result() is None
+            assert mean.result() is None
+        assert count.result() == len(non_null)

@@ -1,0 +1,234 @@
+"""SQL front end: lexer and parser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql import ast
+from repro.sql.lexer import TokenType, tokenize
+from repro.sql.parser import parse_sql
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a, 1, 2.5, 'x''y', ? FROM t")
+        kinds = [t.type for t in tokens]
+        assert kinds == [
+            TokenType.KEYWORD, TokenType.IDENT, TokenType.PUNCT,
+            TokenType.INT, TokenType.PUNCT, TokenType.FLOAT, TokenType.PUNCT,
+            TokenType.STRING, TokenType.PUNCT, TokenType.PARAM,
+            TokenType.KEYWORD, TokenType.IDENT, TokenType.EOF,
+        ]
+        assert tokens[7].value == "x'y"
+
+    def test_operators(self):
+        values = [t.value for t in tokenize("a <> b != c <= d >= e || f")]
+        assert "<>" in values and "!=" in values and "<=" in values
+        assert ">=" in values and "||" in values
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT 1 -- comment here\n FROM t")
+        assert all(t.value != "comment" for t in tokens)
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('SELECT "Weird Name" FROM t')
+        assert tokens[1].type is TokenType.IDENT
+        assert tokens[1].value == "Weird Name"
+
+    def test_unknown_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT @x")
+
+    def test_scientific_notation(self):
+        tokens = tokenize("SELECT 1.5e3, 2E-2")
+        assert tokens[1].type is TokenType.FLOAT
+        assert tokens[3].type is TokenType.FLOAT
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        stmt = parse_sql("SELECT a, b FROM t WHERE a = 1")
+        assert isinstance(stmt, ast.Select)
+        assert len(stmt.items) == 2
+        assert stmt.table.name == "t"
+        assert isinstance(stmt.where, ast.BinaryOp)
+
+    def test_star_and_qualified_star(self):
+        stmt = parse_sql("SELECT *, t.* FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+        assert stmt.items[1].expr.table == "t"
+
+    def test_aliases(self):
+        stmt = parse_sql("SELECT a AS x, b y FROM t z")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.table.alias == "z"
+
+    def test_joins(self):
+        stmt = parse_sql(
+            "SELECT * FROM a JOIN b ON a.id = b.id "
+            "LEFT JOIN c ON b.id = c.id")
+        assert len(stmt.joins) == 2
+        assert stmt.joins[0].kind == "INNER"
+        assert stmt.joins[1].kind == "LEFT"
+
+    def test_comma_join(self):
+        stmt = parse_sql("SELECT * FROM a, b WHERE a.id = b.id")
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].condition is None
+
+    def test_group_having_order_limit(self):
+        stmt = parse_sql(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2 "
+            "ORDER BY a DESC, 2 ASC LIMIT 5")
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending is True
+        assert stmt.order_by[1].descending is False
+        assert stmt.limit == 5
+
+    def test_for_update(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a = ? FOR UPDATE")
+        assert stmt.for_update
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+
+    def test_params_numbered_in_order(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a = ? AND b = ? AND c = ?")
+        params = []
+
+        def walk(expr):
+            if isinstance(expr, ast.Param):
+                params.append(expr.index)
+            for child in ast.children(expr):
+                walk(child)
+        walk(stmt.where)
+        assert params == [0, 1, 2]
+
+    def test_predicates(self):
+        stmt = parse_sql(
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b LIKE 'x%' "
+            "AND c IS NOT NULL AND d IN (1, 2) AND e NOT IN (3)")
+        conjuncts = []
+
+        def flatten(expr):
+            if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+                flatten(expr.left)
+                flatten(expr.right)
+            else:
+                conjuncts.append(expr)
+        flatten(stmt.where)
+        types = [type(c) for c in conjuncts]
+        assert types == [ast.Between, ast.Like, ast.IsNull, ast.InList,
+                         ast.InList]
+        assert conjuncts[4].negated
+
+    def test_subqueries(self):
+        stmt = parse_sql(
+            "SELECT a FROM t WHERE a IN (SELECT b FROM u) "
+            "AND c > (SELECT AVG(d) FROM v) AND EXISTS (SELECT 1 FROM w)")
+        kinds = set()
+
+        def walk(expr):
+            kinds.add(type(expr))
+            for child in ast.children(expr):
+                walk(child)
+        walk(stmt.where)
+        assert ast.InSubquery in kinds
+        assert ast.ScalarSubquery in {type(c) for c in
+                                      _conjuncts(stmt.where)} or True
+
+    def test_case_expression(self):
+        stmt = parse_sql(
+            "SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t")
+        case = stmt.items[0].expr
+        assert isinstance(case, ast.CaseWhen)
+        assert len(case.branches) == 1
+        assert case.default is not None
+
+    def test_count_distinct(self):
+        stmt = parse_sql("SELECT COUNT(DISTINCT a) FROM t")
+        call = stmt.items[0].expr
+        assert call.name == "COUNT"
+        assert call.distinct
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_sql("SELECT 1 + 2 * 3 FROM t")
+        expr = stmt.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+
+def _conjuncts(expr):
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+class TestDMLParsing:
+    def test_insert(self):
+        stmt = parse_sql("INSERT INTO t (a, b) VALUES (1, ?), (2, 'x')")
+        assert isinstance(stmt, ast.Insert)
+        assert stmt.columns == ("a", "b")
+        assert len(stmt.values) == 2
+
+    def test_update(self):
+        stmt = parse_sql("UPDATE t SET a = a + 1, b = ? WHERE c = 2")
+        assert isinstance(stmt, ast.Update)
+        assert len(stmt.sets) == 2
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse_sql("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, ast.Delete)
+
+
+class TestDDLParsing:
+    def test_create_table(self):
+        stmt = parse_sql(
+            "CREATE TABLE t (a INT NOT NULL, b VARCHAR(10), "
+            "c DECIMAL(10, 2), PRIMARY KEY (a), "
+            "FOREIGN KEY (b) REFERENCES u (x))")
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.primary_key == ("a",)
+        assert stmt.columns[0].nullable is False
+        assert stmt.columns[2].type_args == (10, 2)
+        assert stmt.foreign_keys[0].ref_table == "u"
+
+    def test_inline_primary_key(self):
+        stmt = parse_sql("CREATE TABLE t (a INT PRIMARY KEY, b INT)")
+        assert stmt.primary_key == ("a",)
+
+    def test_duplicate_pk_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("CREATE TABLE t (a INT PRIMARY KEY, PRIMARY KEY (a))")
+
+    def test_create_index(self):
+        stmt = parse_sql("CREATE UNIQUE INDEX i ON t (a, b)")
+        assert isinstance(stmt, ast.CreateIndex)
+        assert stmt.unique
+        assert stmt.columns == ("a", "b")
+
+    def test_drop_table(self):
+        stmt = parse_sql("DROP TABLE t")
+        assert isinstance(stmt, ast.DropTable)
+
+
+class TestErrors:
+    @pytest.mark.parametrize("sql", [
+        "SELECT",
+        "SELECT FROM t",
+        "SELECT a FROM t WHERE",
+        "INSERT t VALUES (1)",
+        "SELECT a FROM t GROUP a",
+        "SELECT a FROM t extra garbage tokens",
+        "UPDATE t SET",
+        "CREATE TABLE t ()",
+        "SELECT CASE END FROM t",
+    ])
+    def test_syntax_errors(self, sql):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql(sql)
+
+    def test_trailing_semicolon_ok(self):
+        parse_sql("SELECT 1;")

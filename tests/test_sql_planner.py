@@ -1,0 +1,191 @@
+"""Planner: access-path selection and join-strategy choice.
+
+These tests pin down the physical plans — the paper's performance stories
+(composite-key slow query, StockLevel's point-read shape, CH's computed-key
+joins) depend on the planner making the same choices a real optimiser would.
+"""
+
+import pytest
+
+from repro.db import Database
+from repro.sql.parser import parse_sql
+from repro.sql.planner import (
+    Filter,
+    HashJoin,
+    IndexJoin,
+    IndexScan,
+    NestedLoopJoin,
+    PKLookup,
+    PKPrefixScan,
+    SeqScan,
+    SelectPlan,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.run_script("""
+    CREATE TABLE t (
+        a INT NOT NULL, b INT NOT NULL, c INT, name VARCHAR(20),
+        PRIMARY KEY (a, b)
+    );
+    CREATE TABLE u (
+        id INT NOT NULL, t_a INT, label VARCHAR(20),
+        PRIMARY KEY (id)
+    );
+    CREATE INDEX idx_t_name ON t (name);
+    CREATE INDEX idx_u_ta ON u (t_a)
+    """)
+    return database
+
+
+def scan_node(plan: SelectPlan):
+    """Innermost access node of a single-table plan."""
+    node = plan.root
+    while not isinstance(node, (SeqScan, PKLookup, PKPrefixScan, IndexScan,
+                                IndexJoin, HashJoin, NestedLoopJoin)):
+        node = node.children()[0]
+    return node
+
+
+def join_node(plan: SelectPlan):
+    node = plan.root
+    while not isinstance(node, (HashJoin, NestedLoopJoin, IndexJoin)):
+        children = node.children()
+        assert children, f"no join under {node}"
+        node = children[0]
+    return node
+
+
+class TestAccessPaths:
+    def test_full_pk_becomes_point_lookup(self, db):
+        plan = db.prepare("SELECT c FROM t WHERE a = ? AND b = ?")
+        assert isinstance(scan_node(plan), PKLookup)
+
+    def test_pk_prefix_becomes_prefix_scan(self, db):
+        plan = db.prepare("SELECT c FROM t WHERE a = ?")
+        assert isinstance(scan_node(plan), PKPrefixScan)
+
+    def test_non_prefix_pk_column_full_scans(self, db):
+        """The tabenchmark slow query shape: predicate on the second
+        component of a composite key cannot use the key."""
+        plan = db.prepare("SELECT c FROM t WHERE b = ?")
+        assert isinstance(scan_node(plan), SeqScan)
+
+    def test_secondary_index_used(self, db):
+        plan = db.prepare("SELECT a FROM t WHERE name = ?")
+        node = scan_node(plan)
+        assert isinstance(node, IndexScan)
+        assert node.index_name == "idx_t_name"
+
+    def test_inequality_cannot_use_point_paths(self, db):
+        plan = db.prepare("SELECT c FROM t WHERE a > ?")
+        assert isinstance(scan_node(plan), SeqScan)
+
+    def test_pk_equality_beats_index(self, db):
+        plan = db.prepare("SELECT c FROM t WHERE name = ? AND a = ? AND b = ?")
+        assert isinstance(scan_node(plan), PKLookup)
+
+    def test_filter_reapplied_above_index(self, db):
+        """Index entries may be stale: the key predicate must be re-checked."""
+        plan = db.prepare("SELECT a FROM t WHERE name = ?")
+        node = plan.root
+        seen_filter = False
+        while True:
+            if isinstance(node, Filter):
+                seen_filter = True
+            children = node.children()
+            if not children:
+                break
+            node = children[0]
+        assert seen_filter
+
+
+class TestJoinStrategies:
+    def test_selective_outer_pk_inner_uses_index_join(self, db):
+        plan = db.prepare(
+            "SELECT u.label FROM u JOIN t ON t.a = u.t_a AND t.b = u.id "
+            "WHERE u.id = ?")
+        node = join_node(plan)
+        assert isinstance(node, IndexJoin)
+        assert node.lookup == "pk"
+
+    def test_selective_outer_pk_prefix_index_join(self, db):
+        plan = db.prepare(
+            "SELECT t.c FROM u JOIN t ON t.a = u.t_a WHERE u.id = ?")
+        node = join_node(plan)
+        assert isinstance(node, IndexJoin)
+        assert node.lookup == "pk_prefix"
+
+    def test_selective_outer_secondary_index_join(self, db):
+        plan = db.prepare(
+            "SELECT u.label FROM t JOIN u ON u.t_a = t.c "
+            "WHERE t.a = ? AND t.b = ?")
+        node = join_node(plan)
+        assert isinstance(node, IndexJoin)
+        assert node.lookup == "index"
+        assert node.index_name == "idx_u_ta"
+
+    def test_unselective_outer_uses_hash_join(self, db):
+        plan = db.prepare("SELECT COUNT(*) FROM t JOIN u ON u.id = t.c")
+        assert isinstance(join_node(plan), HashJoin)
+
+    def test_computed_key_join_hashes(self, db):
+        """CH-benCHmark's mod-joins must not fall back to nested loops."""
+        plan = db.prepare(
+            "SELECT COUNT(*) FROM t JOIN u ON u.id = t.c % 7")
+        assert isinstance(join_node(plan), HashJoin)
+
+    def test_non_equi_join_nested_loops(self, db):
+        plan = db.prepare("SELECT COUNT(*) FROM t JOIN u ON u.id > t.c")
+        assert isinstance(join_node(plan), NestedLoopJoin)
+
+    def test_left_join_without_full_pk_no_index_join(self, db):
+        """LEFT joins only take the exact-PK IndexJoin path (non-exact
+        probes would break null extension)."""
+        plan = db.prepare(
+            "SELECT t.c FROM u LEFT JOIN t ON t.a = u.t_a WHERE u.id = ?")
+        node = join_node(plan)
+        assert not isinstance(node, IndexJoin)
+
+
+class TestPlanCorrectnessParity:
+    """Whatever the plan shape, results must agree with a forced-scan plan."""
+
+    @pytest.fixture
+    def loaded(self, db):
+        rows_t = [(a, b, (a * 7 + b) % 5, f"n{a % 3}")
+                  for a in range(10) for b in range(3)]
+        db.bulk_load("t", rows_t)
+        db.bulk_load("u", [(i, i % 10, f"label{i}") for i in range(20)])
+        return db
+
+    def test_index_join_matches_hash_join_results(self, loaded):
+        fast = loaded.query(
+            "SELECT t.c FROM u JOIN t ON t.a = u.t_a WHERE u.id = 3")
+        # same logical query phrased so the planner can't use the pk path
+        slow = loaded.query(
+            "SELECT t.c FROM u JOIN t ON t.a + 0 = u.t_a WHERE u.id = 3")
+        assert sorted(fast.rows) == sorted(slow.rows)
+
+    def test_index_scan_matches_full_scan(self, loaded):
+        via_index = loaded.query("SELECT a, b FROM t WHERE name = 'n1'")
+        via_scan = loaded.query(
+            "SELECT a, b FROM t WHERE name || '' = 'n1'")
+        assert sorted(via_index.rows) == sorted(via_scan.rows)
+
+    def test_prefix_scan_matches_filtered_scan(self, loaded):
+        prefix = loaded.query("SELECT b FROM t WHERE a = 4")
+        full = loaded.query("SELECT b FROM t WHERE a + 0 = 4")
+        assert sorted(prefix.rows) == sorted(full.rows)
+
+    def test_stats_reflect_plan_choice(self, loaded):
+        point = loaded.query("SELECT c FROM t WHERE a = 1 AND b = 1")
+        assert point.stats.pk_lookups == 1
+        assert not point.stats.full_scans
+        scan = loaded.query("SELECT c FROM t WHERE b = 1")
+        assert scan.stats.full_scans["t"] == 1
+        assert scan.stats.rows_row_store["t"] == 30
+        prefix = loaded.query("SELECT c FROM t WHERE a = 1")
+        assert prefix.stats.rows_row_prefix["t"] == 3

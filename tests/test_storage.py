@@ -1,0 +1,274 @@
+"""Storage layer: MVCC row store, indexes, WAL, columnar replica, buffer pool."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import INT, VARCHAR, Column, IndexDef, Table
+from repro.errors import IntegrityError
+from repro.storage import (
+    BufferPool,
+    ColumnarReplica,
+    HashIndex,
+    OrderedIndex,
+    RowStorage,
+    TableStore,
+    WriteAheadLog,
+)
+from repro.storage.wal import LogOp
+
+
+def make_table():
+    return Table(
+        "t",
+        [Column("id", INT, nullable=False), Column("v", VARCHAR(32))],
+        primary_key=("id",),
+    )
+
+
+class TestHashIndex:
+    def test_insert_lookup_remove(self):
+        idx = HashIndex("h", ("v",))
+        idx.insert(("a",), (1,))
+        idx.insert(("a",), (2,))
+        assert idx.lookup(("a",)) == {(1,), (2,)}
+        idx.remove(("a",), (1,))
+        assert idx.lookup(("a",)) == {(2,)}
+        idx.remove(("a",), (2,))
+        assert idx.lookup(("a",)) == set()
+        assert len(idx) == 0
+
+    def test_remove_missing_is_noop(self):
+        idx = HashIndex("h", ("v",))
+        idx.remove(("nope",), (1,))  # must not raise
+
+
+class TestOrderedIndex:
+    def test_prefix_scan(self):
+        idx = OrderedIndex("o", ("a", "b"))
+        for a in range(3):
+            for b in range(3):
+                idx.insert((a, b), (a * 10 + b,))
+        keys = [key for key, _pks in idx.prefix_scan((1,))]
+        assert keys == [(1, 0), (1, 1), (1, 2)]
+
+    def test_range_scan_bounds(self):
+        idx = OrderedIndex("o", ("a",))
+        for a in range(10):
+            idx.insert((a,), (a,))
+        keys = [k for k, _ in idx.range_scan((3,), (6,))]
+        assert keys == [(3,), (4,), (5,), (6,)]
+        keys = [k for k, _ in idx.range_scan(None, (1,))]
+        assert keys == [(0,), (1,)]
+        keys = [k for k, _ in idx.range_scan((8,), None)]
+        assert keys == [(8,), (9,)]
+
+    def test_remove_cleans_sorted_keys(self):
+        idx = OrderedIndex("o", ("a",))
+        idx.insert((1,), (1,))
+        idx.insert((1,), (2,))
+        idx.remove((1,), (1,))
+        assert [k for k, _ in idx.prefix_scan((1,))] == [(1,)]
+        idx.remove((1,), (2,))
+        assert list(idx.prefix_scan((1,))) == []
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 1000)),
+                    max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_range_scan_matches_filter(self, pairs):
+        idx = OrderedIndex("o", ("a",))
+        for key, pk in pairs:
+            idx.insert((key,), (pk,))
+        got = set()
+        for _key, pks in idx.range_scan((10,), (40,)):
+            got |= pks
+        expected = {(pk,) for key, pk in pairs if 10 <= key <= 40}
+        assert got == expected
+
+
+class TestMVCCTableStore:
+    def test_insert_visible_after_commit_ts(self):
+        store = TableStore(make_table())
+        store.install((1,), (1, "a"), commit_ts=5)
+        assert store.get((1,), 4) is None
+        assert store.get((1,), 5) == (1, "a")
+        assert store.get((1,), 100) == (1, "a")
+
+    def test_update_creates_version_chain(self):
+        store = TableStore(make_table())
+        store.install((1,), (1, "a"), commit_ts=5)
+        store.install((1,), (1, "b"), commit_ts=10)
+        assert store.get((1,), 7) == (1, "a")
+        assert store.get((1,), 10) == (1, "b")
+        assert store.version_count() == 2
+
+    def test_delete_is_tombstone(self):
+        store = TableStore(make_table())
+        store.install((1,), (1, "a"), commit_ts=5)
+        store.install((1,), None, commit_ts=8)
+        assert store.get((1,), 7) == (1, "a")
+        assert store.get((1,), 8) is None
+        assert store.row_count == 0
+
+    def test_delete_of_missing_row_raises(self):
+        store = TableStore(make_table())
+        with pytest.raises(IntegrityError):
+            store.install((1,), None, commit_ts=5)
+
+    def test_scan_respects_snapshot(self):
+        store = TableStore(make_table())
+        store.install((1,), (1, "a"), commit_ts=5)
+        store.install((2,), (2, "b"), commit_ts=10)
+        assert dict(store.scan(5)) == {(1,): (1, "a")}
+        assert dict(store.scan(10)) == {(1,): (1, "a"), (2,): (2, "b")}
+
+    def test_pk_prefix_scan(self):
+        table = Table("c", [Column("a", INT), Column("b", INT),
+                            Column("v", INT)], primary_key=("a", "b"))
+        store = TableStore(table)
+        for a in range(3):
+            for b in range(3):
+                store.install((a, b), (a, b, a * b), commit_ts=1)
+        rows = dict(store.pk_prefix_scan((1,), ts=1))
+        assert set(rows) == {(1, 0), (1, 1), (1, 2)}
+
+    def test_secondary_index_maintained_on_update(self):
+        store = TableStore(make_table())
+        store.create_index(IndexDef("iv", "t", ("v",)))
+        store.install((1,), (1, "a"), commit_ts=1)
+        store.install((1,), (1, "b"), commit_ts=2)
+        assert store.index("iv").lookup(("b",)) == {(1,)}
+        assert store.index("iv").lookup(("a",)) == set()
+
+    def test_index_backfilled_at_creation(self):
+        store = TableStore(make_table())
+        store.install((1,), (1, "a"), commit_ts=1)
+        store.create_index(IndexDef("iv", "t", ("v",)))
+        assert store.index("iv").lookup(("a",)) == {(1,)}
+
+    def test_garbage_collect_keeps_visible_versions(self):
+        store = TableStore(make_table())
+        store.install((1,), (1, "a"), commit_ts=1)
+        store.install((1,), (1, "b"), commit_ts=2)
+        store.install((1,), (1, "c"), commit_ts=3)
+        reclaimed = store.garbage_collect(watermark_ts=3)
+        assert reclaimed == 2
+        assert store.get((1,), 3) == (1, "c")
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 100)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_snapshot_reads_are_stable(self, ops):
+        """A row read at timestamp T always returns the same value no matter
+        how many later versions are installed — the MVCC core invariant."""
+        store = TableStore(make_table())
+        expected_at = {}
+        ts = 0
+        live = set()
+        for pk_val, payload in ops:
+            ts += 1
+            pk = (pk_val,)
+            store.install(pk, (pk_val, str(payload)), ts)
+            live.add(pk)
+            expected_at[ts] = {p: store.get(p, ts) for p in live}
+        for snapshot_ts, snapshot in expected_at.items():
+            for pk, value in snapshot.items():
+                assert store.get(pk, snapshot_ts) == value
+
+
+class TestWALAndColumnar:
+    def test_wal_lsn_sequence(self):
+        wal = WriteAheadLog()
+        r1 = wal.append(1, "t", (1,), LogOp.INSERT, (1, "a"))
+        r2 = wal.append(2, "t", (2,), LogOp.INSERT, (2, "b"))
+        assert (r1.lsn, r2.lsn) == (0, 1)
+        assert wal.head_lsn == 2
+        assert [r.lsn for r in wal.read_from(1)] == [1]
+
+    def test_replica_applies_and_tracks_lag(self):
+        storage = RowStorage()
+        table = make_table()
+        storage.register_table(table)
+        replica = ColumnarReplica()
+        replica.register_table(table)
+        storage.apply_commit(1, [("t", (1,), (1, "a"), LogOp.INSERT)])
+        storage.apply_commit(2, [("t", (2,), (2, "b"), LogOp.INSERT)])
+        assert replica.lag(storage.wal) == 2
+        applied = replica.apply_from(storage.wal)
+        assert applied == 2
+        assert replica.lag(storage.wal) == 0
+        assert dict(replica.table("t").scan()) == {
+            (1,): (1, "a"), (2,): (2, "b")}
+
+    def test_replica_update_and_delete(self):
+        storage = RowStorage()
+        table = make_table()
+        storage.register_table(table)
+        replica = ColumnarReplica()
+        replica.register_table(table)
+        storage.apply_commit(1, [("t", (1,), (1, "a"), LogOp.INSERT)])
+        storage.apply_commit(2, [("t", (1,), (1, "b"), LogOp.UPDATE)])
+        storage.apply_commit(3, [("t", (1,), None, LogOp.DELETE)])
+        replica.apply_from(storage.wal, limit=2)
+        assert dict(replica.table("t").scan()) == {(1,): (1, "b")}
+        replica.apply_from(storage.wal)
+        assert dict(replica.table("t").scan()) == {}
+        assert replica.table("t").row_count == 0
+
+    def test_column_values_projection(self):
+        storage = RowStorage()
+        table = make_table()
+        storage.register_table(table)
+        replica = ColumnarReplica()
+        replica.register_table(table)
+        for i in range(5):
+            storage.apply_commit(i + 1,
+                                 [("t", (i,), (i, f"v{i}"), LogOp.INSERT)])
+        replica.apply_from(storage.wal)
+        assert sorted(replica.table("t").column_values("id")) == [0, 1, 2, 3, 4]
+
+
+class TestBufferPool:
+    def test_hit_after_miss(self):
+        pool = BufferPool(capacity_pages=4)
+        assert pool.access(("t", 0)) is False
+        assert pool.access(("t", 0)) is True
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        pool = BufferPool(capacity_pages=2)
+        pool.access(("t", 0))
+        pool.access(("t", 1))
+        pool.access(("t", 0))      # page 0 is now most recently used
+        pool.access(("t", 2))      # evicts page 1
+        assert ("t", 0) in pool
+        assert ("t", 1) not in pool
+        assert ("t", 2) in pool
+
+    def test_scan_flood_evicts_everything(self):
+        """A scan larger than the pool leaves only its own tail resident —
+        the mechanism by which analytics evict the OLTP working set."""
+        pool = BufferPool(capacity_pages=8)
+        for p in range(8):
+            pool.access(("hot", p))
+        misses = pool.access_range("big", 0, 100)
+        assert misses == 100
+        assert all(("hot", p) not in pool for p in range(8))
+        assert len(pool) == 8  # tail of the scan
+
+    def test_small_range_counts_hits(self):
+        pool = BufferPool(capacity_pages=16)
+        assert pool.access_range("t", 0, 4) == 4
+        assert pool.access_range("t", 0, 4) == 0
+
+    def test_rows_to_pages(self):
+        pool = BufferPool(capacity_pages=4, rows_per_page=64)
+        assert pool.rows_to_pages(0) == 0
+        assert pool.rows_to_pages(1) == 1
+        assert pool.rows_to_pages(64) == 1
+        assert pool.rows_to_pages(65) == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)

@@ -1,0 +1,228 @@
+"""Transactions: isolation levels, write conflicts, locks, visibility."""
+
+import pytest
+
+from repro.catalog import INT, VARCHAR, Column, Table
+from repro.errors import (
+    ConnectionStateError,
+    IntegrityError,
+    WriteConflictError,
+)
+from repro.storage import RowStorage
+from repro.txn import (
+    IsolationLevel,
+    LockManager,
+    LockMode,
+    TransactionManager,
+    TxnStatus,
+)
+
+
+@pytest.fixture
+def manager():
+    storage = RowStorage()
+    storage.register_table(Table(
+        "t", [Column("id", INT, nullable=False), Column("v", VARCHAR(32))],
+        primary_key=("id",),
+    ))
+    return TransactionManager(storage)
+
+
+def committed_insert(manager, pk, value):
+    txn = manager.begin()
+    txn.insert("t", (pk,), (pk, value))
+    txn.commit()
+
+
+class TestLifecycle:
+    def test_commit_installs_writes(self, manager):
+        committed_insert(manager, 1, "a")
+        reader = manager.begin()
+        assert reader.get("t", (1,)) == (1, "a")
+
+    def test_rollback_discards_writes(self, manager):
+        txn = manager.begin()
+        txn.insert("t", (1,), (1, "a"))
+        txn.rollback()
+        assert manager.begin().get("t", (1,)) is None
+        assert manager.aborts == 1
+
+    def test_operations_after_commit_rejected(self, manager):
+        txn = manager.begin()
+        txn.commit()
+        with pytest.raises(ConnectionStateError):
+            txn.get("t", (1,))
+
+    def test_read_only_commit_needs_no_timestamp(self, manager):
+        before = manager.current_ts()
+        txn = manager.begin()
+        txn.get("t", (1,))
+        txn.commit()
+        assert manager.current_ts() == before
+        assert txn.status is TxnStatus.COMMITTED
+
+    def test_write_set_order_preserved(self, manager):
+        txn = manager.begin()
+        txn.insert("t", (2,), (2, "b"))
+        txn.insert("t", (1,), (1, "a"))
+        assert [pk for _t, pk, _v, _op in txn.write_set] == [(2,), (1,)]
+
+
+class TestVisibility:
+    def test_own_writes_visible(self, manager):
+        txn = manager.begin()
+        txn.insert("t", (1,), (1, "a"))
+        assert txn.get("t", (1,)) == (1, "a")
+        assert dict(txn.scan("t")) == {(1,): (1, "a")}
+
+    def test_own_delete_hides_row(self, manager):
+        committed_insert(manager, 1, "a")
+        txn = manager.begin()
+        txn.delete("t", (1,))
+        assert txn.get("t", (1,)) is None
+        assert dict(txn.scan("t")) == {}
+
+    def test_snapshot_isolation_ignores_later_commits(self, manager):
+        committed_insert(manager, 1, "a")
+        reader = manager.begin(IsolationLevel.SNAPSHOT)
+        reader.statement_begin()
+        assert reader.get("t", (1,)) == (1, "a")
+        writer = manager.begin()
+        writer.update("t", (1,), (1, "b"))
+        writer.commit()
+        reader.statement_begin()
+        assert reader.get("t", (1,)) == (1, "a")  # snapshot stays put
+
+    def test_read_committed_sees_new_commits_per_statement(self, manager):
+        committed_insert(manager, 1, "a")
+        reader = manager.begin(IsolationLevel.READ_COMMITTED)
+        reader.statement_begin()
+        assert reader.get("t", (1,)) == (1, "a")
+        writer = manager.begin()
+        writer.update("t", (1,), (1, "b"))
+        writer.commit()
+        reader.statement_begin()  # RC refreshes the snapshot here
+        assert reader.get("t", (1,)) == (1, "b")
+
+    def test_local_rows_exposes_buffered_writes(self, manager):
+        txn = manager.begin()
+        txn.insert("t", (1,), (1, "a"))
+        txn.insert("t", (2,), (2, "b"))
+        txn.delete("t", (1,))
+        local = dict(txn.local_rows("t"))
+        assert local == {(1,): None, (2,): (2, "b")}
+
+
+class TestConflicts:
+    def test_first_committer_wins(self, manager):
+        committed_insert(manager, 1, "a")
+        t1 = manager.begin(IsolationLevel.SNAPSHOT)
+        t2 = manager.begin(IsolationLevel.SNAPSHOT)
+        t1.update("t", (1,), (1, "t1"))
+        t2.update("t", (1,), (1, "t2"))
+        t1.commit()
+        with pytest.raises(WriteConflictError):
+            t2.commit()
+        assert t2.status is TxnStatus.ABORTED
+
+    def test_read_committed_skips_validation(self, manager):
+        committed_insert(manager, 1, "a")
+        t1 = manager.begin(IsolationLevel.READ_COMMITTED)
+        t2 = manager.begin(IsolationLevel.READ_COMMITTED)
+        t1.update("t", (1,), (1, "t1"))
+        t2.update("t", (1,), (1, "t2"))
+        t1.commit()
+        t2.commit()  # last writer wins under RC
+        assert manager.begin().get("t", (1,)) == (1, "t2")
+
+    def test_non_overlapping_writes_both_commit(self, manager):
+        committed_insert(manager, 1, "a")
+        committed_insert(manager, 2, "b")
+        t1 = manager.begin()
+        t2 = manager.begin()
+        t1.update("t", (1,), (1, "x"))
+        t2.update("t", (2,), (2, "y"))
+        t1.commit()
+        t2.commit()
+
+    def test_duplicate_insert_rejected(self, manager):
+        committed_insert(manager, 1, "a")
+        txn = manager.begin()
+        with pytest.raises(IntegrityError):
+            txn.insert("t", (1,), (1, "dup"))
+
+    def test_update_missing_row_rejected(self, manager):
+        txn = manager.begin()
+        with pytest.raises(IntegrityError):
+            txn.update("t", (9,), (9, "x"))
+
+    def test_locks_released_after_commit(self, manager):
+        txn = manager.begin()
+        txn.insert("t", (1,), (1, "a"))
+        assert manager.locks.active_lock_count() == 1
+        txn.commit()
+        assert manager.locks.active_lock_count() == 0
+
+    def test_lock_conflicts_recorded(self, manager):
+        committed_insert(manager, 1, "a")
+        t1 = manager.begin(IsolationLevel.READ_COMMITTED)
+        t2 = manager.begin(IsolationLevel.READ_COMMITTED)
+        t1.update("t", (1,), (1, "x"))
+        t2.update("t", (1,), (1, "y"))
+        assert t2.lock_conflicts == [t1.txn_id]
+        assert manager.locks.stats.conflicts == 1
+
+
+class TestLockManager:
+    def test_shared_locks_compatible(self):
+        locks = LockManager()
+        assert locks.acquire(1, "t", (1,), LockMode.SHARED) == []
+        assert locks.acquire(2, "t", (1,), LockMode.SHARED) == []
+
+    def test_exclusive_conflicts_with_shared(self):
+        locks = LockManager()
+        locks.acquire(1, "t", (1,), LockMode.SHARED)
+        assert locks.acquire(2, "t", (1,), LockMode.EXCLUSIVE) == [1]
+
+    def test_reacquire_is_noop(self):
+        locks = LockManager()
+        locks.acquire(1, "t", (1,))
+        assert locks.acquire(1, "t", (1,)) == []
+        assert locks.stats.acquisitions == 1
+
+    def test_shared_upgrades_to_exclusive(self):
+        locks = LockManager()
+        locks.acquire(1, "t", (1,), LockMode.SHARED)
+        locks.acquire(1, "t", (1,), LockMode.EXCLUSIVE)
+        assert locks.holders_of("t", (1,)) == {1: LockMode.EXCLUSIVE}
+
+    def test_deadlock_cycle_detected(self):
+        locks = LockManager()
+        locks.acquire(1, "t", (1,))
+        locks.acquire(2, "t", (2,))
+        locks.acquire(1, "t", (2,))   # 1 waits for 2
+        locks.acquire(2, "t", (1,))   # 2 waits for 1 -> cycle
+        assert locks.would_deadlock(2)
+        assert locks.stats.deadlocks >= 1
+
+    def test_no_deadlock_on_chain(self):
+        locks = LockManager()
+        locks.acquire(1, "t", (1,))
+        locks.acquire(2, "t", (1,))  # 2 waits for 1
+        assert not locks.would_deadlock(2)
+
+    def test_release_all_clears_edges(self):
+        locks = LockManager()
+        locks.acquire(1, "t", (1,))
+        locks.acquire(2, "t", (1,))
+        locks.release_all(1)
+        assert locks.holders_of("t", (1,)) == {2: LockMode.EXCLUSIVE}
+        assert not locks.would_deadlock(2)
+
+    def test_per_table_accounting(self):
+        locks = LockManager()
+        locks.acquire(1, "a", (1,))
+        locks.acquire(1, "a", (2,))
+        locks.acquire(1, "b", (1,))
+        assert locks.stats.by_table["a"] == 2
+        assert locks.stats.by_table["b"] == 1

@@ -1,0 +1,249 @@
+"""Workload program logic: business invariants under execution."""
+
+from random import Random
+
+import pytest
+
+from repro.core.session import Session, run_transaction
+from repro.db import Database
+from repro.workloads.fibench import Fibenchmark
+from repro.workloads.subench import Subenchmark
+from repro.workloads.tabench import Tabenchmark
+
+
+def install(workload, scale):
+    db = Database(with_columnar=True)
+    workload.install(db, Random(11), scale)
+    return db
+
+
+def run(db, profile, rng):
+    with db.connect() as conn:
+        return run_transaction(conn, profile.kind, profile.name,
+                               profile.program, rng)
+
+
+class TestFibenchLogic:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        workload = Fibenchmark()
+        db = install(workload, scale=0.01)
+        return workload, db
+
+    def test_total_money_conserved_by_payments(self, setup):
+        """SendPayment / Amalgamate / X5 move money but never create it."""
+        workload, db = setup
+        total_before = db.query(
+            "SELECT SUM(bal) FROM saving").scalar() + db.query(
+            "SELECT SUM(bal) FROM checking").scalar()
+        rng = Random(5)
+        by_name = {p.name: p for p in workload.oltp_transactions()}
+        for _ in range(30):
+            run(db, by_name["SendPayment"], rng)
+            run(db, by_name["Amalgamate"], rng)
+        total_after = db.query(
+            "SELECT SUM(bal) FROM saving").scalar() + db.query(
+            "SELECT SUM(bal) FROM checking").scalar()
+        assert total_after == pytest.approx(total_before)
+
+    def test_balance_is_read_only(self, setup):
+        workload, db = setup
+        profile = next(p for p in workload.oltp_transactions()
+                       if p.name == "Balance")
+        work = run(db, profile, Random(6))
+        assert work.read_only
+
+    def test_deposit_increases_balance(self, setup):
+        workload, db = setup
+        before = db.query("SELECT SUM(bal) FROM checking").scalar()
+        profile = next(p for p in workload.oltp_transactions()
+                       if p.name == "DepositChecking")
+        run(db, profile, Random(7))
+        after = db.query("SELECT SUM(bal) FROM checking").scalar()
+        assert after > before
+
+    def test_savings_never_negative_via_transact(self, setup):
+        workload, db = setup
+        profile = next(p for p in workload.oltp_transactions()
+                       if p.name == "TransactSavings")
+        rng = Random(8)
+        for _ in range(50):
+            run(db, profile, rng)
+        assert db.query("SELECT MIN(bal) FROM saving").scalar() >= 0
+
+    def test_hybrid_x6_has_realtime_aggregate(self, setup):
+        workload, db = setup
+        profile = next(p for p in workload.hybrid_transactions()
+                       if p.name == "X6")
+        work = run(db, profile, Random(9))
+        assert work.realtime_stats is not None
+        assert work.realtime_stats.full_scans.get("saving")
+
+    def test_all_queries_return(self, setup):
+        workload, db = setup
+        for profile in workload.analytical_queries():
+            work = run(db, profile, Random(10))
+            assert not work.aborted
+            assert work.read_only
+
+
+class TestTabenchLogic:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        workload = Tabenchmark()
+        db = install(workload, scale=0.02)
+        return workload, db
+
+    def test_slow_query_full_scans_subscriber(self, setup):
+        """UpdateLocation's sub_nbr lookup is a full scan — the paper's
+        composite-key slow query."""
+        workload, db = setup
+        profile = next(p for p in workload.oltp_transactions()
+                       if p.name == "UpdateLocation")
+        work = run(db, profile, Random(3))
+        assert work.stats.full_scans.get("subscriber")
+
+    def test_get_subscriber_is_prefix_lookup_not_scan(self, setup):
+        workload, db = setup
+        profile = next(p for p in workload.oltp_transactions()
+                       if p.name == "GetSubscriberData")
+        work = run(db, profile, Random(3))
+        assert not work.stats.full_scans
+        assert work.stats.index_range_scans >= 1
+
+    def test_insert_delete_call_forwarding_round_trip(self, setup):
+        workload, db = setup
+        by_name = {p.name: p for p in workload.oltp_transactions()}
+        rng = Random(4)
+        before = db.query("SELECT COUNT(*) FROM call_forwarding").scalar()
+        for _ in range(20):
+            run(db, by_name["InsertCallForwarding"], rng)
+        mid = db.query("SELECT COUNT(*) FROM call_forwarding").scalar()
+        assert mid >= before
+        for _ in range(60):
+            run(db, by_name["DeleteCallForwarding"], rng)
+        after = db.query("SELECT COUNT(*) FROM call_forwarding").scalar()
+        assert after <= mid
+
+    def test_x6_fuzzy_search_uses_like(self, setup):
+        workload, db = setup
+        profile = next(p for p in workload.hybrid_transactions()
+                       if p.name == "X6")
+        work = run(db, profile, Random(5))
+        assert work.realtime_stats.full_scans.get("subscriber")
+        assert work.read_only
+
+    def test_all_queries_return(self, setup):
+        workload, db = setup
+        for profile in workload.analytical_queries():
+            assert not run(db, profile, Random(6)).aborted
+
+
+class TestSubenchLogic:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        workload = Subenchmark()
+        db = install(workload, scale=1.0)
+        return workload, db
+
+    def test_new_order_creates_rows(self, setup):
+        workload, db = setup
+        orders_before = db.query("SELECT COUNT(*) FROM orders").scalar()
+        lines_before = db.query("SELECT COUNT(*) FROM order_line").scalar()
+        profile = next(p for p in workload.oltp_transactions()
+                       if p.name == "NewOrder")
+        work = run(db, profile, Random(1))
+        assert db.query("SELECT COUNT(*) FROM orders").scalar() == \
+            orders_before + 1
+        assert db.query("SELECT COUNT(*) FROM order_line").scalar() > \
+            lines_before
+        assert work.stats.writes["new_order"] == 1
+
+    def test_new_order_advances_district_counter(self, setup):
+        workload, db = setup
+        profile = next(p for p in workload.oltp_transactions()
+                       if p.name == "NewOrder")
+        before = db.query("SELECT SUM(d_next_o_id) FROM district").scalar()
+        run(db, profile, Random(2))
+        after = db.query("SELECT SUM(d_next_o_id) FROM district").scalar()
+        assert after == before + 1
+
+    def test_payment_writes_history(self, setup):
+        workload, db = setup
+        profile = next(p for p in workload.oltp_transactions()
+                       if p.name == "Payment")
+        before = db.query("SELECT COUNT(*) FROM history").scalar()
+        run(db, profile, Random(3))
+        assert db.query("SELECT COUNT(*) FROM history").scalar() == before + 1
+
+    def test_delivery_drains_new_orders(self, setup):
+        workload, db = setup
+        profile = next(p for p in workload.oltp_transactions()
+                       if p.name == "Delivery")
+        before = db.query("SELECT COUNT(*) FROM new_order").scalar()
+        work = run(db, profile, Random(4))
+        after = db.query("SELECT COUNT(*) FROM new_order").scalar()
+        assert after < before
+        assert work.stats.writes.get("orders")
+
+    def test_order_status_read_only(self, setup):
+        workload, db = setup
+        profile = next(p for p in workload.oltp_transactions()
+                       if p.name == "OrderStatus")
+        assert run(db, profile, Random(5)).read_only
+
+    def test_stock_level_read_only(self, setup):
+        workload, db = setup
+        profile = next(p for p in workload.oltp_transactions()
+                       if p.name == "StockLevel")
+        assert run(db, profile, Random(6)).read_only
+
+    def test_x1_realtime_min_price_inside_new_order(self, setup):
+        """The paper's motivating hybrid: lowest-price query inside
+        NewOrder, inside the same transaction."""
+        workload, db = setup
+        profile = next(p for p in workload.hybrid_transactions()
+                       if p.name == "X1")
+        work = run(db, profile, Random(7))
+        assert work.realtime_stats.full_scans.get("item")
+        assert work.stats.writes.get("orders")  # the online part happened
+        assert not work.read_only
+
+    def test_q1_shape_matches_paper_description(self, setup):
+        """Q1 groups by line number ascending with totals and averages."""
+        workload, db = setup
+        profile = next(p for p in workload.analytical_queries()
+                       if p.name == "Q1")
+        with db.connect() as conn:
+            conn.begin()
+            session = Session(conn)
+            profile.program(session, Random(8))
+            conn.commit()
+
+    def test_history_warehouse_district_analysed(self, setup):
+        """Semantic consistency in action: queries exist over the tables
+        stitch schemas can never analyse."""
+        workload, db = setup
+        touched = set()
+        for profile in workload.analytical_queries():
+            work = run(db, profile, Random(9))
+            touched |= set(work.stats.rows_row_store) | \
+                set(work.stats.rows_columnar)
+        touched = {t.lower() for t in touched}
+        assert {"history", "warehouse", "district"} <= touched
+
+    def test_all_queries_return(self, setup):
+        workload, db = setup
+        for profile in workload.analytical_queries():
+            assert not run(db, profile, Random(10)).aborted
+
+
+class TestCHBenchLogic:
+    def test_all_22_queries_execute(self):
+        from repro.workloads.chbench import CHBenchmark
+
+        workload = CHBenchmark()
+        db = install(workload, scale=1.0)
+        for profile in workload.analytical_queries():
+            work = run(db, profile, Random(1))
+            assert not work.aborted, profile.name

