@@ -6,9 +6,20 @@ baseline latency ~3x (std -> 9.16).  Sending hybrid transactions
 (real-time query in-between the online transaction) at 30/s raises it
 >9x (std -> 38.91): the real-time query runs inside the transaction on
 the row engine, holding locks, so its interference is much stronger.
+
+The companion benchmark below measures the *embedded engine's* two
+analytical executors head to head: the same routed-columnar queries run
+through the row pipeline and the vectorized pipeline, wall-clock timed,
+with the comparison recorded in the JSON report (``extra_info``).
 """
 
+import time
+from random import Random
+
 from conftest import fresh_bench, run_once
+
+from repro.db import Database
+from repro.workloads import make_workload
 
 NEW_ORDER_ONLY = {"NewOrder": 1.0, "Payment": 0.0, "OrderStatus": 0.0,
                   "Delivery": 0.0, "StockLevel": 0.0}
@@ -54,3 +65,89 @@ def test_fig5_realtime_vs_analytical(benchmark, series):
     assert h.mean > a.mean
     assert a.std > b.std
     assert h.std > b.std
+
+
+# -- row pipeline vs vectorized pipeline -----------------------------------
+
+ANALYTICAL_SQL = [
+    ("Q1_orders_report",
+     "SELECT ol_number, SUM(ol_quantity) AS total_qty, "
+     "SUM(ol_amount) AS total_amount, AVG(ol_quantity) AS avg_qty, "
+     "AVG(ol_amount) AS avg_amount, COUNT(*) AS line_count "
+     "FROM order_line WHERE ol_delivery_d IS NOT NULL "
+     "GROUP BY ol_number ORDER BY ol_number"),
+    ("Q2_payment_history",
+     "SELECT h_w_id, h_d_id, COUNT(*) AS payments, SUM(h_amount) AS volume, "
+     "AVG(h_amount) AS avg_payment FROM history GROUP BY h_w_id, h_d_id "
+     "ORDER BY volume DESC"),
+    ("Q6_stock_pressure",
+     "SELECT COUNT(*) AS low_items, AVG(s.s_quantity) AS avg_qty, "
+     "SUM(s.s_ytd) AS committed "
+     "FROM stock s JOIN item i ON i.i_id = s.s_i_id "
+     "WHERE s.s_quantity < 20"),
+    # the selective report: one district's order lines — zone maps prune
+    # the segments belonging to every other district
+    ("selective_district",
+     "SELECT COUNT(*) AS lines, SUM(ol_amount) AS amount, "
+     "AVG(ol_quantity) AS qty FROM order_line WHERE ol_d_id = 3"),
+]
+
+
+def _timed_columnar(db: Database, sql: str, repeats: int = 3):
+    """Best-of-N wall-clock latency of one routed-columnar statement."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        with db.connect() as conn:
+            result = conn.execute(sql, (), route_columnar=True)
+            conn.commit()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0, result
+
+
+def run_pipeline_comparison():
+    db = Database(with_columnar=True)
+    make_workload("subenchmark").install(db, Random(2), 1.0,
+                                         with_foreign_keys=False)
+    db.replicate()
+    comparison = []
+    for name, sql in ANALYTICAL_SQL:
+        db.executor.use_vectorized = True
+        vec_ms, vec = _timed_columnar(db, sql)
+        db.executor.use_vectorized = False
+        row_ms, row = _timed_columnar(db, sql)
+        db.executor.use_vectorized = True
+        assert vec.stats.vectorized and not row.stats.vectorized
+        assert len(vec.rows) == len(row.rows)
+        comparison.append({
+            "query": name,
+            "row_ms": row_ms,
+            "vectorized_ms": vec_ms,
+            "speedup": row_ms / vec_ms,
+            "batches_scanned": vec.stats.batches_scanned,
+            "segments_pruned": vec.stats.segments_pruned,
+        })
+    return comparison
+
+
+def test_fig5_vectorized_vs_row_pipeline(benchmark, series):
+    comparison = benchmark.pedantic(run_pipeline_comparison, rounds=1,
+                                    iterations=1)
+    for entry in comparison:
+        series.add(
+            f"{entry['query']} speedup (pruned={entry['segments_pruned']})",
+            "-", entry["speedup"],
+        )
+    benchmark.extra_info["vectorized_comparison"] = comparison
+    series.emit(benchmark)
+
+    selective = next(e for e in comparison
+                     if e["query"] == "selective_district")
+    # zone maps must skip most segments and make the scan >=2x faster
+    assert selective["segments_pruned"] > 0
+    assert selective["speedup"] >= 2.0
+    # across the whole suite the vectorized engine comes out ahead
+    total_row = sum(e["row_ms"] for e in comparison)
+    total_vec = sum(e["vectorized_ms"] for e in comparison)
+    assert total_vec < total_row

@@ -50,6 +50,12 @@ def render_text(report: RunReport, per_transaction: bool = False) -> str:
                           for group, value in
                           sorted(report.utilisation.items()))
         lines.append(f"  utilisation: {cells}")
+    if report.vectorized_statements or report.segments_pruned:
+        lines.append(
+            f"  vectorized: statements={report.vectorized_statements} "
+            f"batches={report.batches_scanned} "
+            f"segments_pruned={report.segments_pruned}"
+        )
     return "\n".join(lines)
 
 
@@ -75,6 +81,7 @@ def render_csv(reports: list[RunReport]) -> str:
     writer.writerow([
         "workload", "engine", "mode", "loop", "oltp_rate", "olap_rate",
         "hybrid_rate", "class", "throughput", *_LATENCY_COLUMNS,
+        "vectorized_requests", "batches_scanned", "segments_pruned",
     ])
     for report in reports:
         config = report.config
@@ -85,6 +92,8 @@ def render_csv(reports: list[RunReport]) -> str:
                 config.oltp_rate, config.olap_rate, config.hybrid_rate,
                 kind, report.throughput(kind),
                 *_latency_row(summary),
+                report.vectorized_statements, report.batches_scanned,
+                report.segments_pruned,
             ])
     return buffer.getvalue()
 

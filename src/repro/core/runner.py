@@ -34,7 +34,7 @@ from repro.core.session import run_transaction
 from repro.core.stats import ClassMetrics, LatencyCollector
 from repro.engines.base import HTAPCluster
 from repro.errors import ConfigError
-from repro.workloads.base import TransactionProfile, Workload, weighted_choice
+from repro.workloads.base import Workload, weighted_choice
 
 
 @dataclass
@@ -53,6 +53,10 @@ class RunReport:
     utilisation: dict = field(default_factory=dict)
     columnar_routed: int = 0
     columnar_refused: int = 0
+    # vectorized-executor counters (aggregated over every request)
+    vectorized_statements: int = 0
+    batches_scanned: int = 0
+    segments_pruned: int = 0
 
     def metrics(self, kind: str) -> ClassMetrics:
         return self.classes.setdefault(kind, ClassMetrics())
@@ -90,6 +94,12 @@ class RunReport:
             lines.append(
                 f"  locks: acquisitions={self.lock_acquisitions} "
                 f"waits={self.lock_waits} wait_ms={self.lock_wait_ms:.1f}"
+            )
+        if self.vectorized_statements:
+            lines.append(
+                f"  vectorized: statements={self.vectorized_statements} "
+                f"batches={self.batches_scanned} "
+                f"segments_pruned={self.segments_pruned}"
             )
         return "\n".join(lines)
 
@@ -267,6 +277,10 @@ class OLxPBench:
             self._conn, kind, profile.name, profile.program, rng,
             route_columnar=columnar,
         )
+        exec_stats = work.combined_stats()
+        report.batches_scanned += exec_stats.batches_scanned
+        report.segments_pruned += exec_stats.segments_pruned
+        report.vectorized_statements += exec_stats.vectorized_statements
         breakdown = self.engine.account(now, work, columnar)
         latency = breakdown.total
 

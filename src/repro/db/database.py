@@ -40,12 +40,19 @@ class Database:
     def __init__(self, enforce_foreign_keys: bool = False,
                  supports_foreign_keys: bool = True,
                  with_columnar: bool = False,
+                 columnar_segment_rows: int | None = None,
                  default_isolation: IsolationLevel = IsolationLevel.SNAPSHOT):
         self.catalog = Catalog()
         self.storage = RowStorage()
-        self.columnar = ColumnarReplica() if with_columnar else None
+        if with_columnar:
+            self.columnar = (ColumnarReplica()
+                             if columnar_segment_rows is None
+                             else ColumnarReplica(columnar_segment_rows))
+        else:
+            self.columnar = None
         self.txn_manager = TransactionManager(self.storage)
-        self.planner = Planner(self.catalog)
+        self.planner = Planner(self.catalog,
+                               build_vectorized=self.columnar is not None)
         self.supports_foreign_keys = supports_foreign_keys
         self.enforce_foreign_keys = enforce_foreign_keys and supports_foreign_keys
         self.default_isolation = default_isolation
@@ -122,7 +129,7 @@ class Database:
         from repro.storage.wal import LogOp
 
         table = self.catalog.table(table_name)
-        commit_ts = self.txn_manager._next_ts()
+        commit_ts = self.txn_manager.allocate_commit_ts()
         count = 0
         writes = []
         for row in rows:

@@ -15,7 +15,7 @@ eviction, lock holding, replication lag), not from the absolute values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.sql.result import ExecStats
 

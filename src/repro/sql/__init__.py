@@ -3,13 +3,14 @@
 from repro.sql.executor import ExecContext, Executor
 from repro.sql.parser import parse_sql
 from repro.sql.planner import Planner
-from repro.sql.result import DMLResult, ExecStats, Result
+from repro.sql.result import Batch, DMLResult, ExecStats, Result
 
 __all__ = [
     "ExecContext",
     "Executor",
     "parse_sql",
     "Planner",
+    "Batch",
     "DMLResult",
     "ExecStats",
     "Result",

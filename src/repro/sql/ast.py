@@ -7,7 +7,7 @@ ORDER BY keys.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 # --------------------------------------------------------------------------

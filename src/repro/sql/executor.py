@@ -74,10 +74,14 @@ class Executor:
     """Runs prepared plans within a transaction."""
 
     def __init__(self, catalog, columnar=None,
-                 enforce_foreign_keys: bool = False):
+                 enforce_foreign_keys: bool = False,
+                 use_vectorized: bool = True):
         self.catalog = catalog
         self.columnar = columnar
         self.enforce_foreign_keys = enforce_foreign_keys
+        # batch-at-a-time execution for columnar-routed statements; row
+        # pipeline only when False (benchmark A/B comparisons flip this)
+        self.use_vectorized = use_vectorized
 
     def _context(self, txn: Transaction, params: tuple,
                  route_columnar: bool) -> ExecContext:
@@ -98,7 +102,16 @@ class Executor:
         if plan.for_update is not None:
             for pk, _values in self._find_targets(plan.for_update, ctx):
                 txn.lock_for_update(plan.for_update.table.name, pk)
-        rows = list(plan.root.execute(ctx))
+        root = plan.root
+        if (route_columnar and self.use_vectorized
+                and plan.vectorized_root is not None
+                and self.columnar is not None
+                and all(self.columnar.has_table(t)
+                        for t in plan.vectorized_tables)):
+            root = plan.vectorized_root
+            ctx.stats.vectorized = True
+            ctx.stats.vectorized_statements = 1
+        rows = list(root.execute(ctx))
         ctx.stats.rows_returned = len(rows)
         return Result(plan.columns, rows, ctx.stats)
 

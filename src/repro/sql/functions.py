@@ -16,6 +16,16 @@ class Accumulator:
     def add(self, value):
         raise NotImplementedError
 
+    def add_many(self, values):
+        """Fold a whole column slice in (vectorized executor entry point).
+
+        The default preserves the exact per-value fold order of ``add`` so
+        both executors produce bit-identical results; subclasses override
+        it only where a batch shortcut cannot change the outcome.
+        """
+        for value in values:
+            self.add(value)
+
     def result(self):
         raise NotImplementedError
 
@@ -38,6 +48,14 @@ class CountAccumulator(Accumulator):
                 return
             self._seen.add(value)
         self.count += 1
+
+    def add_many(self, values):
+        if self.count_star:
+            self.count += len(values)
+        elif self.distinct:
+            super().add_many(values)
+        else:
+            self.count += len(values) - values.count(None)
 
     def result(self):
         return self.count
@@ -93,6 +111,13 @@ class MinAccumulator(Accumulator):
         if self.value is None or value < self.value:
             self.value = value
 
+    def add_many(self, values):
+        present = [v for v in values if v is not None]
+        if present:
+            low = min(present)
+            if self.value is None or low < self.value:
+                self.value = low
+
     def result(self):
         return self.value
 
@@ -106,6 +131,13 @@ class MaxAccumulator(Accumulator):
             return
         if self.value is None or value > self.value:
             self.value = value
+
+    def add_many(self, values):
+        present = [v for v in values if v is not None]
+        if present:
+            high = max(present)
+            if self.value is None or high > self.value:
+                self.value = high
 
     def result(self):
         return self.value

@@ -17,8 +17,8 @@ re-applied there, which also re-validates possibly-stale index entries).
 
 from __future__ import annotations
 
-import operator
-from dataclasses import dataclass, replace
+import heapq
+from dataclasses import dataclass, field, replace
 
 from repro.catalog.schema import Catalog, Table
 from repro.errors import BindError, PlanError
@@ -30,6 +30,17 @@ from repro.sql.expressions import (
     expr_display_name,
 )
 from repro.sql.functions import make_accumulator
+from repro.sql.vectorized import (
+    BatchAggregate,
+    BatchRows,
+    PushedPredicate,
+    VColumnarScan,
+    VFilter,
+    VHashJoin,
+    VProject,
+    compile_batch_expr,
+    compile_batch_predicate,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -442,6 +453,69 @@ def _sort_key(value):
     return (value is not None, value)
 
 
+class _TopNKey:
+    """Composite sort key with per-component direction.
+
+    Compares exactly like the planner's successive stable sorts: component
+    ``i`` ascending unless ``descs[i]``, NULLs first ascending / last
+    descending (the order ``reverse=True`` over ``_sort_key`` produces).
+    """
+
+    __slots__ = ("keys", "descs")
+
+    def __init__(self, keys: tuple, descs: tuple):
+        self.keys = keys
+        self.descs = descs
+
+    def __eq__(self, other):
+        return self.keys == other.keys
+
+    def __lt__(self, other):
+        for mine, theirs, descending in zip(self.keys, other.keys,
+                                            self.descs):
+            if mine == theirs:
+                continue
+            return (theirs < mine) if descending else (mine < theirs)
+        return False
+
+
+class TopN(PlanNode):
+    """Fused ORDER BY ... LIMIT k: a bounded heap instead of materialising
+    and fully sorting the input.  ``heapq.nsmallest`` is stable, so the
+    output is exactly ``Sort`` followed by ``Limit``."""
+
+    def __init__(self, child: PlanNode, key_specs, limit: int):
+        # key_specs: list of (fn, descending), as for Sort
+        self.child = child
+        self.key_specs = key_specs
+        self.limit = limit
+        self.schema = child.schema
+
+    def execute(self, ctx):
+        if self.limit <= 0:
+            return  # like Limit(0): the input is never consumed
+        fns = tuple(fn for fn, _ in self.key_specs)
+        descs = tuple(descending for _, descending in self.key_specs)
+        count = 0
+
+        def counted():
+            nonlocal count
+            for row in self.child.execute(ctx):
+                count += 1
+                yield row
+
+        top = heapq.nsmallest(
+            self.limit, counted(),
+            key=lambda row: _TopNKey(
+                tuple(_sort_key(fn(row, ctx)) for fn in fns), descs),
+        )
+        ctx.stats.sort_rows += count
+        yield from top
+
+    def children(self):
+        return [self.child]
+
+
 class Limit(PlanNode):
     def __init__(self, child: PlanNode, limit: int):
         self.child = child
@@ -498,6 +572,24 @@ class SelectPlan:
     root: PlanNode
     columns: list[str]
     for_update: AccessPath | None = None
+    # alternative vectorized physical plan (None when any operator is
+    # unsupported); used when the statement is routed to the columnar
+    # replica and every scanned table is replicated
+    vectorized_root: PlanNode | None = None
+    vectorized_tables: tuple = ()
+
+
+@dataclass
+class _Presentation:
+    """AST-level resolution of the select list and ORDER BY keys, shared by
+    the row and vectorized pipelines."""
+
+    item_exprs: list = field(default_factory=list)
+    names: list = field(default_factory=list)          # visible columns
+    all_exprs: list = field(default_factory=list)      # items + hidden keys
+    all_names: list = field(default_factory=list)
+    key_positions: list = field(default_factory=list)  # (position, desc)
+    hidden: int = 0
 
 
 @dataclass
@@ -593,10 +685,16 @@ def _rewrite(expr: ast.Expr, mapping: dict) -> ast.Expr:
 
 
 class Planner:
-    """Plans parsed statements against a catalog."""
+    """Plans parsed statements against a catalog.
 
-    def __init__(self, catalog: Catalog):
+    ``build_vectorized`` gates the second (vectorized) physical plan; a
+    database without a columnar replica turns it off so every prepare
+    doesn't build an unreachable operator tree.
+    """
+
+    def __init__(self, catalog: Catalog, build_vectorized: bool = True):
         self.catalog = catalog
+        self.build_vectorized = build_vectorized
 
     # -- public entry points ------------------------------------------------
 
@@ -612,31 +710,73 @@ class Planner:
         raise PlanError(f"cannot plan statement {statement!r}")
 
     def _plan_subquery(self, select: ast.Select) -> SelectPlan:
-        return self.plan_select(select)
+        # subplans always execute through their row root (_run_subplan), so
+        # building a vectorized tree for them would be dead work
+        return self.plan_select(select, vectorized=False)
 
     # -- SELECT ----------------------------------------------------------------
 
-    def plan_select(self, select: ast.Select) -> SelectPlan:
-        sub = self._plan_subquery
-
+    def plan_select(self, select: ast.Select,
+                    vectorized: bool = True) -> SelectPlan:
         if select.table is None:
             node: PlanNode = DualScan()
-            bindings: dict[str, Table] = {}
+            vsource = None
         else:
-            node, bindings = self._plan_from(select)
+            node, _bindings = self._plan_from(select)
+            vsource = None
+            if vectorized and self.build_vectorized and \
+                    not select.for_update:
+                vsource = self._plan_vector_source(select)
 
         # -- aggregation ---------------------------------------------------
         has_group = bool(select.group_by)
         aggs = self._collect_aggregates(select)
+        vnode = None          # row-yielding vectorized pipeline (aggregated)
+        vector_source = None  # batch-yielding source (batch projection)
+        vtables: tuple = ()
+        if vsource is not None:
+            vtables = tuple(vsource[1])
         if has_group or aggs:
-            node = self._plan_aggregate(select, node, aggs)
+            row_agg = self._plan_aggregate(select, node, aggs)
+            if vsource is not None:
+                vnode = self._plan_batch_aggregate(select, vsource[0], aggs)
+            node = row_agg
             select = self._rewrite_above_aggregate(select, node)
         elif select.having is not None:
             raise PlanError("HAVING requires GROUP BY or aggregates")
+        elif vsource is not None:
+            vector_source = vsource[0]
 
-        input_schema = node.schema
+        spec = self._presentation_spec(select, node.schema)
 
-        # -- select list expansion -------------------------------------------
+        root = self._finish_row(select, node, spec)
+        vroot = None
+        if vnode is not None:
+            vroot = self._finish_row(select, vnode, spec)
+        elif vector_source is not None:
+            vroot = self._finish_vector(select, vector_source, spec)
+
+        for_update_path = None
+        if select.for_update:
+            if select.joins or select.table is None:
+                raise PlanError("FOR UPDATE supports single-table SELECT only")
+            table = self.catalog.table(select.table.name)
+            for_update_path = self._access_path(
+                table, select.table.binding, _flatten_and(select.where)
+            )
+
+        return SelectPlan(root, spec.names, for_update_path,
+                          vectorized_root=vroot, vectorized_tables=vtables)
+
+    # -- presentation: select list, ORDER BY keys, DISTINCT, LIMIT ----------
+
+    def _presentation_spec(self, select: ast.Select,
+                           input_schema: Schema) -> "_Presentation":
+        """Resolve the select list and ORDER BY keys at the AST level.
+
+        The result is compile-target agnostic, so the row and vectorized
+        pipelines share one resolution of stars, aliases and ordinals.
+        """
         item_exprs: list[ast.Expr] = []
         names: list[str] = []
         aliases: dict[str, ast.Expr] = {}
@@ -654,11 +794,6 @@ class Planner:
             if item.alias:
                 aliases[item.alias.upper()] = item.expr
 
-        # -- HAVING (already rewritten when aggregated) ------------------------
-        if select.having is not None:
-            node = Filter(node, compile_expr(select.having, input_schema, sub))
-
-        # -- ORDER BY: projected together with hidden sort keys -----------------
         order_exprs: list[tuple[ast.Expr, bool]] = []
         for order in select.order_by:
             expr = order.expr
@@ -674,54 +809,70 @@ class Planner:
             order_exprs.append((expr, order.descending))
 
         visible = len(item_exprs)
-        all_fns = [compile_expr(e, input_schema, sub) for e in item_exprs]
+        all_exprs = list(item_exprs)
         all_names = list(names)
-        key_specs: list[tuple] = []
+        key_positions: list[tuple[int, bool]] = []
         hidden = 0
-        for i, (expr, desc) in enumerate(order_exprs):
+        for expr, desc in order_exprs:
             # sort on the visible output column when the key is one of the
             # select items (also keeps DISTINCT compatible with ORDER BY)
             if expr in item_exprs:
-                key_specs.append((self._position_fn(item_exprs.index(expr)),
-                                  desc))
+                key_positions.append((item_exprs.index(expr), desc))
                 continue
-            all_fns.append(compile_expr(expr, input_schema, sub))
+            all_exprs.append(expr)
             all_names.append(f"__S{hidden}")
-            key_specs.append((self._position_fn(visible + hidden), desc))
+            key_positions.append((visible + hidden, desc))
             hidden += 1
 
-        node = Project(node, all_fns, all_names)
+        return _Presentation(item_exprs, names, all_exprs, all_names,
+                             key_positions, hidden)
 
+    def _finish_row(self, select: ast.Select, node: PlanNode,
+                    spec: "_Presentation") -> PlanNode:
+        sub = self._plan_subquery
+        input_schema = node.schema
+        if select.having is not None:
+            node = Filter(node, compile_expr(select.having, input_schema, sub))
+        all_fns = [compile_expr(e, input_schema, sub) for e in spec.all_exprs]
+        node = Project(node, all_fns, spec.all_names)
+        return self._presentation_tail(select, node, spec)
+
+    def _finish_vector(self, select: ast.Select, vnode,
+                       spec: "_Presentation") -> PlanNode:
+        """Presentation over a (non-aggregated) batch source: project
+        column-at-a-time, then bridge to the shared row tail."""
+        sub = self._plan_subquery
+        fns = [compile_batch_expr(e, vnode.schema, sub)
+               for e in spec.all_exprs]
+        node = BatchRows(VProject(vnode, fns, spec.all_names))
+        return self._presentation_tail(select, node, spec)
+
+    def _presentation_tail(self, select: ast.Select, node: PlanNode,
+                           spec: "_Presentation") -> PlanNode:
         if select.distinct:
-            if hidden:
+            if spec.hidden:
                 raise PlanError(
                     "DISTINCT with ORDER BY on a non-selected expression "
                     "is unsupported"
                 )
             node = Distinct(node)
 
-        if key_specs:
+        key_specs = [(self._position_fn(position), desc)
+                     for position, desc in spec.key_positions]
+        fused_limit = bool(key_specs) and select.limit is not None
+        if fused_limit:
+            node = TopN(node, key_specs, select.limit)
+        elif key_specs:
             node = Sort(node, key_specs)
-        if hidden:
+        if spec.hidden:
             node = Project(
                 node,
-                [self._position_fn(i) for i in range(visible)],
-                names,
+                [self._position_fn(i) for i in range(len(spec.names))],
+                spec.names,
             )
-
-        if select.limit is not None:
+        if select.limit is not None and not fused_limit:
             node = Limit(node, select.limit)
-
-        for_update_path = None
-        if select.for_update:
-            if select.joins or select.table is None:
-                raise PlanError("FOR UPDATE supports single-table SELECT only")
-            table = self.catalog.table(select.table.name)
-            for_update_path = self._access_path(
-                table, select.table.binding, _flatten_and(select.where)
-            )
-
-        return SelectPlan(node, names, for_update_path)
+        return node
 
     @staticmethod
     def _position_fn(position: int):
@@ -746,24 +897,10 @@ class Planner:
         aggregates_present = bool(select.group_by) or \
             self._collect_aggregates(select)
 
-        def single_table_conjuncts(binding: str, pool: list[ast.Expr],
-                                   schema: Schema) -> list[ast.Expr]:
-            mine = []
-            for conjunct in pool:
-                refs = collect_column_refs(conjunct)
-                if not refs:
-                    continue
-                if all(self._ref_binds_only(r, binding, schema) for r in refs):
-                    if not isinstance(conjunct, (ast.InSubquery,
-                                                 ast.ExistsSubquery)) and \
-                            not self._has_subquery(conjunct):
-                        mine.append(conjunct)
-            return mine
-
         base_schema = Schema([(base_ref.binding, c)
                               for c in base_table.column_names])
-        base_conjs = single_table_conjuncts(base_ref.binding, conjuncts,
-                                            base_schema)
+        base_conjs = self._single_table_conjuncts(base_ref.binding, conjuncts,
+                                                  base_schema)
         base_path = self._access_path(base_table, base_ref.binding,
                                       base_conjs)
         node = self._path_to_node(base_path, base_ref.binding)
@@ -788,7 +925,7 @@ class Planner:
             where_pool = [] if join.kind == "LEFT" else \
                 [c for c in conjuncts if id(c) not in consumed]
 
-            right_conjs = single_table_conjuncts(
+            right_conjs = self._single_table_conjuncts(
                 right_binding, on_pool + where_pool, right_schema
             )
             for conjunct in right_conjs:
@@ -916,6 +1053,21 @@ class Planner:
                                  kind=kind), False
         return None
 
+    def _single_table_conjuncts(self, binding: str, pool: list[ast.Expr],
+                                schema: Schema) -> list[ast.Expr]:
+        """Subquery-free conjuncts referencing only ``binding``'s columns."""
+        mine = []
+        for conjunct in pool:
+            refs = collect_column_refs(conjunct)
+            if not refs:
+                continue
+            if all(self._ref_binds_only(r, binding, schema) for r in refs):
+                if not isinstance(conjunct, (ast.InSubquery,
+                                             ast.ExistsSubquery)) and \
+                        not self._has_subquery(conjunct):
+                    mine.append(conjunct)
+        return mine
+
     def _has_subquery(self, expr: ast.Expr) -> bool:
         if isinstance(expr, (ast.ScalarSubquery, ast.InSubquery,
                              ast.ExistsSubquery)):
@@ -972,6 +1124,199 @@ class Planner:
     @staticmethod
     def _binds_in(ref: ast.ColumnRef, schema: Schema) -> bool:
         return schema.try_resolve(ref.table, ref.name) is not None
+
+    # -- vectorized pipeline ------------------------------------------------------
+
+    def _plan_vector_source(self, select: ast.Select):
+        """Batch-operator FROM/WHERE pipeline over the columnar replica.
+
+        Returns ``(VectorNode, [table names])`` mirroring ``_plan_from``'s
+        output schema and row-emission order, or ``None`` when any join
+        shape is unsupported (the statement then keeps only the row plan).
+
+        Only built when every scan the row plan would run is a *sequential*
+        scan: selective statements (PK/index access paths) read the fresh
+        row store even when routed columnar — as in TiDB — so substituting
+        a replica scan for them would change results under replication lag.
+        """
+        sub = self._plan_subquery
+        conjuncts = _flatten_and(select.where)
+        pending_on: list[tuple[int, ast.Expr]] = []
+        for join_index, join in enumerate(select.joins):
+            for conjunct in _flatten_and(join.condition):
+                pending_on.append((join_index, conjunct))
+
+        base_ref = select.table
+        base_table = self.catalog.table(base_ref.name)
+        binding = base_ref.binding
+        base_schema = Schema([(binding, c) for c in base_table.column_names])
+        tables = [base_table.name]
+        base_conjs = self._single_table_conjuncts(binding, conjuncts,
+                                                  base_schema)
+        if self._access_path(base_table, binding, base_conjs).kind != "seq":
+            return None
+        node = VColumnarScan(base_table, binding,
+                             self._pushed_predicates(base_table, base_conjs),
+                             self._referenced_columns(select, base_table,
+                                                      binding))
+        if base_conjs:
+            node = VFilter(node, compile_batch_predicate(
+                _and_all(base_conjs), node.schema, sub))
+        consumed: set[int] = {id(c) for c in base_conjs}
+
+        for join_index, join in enumerate(select.joins):
+            right_table = self.catalog.table(join.table.name)
+            right_binding = join.table.binding
+            right_schema = Schema([(right_binding, c)
+                                   for c in right_table.column_names])
+            on_pool = [c for idx, c in pending_on if idx == join_index]
+            where_pool = [] if join.kind == "LEFT" else \
+                [c for c in conjuncts if id(c) not in consumed]
+            right_conjs = self._single_table_conjuncts(
+                right_binding, on_pool + where_pool, right_schema
+            )
+            for conjunct in right_conjs:
+                consumed.add(id(conjunct))
+            left_keys, right_keys, used = self._find_equi_keys(
+                on_pool + where_pool, node.schema, right_binding,
+                right_schema, consumed
+            )
+            if not left_keys:
+                return None  # non-equi joins stay on the row pipeline
+            if self._access_path(right_table, right_binding,
+                                 right_conjs).kind != "seq":
+                return None  # row plan would index-access the fresh store
+            residual_on = [c for c in on_pool
+                           if id(c) not in consumed and id(c) not in used]
+            consumed |= used
+            right_node: object = VColumnarScan(
+                right_table, right_binding,
+                self._pushed_predicates(right_table, right_conjs),
+                self._referenced_columns(select, right_table, right_binding))
+            # the scan's schema may be a projected subset of the table —
+            # compile filters and keys against it, not the full layout
+            scan_schema = right_node.schema
+            if right_conjs:
+                right_node = VFilter(right_node, compile_batch_predicate(
+                    _and_all(right_conjs), scan_schema, sub))
+            node = VHashJoin(
+                node, right_node,
+                [compile_batch_expr(e, node.schema, sub) for e in left_keys],
+                [compile_batch_expr(e, scan_schema, sub)
+                 for e in right_keys],
+                join.kind,
+            )
+            tables.append(right_table.name)
+            if residual_on:
+                node = VFilter(node, compile_batch_predicate(
+                    _and_all(residual_on), node.schema, sub))
+                for conjunct in residual_on:
+                    consumed.add(id(conjunct))
+
+        remaining = [c for c in conjuncts if id(c) not in consumed]
+        if remaining:
+            node = VFilter(node, compile_batch_predicate(
+                _and_all(remaining), node.schema, sub))
+        return node, tables
+
+    def _plan_batch_aggregate(self, select: ast.Select, vnode,
+                              aggs: list[ast.FuncCall]) -> BatchAggregate:
+        sub = self._plan_subquery
+        input_schema = vnode.schema
+        group_fns = [compile_batch_expr(g, input_schema, sub)
+                     for g in select.group_by]
+        specs = []
+        for agg in aggs:
+            if agg.args and not isinstance(agg.args[0], ast.Star):
+                arg_fn = compile_batch_expr(agg.args[0], input_schema, sub)
+            else:
+                arg_fn = None
+            specs.append(AggSpec(agg.name, arg_fn, agg.distinct))
+        return BatchAggregate(vnode, group_fns, specs)
+
+    def _referenced_columns(self, select: ast.Select, table: Table,
+                            binding: str) -> list[str] | None:
+        """Columns of ``table`` the statement can reference anywhere, in
+        table order, so the columnar scan materialises only those.  ``None``
+        means all columns (a ``*`` select item is present)."""
+        exprs: list[ast.Expr] = []
+        for item in select.items:
+            if isinstance(item.expr, ast.Star):
+                return None
+            exprs.append(item.expr)
+        if select.where is not None:
+            exprs.append(select.where)
+        for join in select.joins:
+            if join.condition is not None:
+                exprs.append(join.condition)
+        exprs.extend(select.group_by)
+        if select.having is not None:
+            exprs.append(select.having)
+        for order in select.order_by:
+            exprs.append(order.expr)
+        needed: set[str] = set()
+        for expr in exprs:
+            for ref in collect_column_refs(expr):
+                if ref.table is not None and ref.table.upper() != binding:
+                    continue
+                if table.has_column(ref.name):
+                    needed.add(self._column_key(table, ref.name))
+        return [c for c in table.column_names if c in needed]
+
+    _FLIPPED_CMP = {"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+    def _pushed_predicates(self, table: Table,
+                           conjuncts: list[ast.Expr]) -> list[PushedPredicate]:
+        """Range/equality bounds usable for zone-map segment pruning.
+
+        Only ``column <op> constant`` conjuncts qualify; the full predicate
+        is still re-applied above the scan, so pushing is purely a skip
+        optimisation and never affects results.
+        """
+        empty = Schema([])
+        sub = self._plan_subquery
+        pushed: list[PushedPredicate] = []
+        for conjunct in conjuncts:
+            if isinstance(conjunct, ast.Between) and not conjunct.negated:
+                operand = conjunct.operand
+                if (isinstance(operand, ast.ColumnRef)
+                        and table.has_column(operand.name)
+                        and _is_constant(conjunct.low)
+                        and _is_constant(conjunct.high)):
+                    pushed.append(PushedPredicate(
+                        table.position(operand.name),
+                        low_fn=compile_expr(conjunct.low, empty, sub),
+                        high_fn=compile_expr(conjunct.high, empty, sub),
+                    ))
+                continue
+            if not (isinstance(conjunct, ast.BinaryOp)
+                    and conjunct.op in self._FLIPPED_CMP):
+                continue
+            left, right = conjunct.left, conjunct.right
+            if isinstance(left, ast.ColumnRef) and _is_constant(right) \
+                    and table.has_column(left.name):
+                column, constant, op = left, right, conjunct.op
+            elif isinstance(right, ast.ColumnRef) and _is_constant(left) \
+                    and table.has_column(right.name):
+                column, constant, op = right, left, \
+                    self._FLIPPED_CMP[conjunct.op]
+            else:
+                continue
+            position = table.position(column.name)
+            bound_fn = compile_expr(constant, empty, sub)
+            if op == "=":
+                pushed.append(PushedPredicate(position, bound_fn, bound_fn))
+            elif op == "<":
+                pushed.append(PushedPredicate(position, high_fn=bound_fn,
+                                              high_inclusive=False))
+            elif op == "<=":
+                pushed.append(PushedPredicate(position, high_fn=bound_fn))
+            elif op == ">":
+                pushed.append(PushedPredicate(position, low_fn=bound_fn,
+                                              low_inclusive=False))
+            else:  # ">="
+                pushed.append(PushedPredicate(position, low_fn=bound_fn))
+        return pushed
 
     # -- scans --------------------------------------------------------------------
 

@@ -13,6 +13,44 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 
+class Batch:
+    """A column-major chunk of rows flowing through the vectorized executor.
+
+    ``columns`` is one list per output column, all of ``length`` elements.
+    Batches are produced segment-at-a-time by the columnar scan and
+    transformed column-wise by the batch operators; ``rows()`` converts back
+    to the row-tuple representation at the pipeline boundary.
+    """
+
+    __slots__ = ("columns", "length")
+
+    def __init__(self, columns: list[list], length: int | None = None):
+        if length is None:
+            length = len(columns[0]) if columns else 0
+        self.columns = columns
+        self.length = length
+
+    def __len__(self) -> int:
+        return self.length
+
+    def row(self, i: int) -> tuple:
+        return tuple(col[i] for col in self.columns)
+
+    def rows(self):
+        """Iterate the batch as row tuples."""
+        if not self.columns:
+            return iter(() for _ in range(self.length))
+        return zip(*self.columns)
+
+    def take(self, selection: list[int]) -> "Batch":
+        """Gather the given row indices into a new batch."""
+        return Batch([[col[i] for i in selection] for col in self.columns],
+                     len(selection))
+
+    def __repr__(self):
+        return f"Batch({len(self.columns)} cols, {self.length} rows)"
+
+
 @dataclass
 class ExecStats:
     """Physical work done by one statement execution."""
@@ -38,6 +76,12 @@ class ExecStats:
     # committed-write intents, per table
     writes: dict = field(default_factory=lambda: defaultdict(int))
     used_columnar: bool = False
+    # vectorized-executor counters; ``vectorized`` is the per-statement
+    # flag (ORed on merge), ``vectorized_statements`` the additive count
+    vectorized: bool = False
+    vectorized_statements: int = 0
+    batches_scanned: int = 0
+    segments_pruned: int = 0
 
     def merge(self, other: "ExecStats"):
         """Accumulate ``other`` into this object (used per transaction)."""
@@ -62,6 +106,10 @@ class ExecStats:
         self.subqueries += other.subqueries
         self.rows_returned += other.rows_returned
         self.used_columnar = self.used_columnar or other.used_columnar
+        self.vectorized = self.vectorized or other.vectorized
+        self.vectorized_statements += other.vectorized_statements
+        self.batches_scanned += other.batches_scanned
+        self.segments_pruned += other.segments_pruned
 
     @property
     def total_rows_scanned(self) -> int:

@@ -1,0 +1,474 @@
+"""Vectorized (batch-at-a-time) execution over the columnar replica.
+
+The row pipeline re-materialises every row as a Python tuple and threads it
+through per-row generator operators; routed to the columnar replica that
+barely changes the cost profile.  This module is the second executor: plans
+built from these operators move whole column slices (``Batch``) between
+operators, skip entire segments via zone maps, and only fall back to
+row-at-a-time evaluation inside a batch for expressions whose semantics
+require it (CASE laziness, subqueries).
+
+Two operator families:
+
+* **batch operators** (``execute_batches(ctx) -> Iterator[Batch]``):
+  ``VColumnarScan`` (with zone-map segment pruning), ``VFilter`` (selection
+  vectors), ``VProject``, ``VHashJoin``;
+* **bridge operators** (row-compatible ``execute(ctx)`` so the planner can
+  stack the ordinary Sort/TopN/Limit/Distinct presentation on top):
+  ``BatchAggregate`` (batch-build hash aggregation) and ``BatchRows``.
+
+Both executors must return *identical* results — the parity tests compare
+them query-by-query — so every batch evaluator mirrors the null semantics
+and fold order of ``repro.sql.expressions``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+from repro.sql import ast
+from repro.sql.expressions import Schema, _null_safe_binop, compile_expr
+from repro.sql.functions import SCALARS, like_to_predicate, make_accumulator
+from repro.sql.result import Batch
+
+
+# ---------------------------------------------------------------------------
+# batch expression compilation
+# ---------------------------------------------------------------------------
+
+def _elementwise(fn, arg_fns):
+    if len(arg_fns) == 1:
+        arg = arg_fns[0]
+        return lambda batch, ctx: list(map(fn, arg(batch, ctx)))
+
+    def run(batch, ctx):
+        return list(map(fn, *(f(batch, ctx) for f in arg_fns)))
+    return run
+
+
+def _row_fallback(expr: ast.Expr, schema: Schema, plan_subquery):
+    """Evaluate ``expr`` row-at-a-time within the batch.
+
+    Used for constructs whose row semantics are lazy (CASE branches,
+    subqueries): compiling the scalar closure and mapping it over the batch
+    keeps them exactly equivalent to the row pipeline.
+    """
+    row_fn = compile_expr(expr, schema, plan_subquery)
+    return lambda batch, ctx: [row_fn(row, ctx) for row in batch.rows()]
+
+
+def compile_batch_expr(expr: ast.Expr, schema: Schema, plan_subquery=None):
+    """Compile ``expr`` to ``fn(batch, ctx) -> list`` (one value per row)."""
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda batch, ctx: [value] * len(batch)
+
+    if isinstance(expr, ast.Param):
+        index = expr.index
+
+        def read_param(batch, ctx):
+            try:
+                value = ctx.params[index]
+            except IndexError:
+                raise ExecutionError(
+                    f"statement expects parameter {index + 1} but only "
+                    f"{len(ctx.params)} were bound"
+                ) from None
+            return [value] * len(batch)
+        return read_param
+
+    if isinstance(expr, ast.ColumnRef):
+        pos = schema.resolve(expr.table, expr.name)
+        return lambda batch, ctx: batch.columns[pos]
+
+    if isinstance(expr, ast.BinaryOp):
+        left = compile_batch_expr(expr.left, schema, plan_subquery)
+        right = compile_batch_expr(expr.right, schema, plan_subquery)
+        if expr.op == "AND":
+            # short-circuit like the row pipeline: the right operand is only
+            # evaluated for rows the left operand lets through, so guarded
+            # expressions (x <> 0 AND 1 / x > 0) cannot raise spuriously
+            def and_eval(batch, ctx):
+                out = [False] * len(batch)
+                kept = [i for i, v in enumerate(left(batch, ctx)) if v]
+                if kept:
+                    sub = batch if len(kept) == len(batch) \
+                        else batch.take(kept)
+                    for i, v in zip(kept, right(sub, ctx)):
+                        out[i] = bool(v)
+                return out
+            return and_eval
+        if expr.op == "OR":
+            def or_eval(batch, ctx):
+                out = [bool(v) for v in left(batch, ctx)]
+                rest = [i for i, v in enumerate(out) if not v]
+                if rest:
+                    sub = batch if len(rest) == len(batch) \
+                        else batch.take(rest)
+                    for i, v in zip(rest, right(sub, ctx)):
+                        out[i] = bool(v)
+                return out
+            return or_eval
+        return _elementwise(_null_safe_binop(expr.op), [left, right])
+
+    if isinstance(expr, ast.UnaryOp):
+        operand = compile_batch_expr(expr.operand, schema, plan_subquery)
+        if expr.op == "NOT":
+            return _elementwise(lambda v: not bool(v), [operand])
+        if expr.op == "-":
+            return _elementwise(lambda v: None if v is None else -v,
+                                [operand])
+        raise ExecutionError(f"unknown unary operator {expr.op!r}")
+
+    if isinstance(expr, ast.IsNull):
+        operand = compile_batch_expr(expr.operand, schema, plan_subquery)
+        if expr.negated:
+            return lambda batch, ctx: [
+                v is not None for v in operand(batch, ctx)]
+        return lambda batch, ctx: [v is None for v in operand(batch, ctx)]
+
+    if isinstance(expr, ast.Like):
+        operand = compile_batch_expr(expr.operand, schema, plan_subquery)
+        negated = expr.negated
+        if isinstance(expr.pattern, ast.Literal):
+            matcher = like_to_predicate(str(expr.pattern.value))
+            if negated:
+                return _elementwise(lambda v: not matcher(v), [operand])
+            return _elementwise(matcher, [operand])
+        pattern = compile_batch_expr(expr.pattern, schema, plan_subquery)
+
+        def dynamic_like(value, text):
+            if text is None:
+                return False
+            outcome = like_to_predicate(str(text))(value)
+            return (not outcome) if negated else outcome
+        return _elementwise(dynamic_like, [operand, pattern])
+
+    if isinstance(expr, ast.Between):
+        operand = compile_batch_expr(expr.operand, schema, plan_subquery)
+        low = compile_batch_expr(expr.low, schema, plan_subquery)
+        high = compile_batch_expr(expr.high, schema, plan_subquery)
+        negated = expr.negated
+
+        def between(value, lo, hi):
+            if value is None or lo is None or hi is None:
+                return False
+            outcome = lo <= value <= hi
+            return (not outcome) if negated else outcome
+        return _elementwise(between, [operand, low, high])
+
+    if isinstance(expr, ast.InList):
+        # eager item evaluation is only safe when no item can raise; the
+        # row pipeline's any() stops at the first match, so expression
+        # items (e.g. IN (0, 100 / v)) must keep that laziness per row
+        if all(isinstance(i, ast.Literal) for i in expr.items):
+            operand = compile_batch_expr(expr.operand, schema, plan_subquery)
+            values = [i.value for i in expr.items]
+            negated = expr.negated
+
+            def in_literals(value):
+                if value is None:
+                    return False
+                outcome = any(value == v for v in values)
+                return (not outcome) if negated else outcome
+            return _elementwise(in_literals, [operand])
+        return _row_fallback(expr, schema, plan_subquery)
+
+    if isinstance(expr, ast.FuncCall) and expr.name in SCALARS:
+        fn = SCALARS[expr.name]
+        args = [compile_batch_expr(a, schema, plan_subquery)
+                for a in expr.args]
+        return _elementwise(fn, args)
+
+    # CASE (lazy branches), subqueries, anything exotic: exact row semantics
+    return _row_fallback(expr, schema, plan_subquery)
+
+
+def compile_batch_predicate(expr: ast.Expr, schema: Schema,
+                            plan_subquery=None):
+    """Compile a predicate to ``fn(batch, ctx) -> selection`` (row indices).
+
+    Truthiness matches the row pipeline: NULL comparison results are falsy.
+    """
+    value_fn = compile_batch_expr(expr, schema, plan_subquery)
+
+    def select(batch, ctx):
+        values = value_fn(batch, ctx)
+        return [i for i, v in enumerate(values) if v]
+    return select
+
+
+# ---------------------------------------------------------------------------
+# pushed-down scan predicates (zone-map pruning)
+# ---------------------------------------------------------------------------
+
+class PushedPredicate:
+    """A single-column range/equality bound pushed into the columnar scan.
+
+    Bounds are compiled constant expressions (literals, parameters,
+    arithmetic over them) evaluated once per execution; ``None`` fns leave
+    that side open.  Equality pushes the same fn as both bounds.
+    """
+
+    __slots__ = ("position", "low_fn", "high_fn",
+                 "low_inclusive", "high_inclusive")
+
+    def __init__(self, position: int, low_fn=None, high_fn=None,
+                 low_inclusive: bool = True, high_inclusive: bool = True):
+        self.position = position
+        self.low_fn = low_fn
+        self.high_fn = high_fn
+        self.low_inclusive = low_inclusive
+        self.high_inclusive = high_inclusive
+
+    def bounds(self, ctx):
+        """Evaluate to ``(low, high)``; a bound that evaluates to NULL makes
+        the predicate unsatisfiable (comparison with NULL is never true)."""
+        low = self.low_fn((), ctx) if self.low_fn is not None else None
+        high = self.high_fn((), ctx) if self.high_fn is not None else None
+        unsatisfiable = ((self.low_fn is not None and low is None)
+                         or (self.high_fn is not None and high is None))
+        return low, high, unsatisfiable
+
+
+# ---------------------------------------------------------------------------
+# batch operators
+# ---------------------------------------------------------------------------
+
+class VectorNode:
+    """Base batch operator: ``execute_batches(ctx)`` yields ``Batch``es."""
+
+    schema: Schema
+
+    def execute_batches(self, ctx):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def children(self) -> list:
+        return []
+
+
+class VColumnarScan(VectorNode):
+    """Segment-at-a-time scan of a columnar table with zone-map pruning.
+
+    ``columns`` projects the scan to the named columns (table order); the
+    operator's schema shrinks with it, so downstream expressions resolve
+    against the projected layout.  Pushed-predicate positions stay
+    full-table positions — zone maps are per segment column, independent
+    of what the batch materialises.
+    """
+
+    def __init__(self, table, binding: str,
+                 pushed: list[PushedPredicate] | None = None,
+                 columns: list[str] | None = None):
+        self.table = table
+        self.binding = binding
+        self.pushed = pushed or []
+        self.columns = columns
+        names = table.column_names if columns is None else columns
+        self.schema = Schema([(binding, col) for col in names])
+
+    def execute_batches(self, ctx):
+        name = self.table.name
+        stats = ctx.stats
+        stats.full_scans[name] += 1
+        stats.used_columnar = True
+        ctable = ctx.columnar.table(name)
+
+        bounds = []
+        for pred in self.pushed:
+            low, high, unsatisfiable = pred.bounds(ctx)
+            if unsatisfiable:
+                stats.segments_pruned += sum(
+                    1 for s in ctable.segments() if s.live_count)
+                return
+            bounds.append((pred.position, low, high,
+                           pred.low_inclusive, pred.high_inclusive))
+
+        def skip_segment(segment):
+            if any(not segment.may_contain(pos, low, high, low_inc, high_inc)
+                   for pos, low, high, low_inc, high_inc in bounds):
+                stats.segments_pruned += 1
+                return True
+            return False
+
+        scanned = 0
+        for batch in ctable.scan_batches(columns=self.columns,
+                                         skip_segment=skip_segment):
+            stats.batches_scanned += 1
+            scanned += len(batch)
+            yield batch
+        stats.rows_columnar[name] += scanned
+
+
+class VFilter(VectorNode):
+    """Batch filter: applies a selection vector to each input batch."""
+
+    def __init__(self, child: VectorNode, predicate):
+        self.child = child
+        self.predicate = predicate
+        self.schema = child.schema
+
+    def execute_batches(self, ctx):
+        predicate = self.predicate
+        for batch in self.child.execute_batches(ctx):
+            selection = predicate(batch, ctx)
+            if not selection:
+                continue
+            if len(selection) == len(batch):
+                yield batch
+            else:
+                yield batch.take(selection)
+
+    def children(self):
+        return [self.child]
+
+
+class VProject(VectorNode):
+    """Batch projection: each output column computed column-at-a-time."""
+
+    def __init__(self, child: VectorNode, fns, names: list[str]):
+        self.child = child
+        self.fns = fns
+        self.schema = Schema([(None, name) for name in names])
+
+    def execute_batches(self, ctx):
+        fns = self.fns
+        for batch in self.child.execute_batches(ctx):
+            yield Batch([fn(batch, ctx) for fn in fns], len(batch))
+
+    def children(self):
+        return [self.child]
+
+
+class VHashJoin(VectorNode):
+    """Batch equi-join; builds on the right input, probes batch-at-a-time.
+
+    Emission order matches the row pipeline's ``HashJoin`` exactly: left
+    rows in scan order, matches per key in right-input order.
+    """
+
+    def __init__(self, left: VectorNode, right: VectorNode,
+                 left_fns, right_fns, kind: str = "INNER"):
+        self.left = left
+        self.right = right
+        self.left_fns = left_fns
+        self.right_fns = right_fns
+        self.kind = kind
+        self.schema = left.schema + right.schema
+
+    def execute_batches(self, ctx):
+        ctx.stats.join_ops += 1
+        build: dict = {}
+        right_width = len(self.right.schema)
+        setdefault = build.setdefault
+        for batch in self.right.execute_batches(ctx):
+            key_cols = [fn(batch, ctx) for fn in self.right_fns]
+            for row, key in zip(batch.rows(), zip(*key_cols)):
+                setdefault(key, []).append(row)
+        null_row = (None,) * right_width
+        emitted = 0
+        for batch in self.left.execute_batches(ctx):
+            key_cols = [fn(batch, ctx) for fn in self.left_fns]
+            out_left: list[int] = []
+            out_right: list[tuple] = []
+            for i, key in enumerate(zip(*key_cols)):
+                matches = build.get(key)
+                if matches:
+                    for match in matches:
+                        out_left.append(i)
+                        out_right.append(match)
+                elif self.kind == "LEFT":
+                    out_left.append(i)
+                    out_right.append(null_row)
+            if not out_left:
+                continue
+            emitted += len(out_left)
+            columns = [[col[i] for i in out_left] for col in batch.columns]
+            if out_right and right_width:
+                columns.extend(list(col) for col in zip(*out_right))
+            else:
+                columns.extend([] for _ in range(right_width))
+            yield Batch(columns, len(out_left))
+        ctx.stats.rows_joined += emitted
+
+    def children(self):
+        return [self.left, self.right]
+
+
+# ---------------------------------------------------------------------------
+# bridges back to the row pipeline (presentation operators stack on top)
+# ---------------------------------------------------------------------------
+
+class BatchRows:
+    """Row-pipeline adapter: flattens batches back into row tuples."""
+
+    def __init__(self, child: VectorNode):
+        self.child = child
+        self.schema = child.schema
+
+    def execute(self, ctx):
+        for batch in self.child.execute_batches(ctx):
+            yield from batch.rows()
+
+    def children(self):
+        return [self.child]
+
+
+class BatchAggregate:
+    """Hash aggregation consuming batches, emitting one row per group.
+
+    The schema mirrors the row pipeline's ``Aggregate`` (``__G*``/``__A*``),
+    so the planner's above-aggregate rewrite applies unchanged.  Grouping
+    keys and aggregate arguments are evaluated column-at-a-time; the global
+    (no GROUP BY) case folds whole column slices into the accumulators.
+    """
+
+    def __init__(self, child: VectorNode, group_fns, agg_specs):
+        self.child = child
+        self.group_fns = group_fns
+        self.agg_specs = agg_specs
+        names = [f"__G{i}" for i in range(len(group_fns))]
+        names += [f"__A{j}" for j in range(len(agg_specs))]
+        self.schema = Schema([(None, name) for name in names])
+
+    def _make_accs(self):
+        return [make_accumulator(s.name, s.arg_fn is None, s.distinct)
+                for s in self.agg_specs]
+
+    def execute(self, ctx):
+        groups: dict = {}
+        group_fns = self.group_fns
+        specs = self.agg_specs
+        rows = 0
+        for batch in self.child.execute_batches(ctx):
+            n = len(batch)
+            rows += n
+            arg_cols = [None if s.arg_fn is None else s.arg_fn(batch, ctx)
+                        for s in specs]
+            if not group_fns:
+                accs = groups.get(())
+                if accs is None:
+                    accs = self._make_accs()
+                    groups[()] = accs
+                for acc, col in zip(accs, arg_cols):
+                    if col is None:
+                        acc.add_many([1] * n)
+                    else:
+                        acc.add_many(col)
+                continue
+            key_cols = [fn(batch, ctx) for fn in group_fns]
+            for i, key in enumerate(zip(*key_cols)):
+                accs = groups.get(key)
+                if accs is None:
+                    accs = self._make_accs()
+                    groups[key] = accs
+                for acc, col in zip(accs, arg_cols):
+                    acc.add(1 if col is None else col[i])
+        ctx.stats.agg_input_rows += rows
+        if not groups and not group_fns:
+            groups[()] = self._make_accs()
+        ctx.stats.groups += len(groups)
+        for key, accs in groups.items():
+            yield key + tuple(acc.result() for acc in accs)
+
+    def children(self):
+        return [self.child]

@@ -1,7 +1,12 @@
 """Storage substrate: MVCC row store, columnar replica, indexes, WAL, buffer pool."""
 
 from repro.storage.bufferpool import BufferPool, BufferPoolStats
-from repro.storage.columnstore import ColumnarReplica, ColumnarTable
+from repro.storage.columnstore import (
+    SEGMENT_ROWS,
+    ColumnarReplica,
+    ColumnarTable,
+    Segment,
+)
 from repro.storage.index import HashIndex, OrderedIndex
 from repro.storage.rowstore import INF_TS, RowStorage, RowVersion, TableStore
 from repro.storage.wal import LogOp, LogRecord, WriteAheadLog
@@ -9,8 +14,10 @@ from repro.storage.wal import LogOp, LogRecord, WriteAheadLog
 __all__ = [
     "BufferPool",
     "BufferPoolStats",
+    "SEGMENT_ROWS",
     "ColumnarReplica",
     "ColumnarTable",
+    "Segment",
     "HashIndex",
     "OrderedIndex",
     "INF_TS",

@@ -6,9 +6,19 @@ the replica's watermark and applies them to per-column arrays.  Readers see
 data as of the replica's ``applied_ts`` — fresher replication means fresher
 analytics, which is exactly the mechanism TiDB relies on in the paper.
 
-Columnar tables support full scans only (no secondary indexes): analytical
-plans routed here pay per-row scan costs that are much lower than row-store
-scans, but point lookups stay on the row store.
+Storage is organised the way real columnar engines (TiFlash, SingleStore's
+columnstore) organise it: fixed-size *segments* of column arrays, each with
+
+* a **live bitmap** (deletes only clear a bit; slots are reused when the
+  same primary key is reinserted),
+* per-column **zone maps** (min/max over every value ever written to the
+  segment — widen-only, so they stay a conservative superset of the live
+  values and pruning can never drop a matching row).
+
+``scan_batches`` exposes the segments as column-slice batches for the
+vectorized executor; ``scan`` keeps the row-tuple view for the row pipeline.
+Columnar tables support full scans only (no secondary indexes): point
+lookups stay on the row store, as in TiDB.
 """
 
 from __future__ import annotations
@@ -17,61 +27,226 @@ from collections.abc import Iterator
 
 from repro.catalog.schema import Table
 from repro.errors import CatalogError
+from repro.sql.result import Batch
 from repro.storage.wal import LogOp, WriteAheadLog
+
+SEGMENT_ROWS = 4096
+
+
+class Segment:
+    """One fixed-capacity block of column arrays with zone maps."""
+
+    __slots__ = ("capacity", "columns", "live", "size", "live_count",
+                 "mins", "maxs", "zone_valid")
+
+    def __init__(self, n_columns: int, capacity: int = SEGMENT_ROWS):
+        self.capacity = capacity
+        self.columns: list[list] = [[] for _ in range(n_columns)]
+        self.live: list[bool] = []
+        self.size = 0          # rows ever appended (== len(self.live))
+        self.live_count = 0
+        # zone maps: min/max over every non-NULL value ever written here.
+        # Widen-only — deletes and overwrites never narrow them — so the
+        # interval is always a superset of the live values (prune-safe).
+        self.mins: list = [None] * n_columns
+        self.maxs: list = [None] * n_columns
+        self.zone_valid = [True] * n_columns  # False after a type clash
+
+    @property
+    def full(self) -> bool:
+        return self.size >= self.capacity
+
+    def _observe(self, values: tuple):
+        """Widen the zone maps to cover ``values``."""
+        for pos, value in enumerate(values):
+            if value is None or not self.zone_valid[pos]:
+                continue
+            lo = self.mins[pos]
+            try:
+                if lo is None:
+                    self.mins[pos] = value
+                    self.maxs[pos] = value
+                else:
+                    if value < lo:
+                        self.mins[pos] = value
+                    if value > self.maxs[pos]:
+                        self.maxs[pos] = value
+            except TypeError:
+                # mixed uncomparable types: disable pruning on this column
+                self.zone_valid[pos] = False
+                self.mins[pos] = None
+                self.maxs[pos] = None
+
+    def append(self, values: tuple) -> int:
+        """Append a live row; returns its offset within the segment."""
+        offset = self.size
+        for col, value in zip(self.columns, values):
+            col.append(value)
+        self.live.append(True)
+        self.size += 1
+        self.live_count += 1
+        self._observe(values)
+        return offset
+
+    def write(self, offset: int, values: tuple):
+        """Overwrite a slot in place (replicated UPDATE / reinsert)."""
+        for col, value in zip(self.columns, values):
+            col[offset] = value
+        self._observe(values)
+
+    def kill(self, offset: int):
+        self.live[offset] = False
+        self.live_count -= 1
+
+    def revive(self, offset: int):
+        self.live[offset] = True
+        self.live_count += 1
+
+    def may_contain(self, pos: int, low, high,
+                    low_inclusive: bool = True,
+                    high_inclusive: bool = True) -> bool:
+        """Can any value of column ``pos`` fall inside [low, high]?
+
+        ``None`` bounds are open.  Returns True whenever the zone map cannot
+        prove the segment disjoint (the only direction that must be exact).
+        """
+        if not self.zone_valid[pos]:
+            return True
+        mn = self.mins[pos]
+        if mn is None:
+            # no non-NULL value was ever written: range/equality predicates
+            # cannot match (NULL comparisons are never true)
+            return False
+        mx = self.maxs[pos]
+        try:
+            if low is not None:
+                if (mx < low) if low_inclusive else (mx <= low):
+                    return False
+            if high is not None:
+                if (mn > high) if high_inclusive else (mn >= high):
+                    return False
+        except TypeError:
+            return True
+        return True
 
 
 class ColumnarTable:
-    """Column-major storage for one table."""
+    """Column-major storage for one table, in fixed-size segments."""
 
-    def __init__(self, table: Table):
+    def __init__(self, table: Table, segment_rows: int = SEGMENT_ROWS):
+        if segment_rows <= 0:
+            raise ValueError("segment_rows must be positive")
         self.table = table
-        self._columns: list[list] = [[] for _ in table.columns]
+        self.segment_rows = segment_rows
+        self._segments: list[Segment] = []
         self._pk_to_slot: dict[tuple, int] = {}
-        self._live: list[bool] = []
         self.row_count = 0
+
+    # -- write path (WAL application) ----------------------------------
+
+    def _locate(self, slot: int) -> tuple[Segment, int]:
+        return (self._segments[slot // self.segment_rows],
+                slot % self.segment_rows)
 
     def apply(self, pk: tuple, values: tuple | None, op: LogOp):
         slot = self._pk_to_slot.get(pk)
         if op is LogOp.DELETE or values is None:
-            if slot is not None and self._live[slot]:
-                self._live[slot] = False
-                self.row_count -= 1
+            if slot is not None:
+                segment, offset = self._locate(slot)
+                if segment.live[offset]:
+                    segment.kill(offset)
+                    self.row_count -= 1
             return
         if slot is None:
-            slot = len(self._live)
-            self._pk_to_slot[pk] = slot
-            self._live.append(True)
-            for col, value in zip(self._columns, values):
-                col.append(value)
+            if not self._segments or self._segments[-1].full:
+                self._segments.append(
+                    Segment(len(self.table.columns), self.segment_rows))
+            segment = self._segments[-1]
+            offset = segment.append(values)
+            self._pk_to_slot[pk] = \
+                (len(self._segments) - 1) * self.segment_rows + offset
             self.row_count += 1
         else:
-            if not self._live[slot]:
-                self._live[slot] = True
+            segment, offset = self._locate(slot)
+            if not segment.live[offset]:
+                segment.revive(offset)
                 self.row_count += 1
-            for col, value in zip(self._columns, values):
-                col[slot] = value
+            segment.write(offset, values)
+
+    # -- read path ------------------------------------------------------
 
     def scan(self) -> Iterator[tuple[tuple, tuple]]:
         """Yield ``(pk, values)`` for live rows as of the applied watermark."""
-        slots = self._pk_to_slot
-        live = self._live
-        columns = self._columns
-        for pk, slot in slots.items():
-            if live[slot]:
-                yield pk, tuple(col[slot] for col in columns)
+        segments = self._segments
+        width = self.segment_rows
+        for pk, slot in self._pk_to_slot.items():
+            segment = segments[slot // width]
+            offset = slot % width
+            if segment.live[offset]:
+                yield pk, tuple(col[offset] for col in segment.columns)
 
     def column_values(self, column: str) -> list:
         """Materialise one live column (used by columnar aggregate fast paths)."""
         pos = self.table.position(column)
-        col = self._columns[pos]
-        return [col[slot] for slot in self._pk_to_slot.values() if self._live[slot]]
+        segments = self._segments
+        width = self.segment_rows
+        return [
+            segments[slot // width].columns[pos][slot % width]
+            for slot in self._pk_to_slot.values()
+            if segments[slot // width].live[slot % width]
+        ]
+
+    def segments(self) -> list[Segment]:
+        return list(self._segments)
+
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def segment_batch(self, segment: Segment,
+                      positions: list[int] | None = None) -> Batch:
+        """Live column-slices of one segment as a ``Batch``.
+
+        Batches reference (or copy live subsets of) the underlying arrays;
+        they are only guaranteed stable until the next ``apply``.
+        """
+        if positions is None:
+            columns = segment.columns
+        else:
+            columns = [segment.columns[p] for p in positions]
+        if segment.live_count == segment.size:
+            return Batch(list(columns), segment.size)
+        live = segment.live
+        keep = [i for i in range(segment.size) if live[i]]
+        return Batch([[col[i] for i in keep] for col in columns], len(keep))
+
+    def scan_batches(self, columns: list[str] | None = None,
+                     skip_segment=None) -> Iterator[Batch]:
+        """Yield live rows segment-at-a-time as column-slice batches.
+
+        ``columns`` optionally projects to the named columns (table order is
+        preserved otherwise).  ``skip_segment`` is an optional predicate
+        ``(Segment) -> bool``; segments for which it returns True are
+        skipped — the hook zone-map pruning plugs into.
+        """
+        positions = None
+        if columns is not None:
+            positions = [self.table.position(c) for c in columns]
+        for segment in self._segments:
+            if segment.live_count == 0:
+                continue
+            if skip_segment is not None and skip_segment(segment):
+                continue
+            yield self.segment_batch(segment, positions)
 
 
 class ColumnarReplica:
     """The set of columnar tables fed from one WAL."""
 
-    def __init__(self):
+    def __init__(self, segment_rows: int = SEGMENT_ROWS):
+        if segment_rows <= 0:
+            raise ValueError("segment_rows must be positive")
         self._tables: dict[str, ColumnarTable] = {}
+        self.segment_rows = segment_rows
         self.applied_lsn = 0
         self.applied_ts = 0
 
@@ -79,7 +254,7 @@ class ColumnarReplica:
         key = table.name.upper()
         if key in self._tables:
             raise CatalogError(f"columnar table {table.name!r} already exists")
-        self._tables[key] = ColumnarTable(table)
+        self._tables[key] = ColumnarTable(table, self.segment_rows)
 
     def has_table(self, name: str) -> bool:
         return name.upper() in self._tables

@@ -250,6 +250,11 @@ class TransactionManager:
         self._latest_ts = next(self._ts)
         return self._latest_ts
 
+    def allocate_commit_ts(self) -> int:
+        """Allocate a fresh commit timestamp for out-of-band committed
+        writes (bulk loaders that bypass per-row transaction machinery)."""
+        return self._next_ts()
+
     def begin(self, isolation: IsolationLevel = IsolationLevel.SNAPSHOT
               ) -> Transaction:
         txn = Transaction(self, next(self._txn_ids), self._latest_ts, isolation)

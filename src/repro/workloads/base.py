@@ -16,7 +16,7 @@ default mix, overridable per run through ``BenchConfig``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from random import Random
 from typing import Callable
 

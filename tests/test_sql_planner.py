@@ -8,7 +8,6 @@ joins) depend on the planner making the same choices a real optimiser would.
 import pytest
 
 from repro.db import Database
-from repro.sql.parser import parse_sql
 from repro.sql.planner import (
     Filter,
     HashJoin,

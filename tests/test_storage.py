@@ -9,6 +9,7 @@ from repro.errors import IntegrityError
 from repro.storage import (
     BufferPool,
     ColumnarReplica,
+    ColumnarTable,
     HashIndex,
     OrderedIndex,
     RowStorage,
@@ -226,6 +227,85 @@ class TestWALAndColumnar:
                                  [("t", (i,), (i, f"v{i}"), LogOp.INSERT)])
         replica.apply_from(storage.wal)
         assert sorted(replica.table("t").column_values("id")) == [0, 1, 2, 3, 4]
+
+
+class TestColumnarSegments:
+    def _table(self, segment_rows=4) -> ColumnarTable:
+        return ColumnarTable(make_table(), segment_rows=segment_rows)
+
+    def test_rows_split_across_segments(self):
+        store = self._table(segment_rows=4)
+        for i in range(10):
+            store.apply((i,), (i, f"v{i}"), LogOp.INSERT)
+        assert store.segment_count() == 3
+        assert [s.live_count for s in store.segments()] == [4, 4, 2]
+        assert store.row_count == 10
+
+    def test_delete_then_reinsert_reuses_slot(self):
+        store = self._table(segment_rows=4)
+        for i in range(8):
+            store.apply((i,), (i, f"v{i}"), LogOp.INSERT)
+        store.apply((2,), None, LogOp.DELETE)
+        assert store.row_count == 7
+        assert store.segments()[0].live_count == 3
+        store.apply((2,), (2, "new"), LogOp.INSERT)
+        assert store.segment_count() == 2  # no fresh slot allocated
+        assert store.row_count == 8
+        assert dict(store.scan())[(2,)] == (2, "new")
+
+    def test_zone_maps_track_min_max(self):
+        store = self._table(segment_rows=4)
+        for i, v in enumerate((7, 3, 9, 5)):
+            store.apply((i,), (v, f"v{i}"), LogOp.INSERT)
+        segment = store.segments()[0]
+        assert (segment.mins[0], segment.maxs[0]) == (3, 9)
+        assert segment.may_contain(0, 3, 4)
+        assert not segment.may_contain(0, 10, None)
+        assert not segment.may_contain(0, None, 2)
+
+    def test_zone_maps_widen_never_narrow(self):
+        store = self._table(segment_rows=4)
+        store.apply((1,), (5, "a"), LogOp.INSERT)
+        store.apply((1,), (100, "b"), LogOp.UPDATE)
+        segment = store.segments()[0]
+        # old bound is kept (conservative superset), new value included
+        assert segment.mins[0] == 5 and segment.maxs[0] == 100
+        store.apply((1,), None, LogOp.DELETE)
+        assert segment.maxs[0] == 100  # deletes never narrow
+
+    def test_zone_map_disabled_on_mixed_types(self):
+        store = self._table(segment_rows=4)
+        store.apply((1,), (5, "a"), LogOp.INSERT)
+        store.apply((2,), ("oops", "b"), LogOp.INSERT)
+        segment = store.segments()[0]
+        assert not segment.zone_valid[0]
+        assert segment.may_contain(0, 0, 0)  # pruning is off, never skips
+
+    def test_all_null_column_prunes_everything(self):
+        store = self._table(segment_rows=4)
+        store.apply((1,), (None, "a"), LogOp.INSERT)
+        segment = store.segments()[0]
+        assert not segment.may_contain(0, 1, 10)
+
+    def test_scan_batches_projection_and_skip(self):
+        store = self._table(segment_rows=4)
+        for i in range(8):
+            store.apply((i,), (i, f"v{i}"), LogOp.INSERT)
+        batches = list(store.scan_batches(columns=["v"]))
+        assert [len(b) for b in batches] == [4, 4]
+        assert batches[0].columns[0] == ["v0", "v1", "v2", "v3"]
+        pruned = list(store.scan_batches(
+            skip_segment=lambda s: not s.may_contain(0, 6, None)))
+        assert len(pruned) == 1
+        assert list(pruned[0].rows())[-1] == (7, "v7")
+
+    def test_scan_batches_filters_dead_rows(self):
+        store = self._table(segment_rows=4)
+        for i in range(4):
+            store.apply((i,), (i, f"v{i}"), LogOp.INSERT)
+        store.apply((1,), None, LogOp.DELETE)
+        (batch,) = list(store.scan_batches())
+        assert list(batch.rows()) == [(0, "v0"), (2, "v2"), (3, "v3")]
 
 
 class TestBufferPool:

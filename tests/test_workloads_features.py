@@ -3,7 +3,6 @@
 import pytest
 
 from repro.workloads import make_workload, workload_names
-from repro.workloads.base import read_only_fraction
 
 
 class TestRegistry:
