@@ -23,7 +23,7 @@ def replication_lag_records(engine) -> float:
     engine has no columnar replica)."""
     if engine.replication is None:
         return 0.0
-    return engine.replication.lag(engine.db.storage.wal.head_lsn)
+    return engine.replication.lag(engine.db.storage.wal_head)
 
 
 def staleness_ms(lag_records: float, write_rate_per_ms: float) -> float:

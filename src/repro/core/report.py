@@ -82,6 +82,8 @@ def render_csv(reports: list[RunReport]) -> str:
         "workload", "engine", "mode", "loop", "oltp_rate", "olap_rate",
         "hybrid_rate", "class", "throughput", *_LATENCY_COLUMNS,
         "vectorized_requests", "batches_scanned", "segments_pruned",
+        "partitions_scanned", "partitions_pruned",
+        "multi_partition_commits",
     ])
     for report in reports:
         config = report.config
@@ -94,6 +96,8 @@ def render_csv(reports: list[RunReport]) -> str:
                 *_latency_row(summary),
                 report.vectorized_statements, report.batches_scanned,
                 report.segments_pruned,
+                report.partitions_scanned, report.partitions_pruned,
+                report.multi_partition_commits,
             ])
     return buffer.getvalue()
 

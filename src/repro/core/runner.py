@@ -57,6 +57,20 @@ class RunReport:
     vectorized_statements: int = 0
     batches_scanned: int = 0
     segments_pruned: int = 0
+    # partition counters (aggregated over every request)
+    partitions_scanned: int = 0
+    partitions_pruned: int = 0
+    partial_aggregates: int = 0
+    # commit-path split over the run (fast path vs two-phase)
+    single_partition_commits: int = 0
+    multi_partition_commits: int = 0
+
+    @property
+    def multi_partition_commit_fraction(self) -> float:
+        total = self.single_partition_commits + self.multi_partition_commits
+        if total == 0:
+            return 0.0
+        return self.multi_partition_commits / total
 
     def metrics(self, kind: str) -> ClassMetrics:
         return self.classes.setdefault(kind, ClassMetrics())
@@ -101,6 +115,15 @@ class RunReport:
                 f"batches={self.batches_scanned} "
                 f"segments_pruned={self.segments_pruned}"
             )
+        commits = self.single_partition_commits + self.multi_partition_commits
+        if commits:
+            lines.append(
+                f"  partitions: scanned={self.partitions_scanned} "
+                f"pruned={self.partitions_pruned} "
+                f"multi_partition_commits={self.multi_partition_commits}"
+                f"/{commits} "
+                f"({self.multi_partition_commit_fraction:.1%})"
+            )
         return "\n".join(lines)
 
 
@@ -138,6 +161,9 @@ class OLxPBench:
         self.engine = engine
         self.workload = workload
         self.seed = seed
+        # per-(kind, seed) parameter streams; reset by every run() so two
+        # runs with the same config issue identical request sequences
+        self._rngs: dict[tuple, Random] = {}
         workload.install(engine.db, Random(seed), scale,
                          with_foreign_keys=with_foreign_keys)
         self._conn = engine.db.connect()
@@ -160,6 +186,11 @@ class OLxPBench:
         # fresh per-class parameter streams: two runs with the same config
         # and seed must issue identical request sequences
         self._rngs = {}
+        # commit-path counters are cumulative on the manager; remember the
+        # baseline so the report covers this run only
+        manager = self.engine.db.txn_manager
+        self._commit_baseline = (manager.single_partition_commits,
+                                 manager.multi_partition_commits)
         if config.loop == "open" and config.mode != "sequential":
             return self._run_open_loop(config)
         return self._run_closed_loop(config)
@@ -281,6 +312,9 @@ class OLxPBench:
         report.batches_scanned += exec_stats.batches_scanned
         report.segments_pruned += exec_stats.segments_pruned
         report.vectorized_statements += exec_stats.vectorized_statements
+        report.partitions_scanned += exec_stats.partitions_scanned
+        report.partitions_pruned += exec_stats.partitions_pruned
+        report.partial_aggregates += exec_stats.partial_aggregates
         breakdown = self.engine.account(now, work, columnar)
         latency = breakdown.total
 
@@ -305,8 +339,6 @@ class OLxPBench:
         return latency
 
     def _rng_for(self, kind: str, config: BenchConfig) -> Random:
-        if not hasattr(self, "_rngs"):
-            self._rngs = {}
         key = (kind, config.seed)
         rng = self._rngs.get(key)
         if rng is None:
@@ -315,6 +347,12 @@ class OLxPBench:
         return rng
 
     def _finalise(self, report: RunReport, config: BenchConfig):
+        manager = self.engine.db.txn_manager
+        base_single, base_multi = getattr(self, "_commit_baseline", (0, 0))
+        report.single_partition_commits = \
+            manager.single_partition_commits - base_single
+        report.multi_partition_commits = \
+            manager.multi_partition_commits - base_multi
         locks = self.engine.locks
         report.lock_wait_ms = locks.total_wait_ms
         report.lock_waits = locks.waits

@@ -94,6 +94,7 @@ def run_transaction(connection: Connection, kind: str, name: str, program,
                 n_realtime_statements=session._n_realtime_statements,
                 write_keys=write_keys,
                 retries=retries,
+                commit_partitions=txn.commit_partitions,
             )
         except TransactionAborted:
             connection.rollback()

@@ -29,25 +29,42 @@ from repro.sql.executor import Executor
 from repro.sql.parser import parse_sql
 from repro.sql.planner import Planner, SelectPlan
 from repro.sql.result import DMLResult, Result
-from repro.storage.columnstore import ColumnarReplica
+from repro.storage.columnstore import SEGMENT_ROWS, ColumnarReplica
+from repro.storage.partition import PartitionMap
 from repro.storage.rowstore import RowStorage
 from repro.txn.manager import IsolationLevel, Transaction, TransactionManager
 
 
 class Database:
-    """One logical database: catalog + storage + transactions + SQL."""
+    """One logical database: catalog + storage + transactions + SQL.
+
+    ``partitions`` hash-partitions every table (and the WAL and columnar
+    replica with it) on its partition key — the first primary-key column.
+    Partitioning redistributes data, not semantics: every deterministic
+    query result (ORDER BY output, aggregates, point/prefix reads, any
+    row-store scan) is identical for every partition count; only the
+    SQL-undefined row order of *unordered* columnar-routed results follows
+    partition concatenation order.  What partitioning changes is
+    *placement*: PK access binds to one partition, commits are classified
+    single- vs multi-partition, and columnar scans scatter-gather across
+    the per-partition segment sets.
+    """
 
     def __init__(self, enforce_foreign_keys: bool = False,
                  supports_foreign_keys: bool = True,
                  with_columnar: bool = False,
                  columnar_segment_rows: int | None = None,
-                 default_isolation: IsolationLevel = IsolationLevel.SNAPSHOT):
+                 default_isolation: IsolationLevel = IsolationLevel.SNAPSHOT,
+                 partitions: int = 1):
         self.catalog = Catalog()
-        self.storage = RowStorage()
+        self.partition_map = PartitionMap(partitions)
+        self.storage = RowStorage(self.partition_map)
         if with_columnar:
-            self.columnar = (ColumnarReplica()
-                             if columnar_segment_rows is None
-                             else ColumnarReplica(columnar_segment_rows))
+            self.columnar = ColumnarReplica(
+                columnar_segment_rows if columnar_segment_rows is not None
+                else SEGMENT_ROWS,
+                partition_map=self.partition_map,
+            )
         else:
             self.columnar = None
         self.txn_manager = TransactionManager(self.storage)
@@ -59,8 +76,13 @@ class Database:
         self.executor = Executor(
             self.catalog, self.columnar,
             enforce_foreign_keys=self.enforce_foreign_keys,
+            partition_map=self.partition_map,
         )
         self._plan_cache: dict[str, object] = {}
+
+    @property
+    def partitions(self) -> int:
+        return self.partition_map.partitions
 
     # -- DDL -----------------------------------------------------------------
 
@@ -146,15 +168,26 @@ class Database:
         return count
 
     def replicate(self, limit: int | None = None) -> int:
-        """Apply pending WAL records to the columnar replica."""
+        """Apply pending WAL records to the columnar replica.
+
+        Partition streams are merged by global commit order, so a partial
+        apply (``limit``) leaves the replica in exactly the state a
+        single-stream log would have produced.  Applied prefixes are then
+        compacted away (``truncate_upto``), bounding WAL memory by the
+        replication lag instead of the database lifetime.
+        """
         if self.columnar is None:
             return 0
-        return self.columnar.apply_from(self.storage.wal, limit)
+        applied = self.columnar.apply_from_partitions(self.storage.wals,
+                                                      limit)
+        for pid, wal in enumerate(self.storage.wals):
+            wal.truncate_upto(self.columnar.applied_lsns[pid])
+        return applied
 
     def replication_lag(self) -> int:
         if self.columnar is None:
             return 0
-        return self.columnar.lag(self.storage.wal)
+        return self.columnar.total_lag(self.storage.wals)
 
     # -- statement preparation -----------------------------------------------------
 

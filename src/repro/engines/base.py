@@ -33,6 +33,10 @@ from repro.sim.work import WorkResult
 from repro.storage.bufferpool import BufferPool
 from repro.txn.manager import IsolationLevel
 
+# routing probe: a bare transactional WorkResult, used to ask subclasses
+# which node group serves OLTP without running anything
+_OLTP_PROBE = WorkResult(kind="oltp", name="__probe__")
+
 
 @dataclass
 class EngineInfo:
@@ -58,15 +62,21 @@ class HTAPCluster:
                  cost_params: CostParams | None = None,
                  buffer_pool_pages: int = 512,
                  rows_per_page: int = 64,
-                 replication_apply_rate: float | None = None):
+                 replication_apply_rate: float | None = None,
+                 partitions: int | None = None):
         if nodes < 2:
             raise ValueError("a distributed cluster needs at least 2 nodes")
         self.nodes = nodes
         self.cores_per_node = cores_per_node
+        # one hash partition per node by default: growing the cluster
+        # redistributes data (TiDB regions / OceanBase tablets), it does
+        # not just add compute
+        self.partitions = partitions if partitions is not None else nodes
         self.db = Database(
             supports_foreign_keys=self.supports_foreign_keys,
             with_columnar=self.has_columnar_store,
             default_isolation=self.default_isolation,
+            partitions=self.partitions,
         )
         self.cost = CostModel(self._scaled_params(cost_params
                                                   or self.default_costs()))
@@ -138,13 +148,41 @@ class HTAPCluster:
             has_columnar_store=self.has_columnar_store,
         )
 
+    # -- partition placement ----------------------------------------------------
+
+    def oltp_nodes(self) -> int:
+        """Nodes of the group that serves transactional requests."""
+        group = self._target_group(_OLTP_PROBE, columnar=False)
+        return group.nodes
+
+    def partition_node(self, pid: int) -> int:
+        """Node (within the transactional group) hosting a partition.
+
+        Partitions map round-robin across the group's nodes, so a
+        multi-partition commit touching partitions on distinct nodes pays
+        distributed-commit coordination.
+        """
+        return pid % self.oltp_nodes()
+
+    def partition_placement(self) -> dict[int, int]:
+        """Partition id -> node index, for reports and tests."""
+        return {pid: self.partition_node(pid)
+                for pid in range(self.partitions)}
+
+    def commit_participant_nodes(self, work: WorkResult) -> int:
+        """Distinct transactional nodes involved in the commit."""
+        if not work.commit_partitions:
+            return 0
+        return len({self.partition_node(pid)
+                    for pid in work.commit_partitions})
+
     # -- timing ---------------------------------------------------------------------
 
     def tick(self, now_ms: float):
         """Advance simulated background work (replication) to ``now_ms``."""
         self.now_ms = max(self.now_ms, now_ms)
         if self.replication is not None:
-            self.replication.advance(self.now_ms, self.db.storage.wal.head_lsn)
+            self.replication.advance(self.now_ms, self.db.storage.wal_head)
         # keep the logical replica fresh so analytical results are correct;
         # *timing* freshness is governed by ReplicationState
         if self.db.columnar is not None:
@@ -157,7 +195,8 @@ class HTAPCluster:
         breakdown = LatencyBreakdown()
 
         demand = self.cost.transaction_cost(
-            work.stats, work.n_statements, hybrid_context=False
+            work.stats, work.n_statements, hybrid_context=False,
+            columnar_parallelism=self._columnar_parallelism(work, columnar),
         ).cpu
         if work.realtime_stats is not None:
             demand += self.cost.transaction_cost(
@@ -235,10 +274,24 @@ class HTAPCluster:
         io = self.cost.io_cost(point_misses, hits, scan_misses)
         return io, flooded
 
+    def _columnar_parallelism(self, work: WorkResult, columnar: bool) -> int:
+        """Effective scatter-gather fan-out of a columnar-routed request.
+
+        Bounded by the nodes of the serving group: partitions co-hosted on
+        one node share its cores, they do not add parallel capacity.
+        """
+        scatter = work.stats.scatter_partitions
+        if not columnar or scatter <= 1:
+            return 1
+        return min(scatter, self._target_group(work, columnar).nodes)
+
     def _network_hops(self, work: WorkResult, columnar: bool) -> int:
         # client -> SQL layer -> storage and back: 2 logical hops, plus one
-        # per extra statement round trip
-        return 2 + max(0, work.n_statements + work.n_realtime_statements - 1)
+        # per extra statement round trip, plus one per extra node a
+        # multi-partition (two-phase) commit has to coordinate
+        participant_nodes = self.commit_participant_nodes(work)
+        return (2 + max(0, work.n_statements + work.n_realtime_statements - 1)
+                + max(0, participant_nodes - 1))
 
     # -- lifecycle --------------------------------------------------------------------
 
@@ -258,7 +311,7 @@ class HTAPCluster:
         if self.replication is not None:
             self.replication.reset()
             # replication restarts in sync with the current WAL head
-            self.replication.applied = float(self.db.storage.wal.head_lsn)
+            self.replication.applied = float(self.db.storage.wal_head)
             self.replication._last_advance = 0.0
         self.now_ms = 0.0
 

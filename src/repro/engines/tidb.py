@@ -66,7 +66,7 @@ class TiDBCluster(HTAPCluster):
 
     def route_analytical(self, arrival_ms: float) -> bool:
         self.tick(arrival_ms)
-        lag = self.replication.lag(self.db.storage.wal.head_lsn)
+        lag = self.replication.lag(self.db.storage.wal_head)
         return lag <= self.freshness_limit
 
     def _target_group(self, work: WorkResult, columnar: bool) -> NodeGroup:

@@ -85,31 +85,43 @@ class CostModel:
     def __init__(self, params: CostParams):
         self.params = params
 
-    def statement_cost(self, stats: ExecStats, hybrid_context: bool = False
-                       ) -> CostBreakdown:
-        """CPU demand of one statement's relational work (no queueing/IO)."""
+    def statement_cost(self, stats: ExecStats, hybrid_context: bool = False,
+                       columnar_parallelism: int = 1) -> CostBreakdown:
+        """CPU demand of one statement's relational work (no queueing/IO).
+
+        ``columnar_parallelism`` models partition-parallel scatter-gather:
+        a columnar scan fanned out over N partitions on distinct nodes
+        finishes in ~1/N of the serial scan time (the per-partition partial
+        aggregates divide the same way), so the critical-path demand for
+        the columnar scan and aggregate components is divided by it.
+        """
         p = self.params
         amplify = p.hybrid_join_amplification if hybrid_context else 1.0
+        parallel = max(1, columnar_parallelism)
         cpu = p.stmt_overhead
         if stats.used_columnar:
             cpu += p.columnar_stmt_overhead
         cpu += sum(stats.rows_row_store.values()) * p.row_scan_row_store * \
             (amplify if hybrid_context else 1.0)
-        cpu += sum(stats.rows_columnar.values()) * p.row_scan_columnar
+        cpu += sum(stats.rows_columnar.values()) * p.row_scan_columnar \
+            / parallel
         cpu += stats.pk_lookups * p.pk_lookup
         cpu += stats.index_lookups * p.index_lookup
         cpu += stats.index_range_scans * p.index_lookup
         cpu += stats.join_ops * p.join_op * amplify
         cpu += stats.rows_joined * p.join_per_row * amplify
         cpu += stats.sort_rows * p.sort_per_row
-        cpu += stats.agg_input_rows * p.agg_per_row
+        agg_parallel = parallel if stats.partial_aggregates else 1
+        cpu += stats.agg_input_rows * p.agg_per_row / agg_parallel
         cpu += stats.total_writes * p.write_per_row
         return CostBreakdown(cpu=cpu)
 
     def transaction_cost(self, stats: ExecStats, n_statements: int,
-                         hybrid_context: bool = False) -> CostBreakdown:
+                         hybrid_context: bool = False,
+                         columnar_parallelism: int = 1) -> CostBreakdown:
         """CPU demand of a whole transaction (statement work + txn overhead)."""
-        breakdown = self.statement_cost(stats, hybrid_context)
+        breakdown = self.statement_cost(stats, hybrid_context,
+                                        columnar_parallelism)
         breakdown.cpu += self.params.txn_overhead
         breakdown.cpu += max(0, n_statements - 1) * self.params.stmt_overhead
         return breakdown

@@ -27,6 +27,13 @@ class WorkResult:
     write_keys: frozenset = frozenset()
     aborted: bool = False
     retries: int = 0
+    # hash partitions the commit touched (() when read-only/aborted);
+    # more than one participant means a two-phase distributed commit
+    commit_partitions: tuple = ()
+
+    @property
+    def multi_partition_commit(self) -> bool:
+        return len(self.commit_partitions) > 1
 
     @property
     def read_only(self) -> bool:

@@ -26,7 +26,8 @@ class ExecContext:
 
     def __init__(self, txn: Transaction, params: tuple = (),
                  columnar=None, route_columnar: bool = False,
-                 enforce_foreign_keys: bool = False, catalog=None):
+                 enforce_foreign_keys: bool = False, catalog=None,
+                 partition_map=None):
         self.txn = txn
         self.params = params
         self.stats = ExecStats()
@@ -34,7 +35,14 @@ class ExecContext:
         self.route_columnar = route_columnar
         self.enforce_foreign_keys = enforce_foreign_keys
         self.catalog = catalog
+        self.partition_map = partition_map
         self._subquery_cache: dict[int, list] = {}
+
+    @property
+    def partition_count(self) -> int:
+        """Hash partitions of the row store (1 when unpartitioned)."""
+        return self.partition_map.partitions \
+            if self.partition_map is not None else 1
 
     def wants_columnar(self, table_name: str) -> bool:
         """Should a full scan of ``table_name`` go to the columnar replica?
@@ -75,13 +83,15 @@ class Executor:
 
     def __init__(self, catalog, columnar=None,
                  enforce_foreign_keys: bool = False,
-                 use_vectorized: bool = True):
+                 use_vectorized: bool = True,
+                 partition_map=None):
         self.catalog = catalog
         self.columnar = columnar
         self.enforce_foreign_keys = enforce_foreign_keys
         # batch-at-a-time execution for columnar-routed statements; row
         # pipeline only when False (benchmark A/B comparisons flip this)
         self.use_vectorized = use_vectorized
+        self.partition_map = partition_map
 
     def _context(self, txn: Transaction, params: tuple,
                  route_columnar: bool) -> ExecContext:
@@ -91,6 +101,7 @@ class Executor:
             route_columnar=route_columnar,
             enforce_foreign_keys=self.enforce_foreign_keys,
             catalog=self.catalog,
+            partition_map=self.partition_map,
         )
 
     # -- SELECT ---------------------------------------------------------------
@@ -218,6 +229,8 @@ class Executor:
         if path.kind == "pk":
             key = tuple(fn((), ctx) for fn in path.key_fns)
             stats.pk_lookups += 1
+            stats.partitions_scanned += 1
+            stats.partitions_pruned += ctx.partition_count - 1
             values = txn.get(name, key)
             if values is not None:
                 stats.rows_row_store[name] += 1
@@ -228,6 +241,8 @@ class Executor:
         if path.kind == "pk_prefix":
             prefix = tuple(fn((), ctx) for fn in path.key_fns)
             stats.index_range_scans += 1
+            stats.partitions_scanned += 1
+            stats.partitions_pruned += ctx.partition_count - 1
             for pk, values in txn.pk_prefix_scan(name, prefix):
                 stats.rows_row_store[name] += 1
                 stats.rows_row_prefix[name] += 1
@@ -238,6 +253,7 @@ class Executor:
         if path.kind in ("index", "index_prefix"):
             key = tuple(fn((), ctx) for fn in path.key_fns)
             stats.index_lookups += 1
+            stats.partitions_scanned += ctx.partition_count
             store = txn.manager.storage.store(name)
             idx = store.index(path.index_name)
             if path.kind == "index_prefix":
@@ -265,6 +281,7 @@ class Executor:
 
         if path.kind == "seq":
             stats.full_scans[name] += 1
+            stats.partitions_scanned += ctx.partition_count
             for pk, values in txn.scan(name):
                 stats.rows_row_store[name] += 1
                 if matches(values):

@@ -3,11 +3,95 @@
 NULL handling follows the pragmatic subset the benchmark queries need:
 aggregates skip NULL inputs; ``COUNT(*)`` counts rows; ``AVG`` over an empty
 or all-NULL input yields NULL.
+
+Every accumulator is **order-insensitive and mergeable**: folding the same
+multiset of values in any order — or as per-partition partials combined
+with ``merge`` — produces bit-identical results.  SUM/AVG achieve this with
+exact fixed-point integer accumulation (every finite double is an integer
+multiple of 2^-1074, so sums of scaled integers are exact and the final
+float conversion is one correctly-rounded division).  This is what lets
+partition-parallel scatter-gather plans return byte-identical results to a
+single-partition scan.
 """
 
 from __future__ import annotations
 
 from repro.errors import ExecutionError
+
+# 2^1074 scales any finite double to an exact integer (as_integer_ratio
+# denominators are powers of two no larger than 2^1074)
+_FLOAT_SCALE = 1 << 1074
+# the scale-completion factor per denominator; denominators repeat heavily
+# (values of similar magnitude share exponents), so memoise the big-int
+# division out of the per-value path
+_SCALE_BY_DENOM: dict = {}
+
+
+class _ExactSum:
+    """Exact, order-insensitive sum of ints and floats.
+
+    Integers accumulate separately from scaled float mantissas; ``value``
+    reproduces plain Python ``+`` semantics (int stays int until a float
+    joins) with the float result correctly rounded irrespective of fold
+    order.  Anything without an exact integer scaling — Decimals, inf/nan —
+    falls back to ordered addition, preserving historical behaviour.
+    """
+
+    __slots__ = ("int_total", "scaled_total", "float_seen", "other")
+
+    def __init__(self):
+        self.int_total = 0
+        self.scaled_total = 0
+        self.float_seen = False
+        self.other = None  # inexact fallback for inexactly-scalable addends
+
+    def add(self, value):
+        if isinstance(value, int):
+            self.int_total += value
+            return
+        if isinstance(value, float):
+            try:
+                numerator, denominator = value.as_integer_ratio()
+            except (OverflowError, ValueError):  # inf / nan
+                pass
+            else:
+                factor = _SCALE_BY_DENOM.get(denominator)
+                if factor is None:
+                    factor = _SCALE_BY_DENOM[denominator] = \
+                        _FLOAT_SCALE // denominator
+                self.scaled_total += numerator * factor
+                self.float_seen = True
+                return
+        self.other = value if self.other is None else self.other + value
+
+    def merge(self, sub: "_ExactSum"):
+        self.int_total += sub.int_total
+        self.scaled_total += sub.scaled_total
+        self.float_seen = self.float_seen or sub.float_seen
+        if sub.other is not None:
+            self.other = sub.other if self.other is None \
+                else self.other + sub.other
+
+    def value(self):
+        if self.other is not None:
+            total = self.other
+            if self.int_total:
+                total = total + self.int_total
+            if self.float_seen:
+                total = total + self.scaled_total / _FLOAT_SCALE
+            return total
+        if not self.float_seen:
+            return self.int_total
+        # one exact big-int sum, one correctly-rounded conversion
+        return (self.scaled_total + self.int_total * _FLOAT_SCALE) \
+            / _FLOAT_SCALE
+
+    def averaged(self, count: int):
+        """Exact total divided by ``count``, correctly rounded."""
+        if self.other is not None:
+            return self.value() / count
+        return (self.scaled_total + self.int_total * _FLOAT_SCALE) \
+            / (_FLOAT_SCALE * count)
 
 
 class Accumulator:
@@ -25,6 +109,10 @@ class Accumulator:
         """
         for value in values:
             self.add(value)
+
+    def merge(self, sub: "Accumulator"):
+        """Fold a partial accumulator in (partition-parallel aggregation)."""
+        raise NotImplementedError
 
     def result(self):
         raise NotImplementedError
@@ -57,6 +145,13 @@ class CountAccumulator(Accumulator):
         else:
             self.count += len(values) - values.count(None)
 
+    def merge(self, sub: "CountAccumulator"):
+        if self.distinct:
+            self._seen |= sub._seen
+            self.count = len(self._seen)
+        else:
+            self.count += sub.count
+
     def result(self):
         return self.count
 
@@ -64,7 +159,8 @@ class CountAccumulator(Accumulator):
 class SumAccumulator(Accumulator):
     def __init__(self, distinct: bool = False):
         self.distinct = distinct
-        self.total = None
+        self._sum = _ExactSum()
+        self._any = False
         self._seen = set() if distinct else None
 
     def add(self, value):
@@ -74,16 +170,27 @@ class SumAccumulator(Accumulator):
             if value in self._seen:
                 return
             self._seen.add(value)
-        self.total = value if self.total is None else self.total + value
+        self._any = True
+        self._sum.add(value)
+
+    def merge(self, sub: "SumAccumulator"):
+        if self.distinct:
+            for value in sub._seen - self._seen:
+                self._seen.add(value)
+                self._any = True
+                self._sum.add(value)
+        else:
+            self._any = self._any or sub._any
+            self._sum.merge(sub._sum)
 
     def result(self):
-        return self.total
+        return self._sum.value() if self._any else None
 
 
 class AvgAccumulator(Accumulator):
     def __init__(self, distinct: bool = False):
         self.distinct = distinct
-        self.total = 0.0
+        self._sum = _ExactSum()
         self.count = 0
         self._seen = set() if distinct else None
 
@@ -94,11 +201,21 @@ class AvgAccumulator(Accumulator):
             if value in self._seen:
                 return
             self._seen.add(value)
-        self.total += value
+        self._sum.add(value)
         self.count += 1
 
+    def merge(self, sub: "AvgAccumulator"):
+        if self.distinct:
+            for value in sub._seen - self._seen:
+                self._seen.add(value)
+                self._sum.add(value)
+                self.count += 1
+        else:
+            self._sum.merge(sub._sum)
+            self.count += sub.count
+
     def result(self):
-        return self.total / self.count if self.count else None
+        return self._sum.averaged(self.count) if self.count else None
 
 
 class MinAccumulator(Accumulator):
@@ -117,6 +234,10 @@ class MinAccumulator(Accumulator):
             low = min(present)
             if self.value is None or low < self.value:
                 self.value = low
+
+    def merge(self, sub: "MinAccumulator"):
+        if sub.value is not None:
+            self.add(sub.value)
 
     def result(self):
         return self.value
@@ -138,6 +259,10 @@ class MaxAccumulator(Accumulator):
             high = max(present)
             if self.value is None or high > self.value:
                 self.value = high
+
+    def merge(self, sub: "MaxAccumulator"):
+        if sub.value is not None:
+            self.add(sub.value)
 
     def result(self):
         return self.value

@@ -10,6 +10,15 @@ Access-path selection mirrors what the paper's DBMSs do well and badly:
   composite key (tabenchmark's ``sub_nbr``) therefore full-scans, which is
   the slow-query bottleneck §VI-C of the paper pins on both DBMSs.
 
+Access paths double as **partition pruning** under hash-partitioned
+storage: PK point lookups and PK-prefix scans bind to exactly one
+partition (the partition key is the first PK column), secondary-index
+lookups scatter to every partition, and full scans read them all.  Scan
+operators record what they touched/skipped in ``partitions_scanned`` /
+``partitions_pruned``; the vectorized columnar scan additionally prunes
+partitions from pushed partition-key equality predicates.
+
+
 Joins become hash joins whenever an equi-join key is available, otherwise
 nested loops.  Single-table predicates are pushed to the scans (and
 re-applied there, which also re-validates possibly-stale index entries).
@@ -84,12 +93,15 @@ class SeqScan(PlanNode):
         ctx.stats.full_scans[name] += 1
         if ctx.wants_columnar(name):
             ctx.stats.used_columnar = True
+            ctx.stats.partitions_scanned += \
+                ctx.columnar.partitions if ctx.columnar is not None else 1
             count = 0
             for _pk, values in ctx.columnar.table(name).scan():
                 count += 1
                 yield values
             ctx.stats.rows_columnar[name] += count
         else:
+            ctx.stats.partitions_scanned += ctx.partition_count
             count = 0
             for _pk, values in ctx.txn.scan(name):
                 count += 1
@@ -109,6 +121,9 @@ class PKLookup(PlanNode):
     def execute(self, ctx):
         key = tuple(fn((), ctx) for fn in self.key_fns)
         ctx.stats.pk_lookups += 1
+        # PK routing is perfect partition pruning: one partition read
+        ctx.stats.partitions_scanned += 1
+        ctx.stats.partitions_pruned += ctx.partition_count - 1
         values = ctx.txn.get(self.table.name, key)
         if values is not None:
             ctx.stats.rows_row_store[self.table.name] += 1
@@ -127,6 +142,9 @@ class PKPrefixScan(PlanNode):
     def execute(self, ctx):
         prefix = tuple(fn((), ctx) for fn in self.prefix_fns)
         ctx.stats.index_range_scans += 1
+        # the prefix includes the partition key, so one partition serves it
+        ctx.stats.partitions_scanned += 1
+        ctx.stats.partitions_pruned += ctx.partition_count - 1
         count = 0
         for _pk, values in ctx.txn.pk_prefix_scan(self.table.name, prefix):
             count += 1
@@ -153,6 +171,8 @@ class IndexScan(PlanNode):
         key = tuple(fn((), ctx) for fn in self.key_fns)
         name = self.table.name
         ctx.stats.index_lookups += 1
+        # secondary-index keys say nothing about placement: scatter lookup
+        ctx.stats.partitions_scanned += ctx.partition_count
         store = ctx.txn.manager.storage.store(name)
         idx = store.index(self.index_name)
         if self.prefix:
@@ -425,7 +445,15 @@ class Aggregate(PlanNode):
 
 
 class Sort(PlanNode):
-    """Materialising sort; stable multi-key with per-key direction."""
+    """Materialising sort; multi-key with per-key direction.
+
+    Ties are broken by the canonical whole-row order, so the output is a
+    pure function of the input *multiset* — partition-parallel scans may
+    deliver rows in any order without changing query results.  The
+    tiebreak is applied unconditionally: it must behave identically at
+    every partition count (and on both executors), or the same query
+    could order ties differently on differently-partitioned databases.
+    """
 
     def __init__(self, child: PlanNode, key_specs):
         # key_specs: list of (fn, descending)
@@ -436,7 +464,9 @@ class Sort(PlanNode):
     def execute(self, ctx):
         rows = list(self.child.execute(ctx))
         ctx.stats.sort_rows += len(rows)
-        # stable sorts applied from the least-significant key backwards
+        # canonical tiebreak first, then stable sorts from the
+        # least-significant key backwards
+        rows.sort(key=_canonical_row_key)
         for fn, descending in reversed(self.key_specs):
             rows.sort(
                 key=lambda row: _sort_key(fn(row, ctx)),
@@ -453,22 +483,43 @@ def _sort_key(value):
     return (value is not None, value)
 
 
+def _canonical_value_key(value):
+    """A total order over the value domain (NULLs, numbers, strings).
+
+    Only used to break ORDER BY ties deterministically; any fixed total
+    order works as long as it never raises on mixed types.
+    """
+    if value is None:
+        return (0, "", 0)
+    if isinstance(value, (int, float)):
+        return (1, "", value)
+    if isinstance(value, str):
+        return (2, "", value)
+    return (3, type(value).__name__, repr(value))
+
+
+def _canonical_row_key(row: tuple):
+    return tuple(_canonical_value_key(v) for v in row)
+
+
 class _TopNKey:
     """Composite sort key with per-component direction.
 
-    Compares exactly like the planner's successive stable sorts: component
-    ``i`` ascending unless ``descs[i]``, NULLs first ascending / last
-    descending (the order ``reverse=True`` over ``_sort_key`` produces).
+    Compares exactly like the planner's successive sorts: component ``i``
+    ascending unless ``descs[i]``, NULLs first ascending / last descending
+    (the order ``reverse=True`` over ``_sort_key`` produces), ties broken
+    by the canonical row key (always ascending).
     """
 
-    __slots__ = ("keys", "descs")
+    __slots__ = ("keys", "descs", "tie")
 
-    def __init__(self, keys: tuple, descs: tuple):
+    def __init__(self, keys: tuple, descs: tuple, tie: tuple):
         self.keys = keys
         self.descs = descs
+        self.tie = tie
 
     def __eq__(self, other):
-        return self.keys == other.keys
+        return self.keys == other.keys and self.tie == other.tie
 
     def __lt__(self, other):
         for mine, theirs, descending in zip(self.keys, other.keys,
@@ -476,13 +527,14 @@ class _TopNKey:
             if mine == theirs:
                 continue
             return (theirs < mine) if descending else (mine < theirs)
-        return False
+        return self.tie < other.tie
 
 
 class TopN(PlanNode):
     """Fused ORDER BY ... LIMIT k: a bounded heap instead of materialising
-    and fully sorting the input.  ``heapq.nsmallest`` is stable, so the
-    output is exactly ``Sort`` followed by ``Limit``."""
+    and fully sorting the input.  The key carries the same canonical
+    whole-row tiebreak as ``Sort``, so the output is exactly ``Sort``
+    followed by ``Limit`` — independent of input order."""
 
     def __init__(self, child: PlanNode, key_specs, limit: int):
         # key_specs: list of (fn, descending), as for Sort
@@ -507,7 +559,8 @@ class TopN(PlanNode):
         top = heapq.nsmallest(
             self.limit, counted(),
             key=lambda row: _TopNKey(
-                tuple(_sort_key(fn(row, ctx)) for fn in fns), descs),
+                tuple(_sort_key(fn(row, ctx)) for fn in fns), descs,
+                _canonical_row_key(row)),
         )
         ctx.stats.sort_rows += count
         yield from top

@@ -82,6 +82,15 @@ class ExecStats:
     vectorized_statements: int = 0
     batches_scanned: int = 0
     segments_pruned: int = 0
+    # partition counters: how many hash partitions each access touched and
+    # how many it proved irrelevant (PK routing / partition-key pruning)
+    partitions_scanned: int = 0
+    partitions_pruned: int = 0
+    # scatter-gather: widest partition fan-out of any one scan (maxed on
+    # merge — it feeds the engine's parallelism model), and the number of
+    # per-partition partial aggregates that were merged
+    scatter_partitions: int = 0
+    partial_aggregates: int = 0
 
     def merge(self, other: "ExecStats"):
         """Accumulate ``other`` into this object (used per transaction)."""
@@ -110,6 +119,11 @@ class ExecStats:
         self.vectorized_statements += other.vectorized_statements
         self.batches_scanned += other.batches_scanned
         self.segments_pruned += other.segments_pruned
+        self.partitions_scanned += other.partitions_scanned
+        self.partitions_pruned += other.partitions_pruned
+        self.scatter_partitions = max(self.scatter_partitions,
+                                      other.scatter_partitions)
+        self.partial_aggregates += other.partial_aggregates
 
     @property
     def total_rows_scanned(self) -> int:

@@ -235,12 +235,21 @@ class PushedPredicate:
 # ---------------------------------------------------------------------------
 
 class VectorNode:
-    """Base batch operator: ``execute_batches(ctx)`` yields ``Batch``es."""
+    """Base batch operator: ``execute_batches(ctx)`` yields ``Batch``es.
+
+    ``execute_partitions(ctx)`` additionally exposes the stream as
+    ``(partition_id, batch-iterator)`` pairs — the scatter half of the
+    scatter-gather plan.  Operators that cannot preserve partition
+    identity fall back to the default single-stream shape.
+    """
 
     schema: Schema
 
     def execute_batches(self, ctx):  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def execute_partitions(self, ctx):
+        yield 0, self.execute_batches(ctx)
 
     def children(self) -> list:
         return []
@@ -254,6 +263,11 @@ class VColumnarScan(VectorNode):
     against the projected layout.  Pushed-predicate positions stay
     full-table positions — zone maps are per segment column, independent
     of what the batch materialises.
+
+    Under a partitioned replica the scan scatters across the per-partition
+    segment sets; a pushed *equality* predicate on the partition key (the
+    first primary-key column) prunes the scan to the one partition that
+    hash can reach, and zone maps prune segments within each partition.
     """
 
     def __init__(self, table, binding: str,
@@ -263,22 +277,49 @@ class VColumnarScan(VectorNode):
         self.binding = binding
         self.pushed = pushed or []
         self.columns = columns
+        self.partition_position = table.pk_positions[0]
         names = table.column_names if columns is None else columns
         self.schema = Schema([(binding, col) for col in names])
 
-    def execute_batches(self, ctx):
+    def _target_partitions(self, ctx, n_parts: int) -> list[int]:
+        """Partition ids the scan must visit (partition pruning)."""
+        if n_parts > 1:
+            for pred in self.pushed:
+                if (pred.position == self.partition_position
+                        and pred.low_fn is not None
+                        and pred.low_fn is pred.high_fn):
+                    value = pred.low_fn((), ctx)
+                    return [ctx.columnar.pmap.partition_of_value(value)]
+        return list(range(n_parts))
+
+    def _scan_partition(self, part, ctx, skip_segment):
+        name = self.table.name
+        stats = ctx.stats
+        scanned = 0
+        for batch in part.scan_batches(columns=self.columns,
+                                       skip_segment=skip_segment):
+            stats.batches_scanned += 1
+            scanned += len(batch)
+            yield batch
+        stats.rows_columnar[name] += scanned
+
+    def execute_partitions(self, ctx):
         name = self.table.name
         stats = ctx.stats
         stats.full_scans[name] += 1
         stats.used_columnar = True
-        ctable = ctx.columnar.table(name)
+        parts = ctx.columnar.table_partitions(name)
 
         bounds = []
         for pred in self.pushed:
             low, high, unsatisfiable = pred.bounds(ctx)
             if unsatisfiable:
                 stats.segments_pruned += sum(
-                    1 for s in ctable.segments() if s.live_count)
+                    1 for part in parts
+                    for s in part.segments() if s.live_count)
+                # the predicate proves every partition irrelevant, so the
+                # scanned+pruned == partition-count invariant holds here too
+                stats.partitions_pruned += len(parts)
                 return
             bounds.append((pred.position, low, high,
                            pred.low_inclusive, pred.high_inclusive))
@@ -290,13 +331,16 @@ class VColumnarScan(VectorNode):
                 return True
             return False
 
-        scanned = 0
-        for batch in ctable.scan_batches(columns=self.columns,
-                                         skip_segment=skip_segment):
-            stats.batches_scanned += 1
-            scanned += len(batch)
-            yield batch
-        stats.rows_columnar[name] += scanned
+        pids = self._target_partitions(ctx, len(parts))
+        stats.partitions_scanned += len(pids)
+        stats.partitions_pruned += len(parts) - len(pids)
+        stats.scatter_partitions = max(stats.scatter_partitions, len(pids))
+        for pid in pids:
+            yield pid, self._scan_partition(parts[pid], ctx, skip_segment)
+
+    def execute_batches(self, ctx):
+        for _pid, batches in self.execute_partitions(ctx):
+            yield from batches
 
 
 class VFilter(VectorNode):
@@ -307,9 +351,9 @@ class VFilter(VectorNode):
         self.predicate = predicate
         self.schema = child.schema
 
-    def execute_batches(self, ctx):
+    def _apply(self, batches, ctx):
         predicate = self.predicate
-        for batch in self.child.execute_batches(ctx):
+        for batch in batches:
             selection = predicate(batch, ctx)
             if not selection:
                 continue
@@ -317,6 +361,13 @@ class VFilter(VectorNode):
                 yield batch
             else:
                 yield batch.take(selection)
+
+    def execute_batches(self, ctx):
+        yield from self._apply(self.child.execute_batches(ctx), ctx)
+
+    def execute_partitions(self, ctx):
+        for pid, batches in self.child.execute_partitions(ctx):
+            yield pid, self._apply(batches, ctx)
 
     def children(self):
         return [self.child]
@@ -330,10 +381,17 @@ class VProject(VectorNode):
         self.fns = fns
         self.schema = Schema([(None, name) for name in names])
 
-    def execute_batches(self, ctx):
+    def _apply(self, batches, ctx):
         fns = self.fns
-        for batch in self.child.execute_batches(ctx):
+        for batch in batches:
             yield Batch([fn(batch, ctx) for fn in fns], len(batch))
+
+    def execute_batches(self, ctx):
+        yield from self._apply(self.child.execute_batches(ctx), ctx)
+
+    def execute_partitions(self, ctx):
+        for pid, batches in self.child.execute_partitions(ctx):
+            yield pid, self._apply(batches, ctx)
 
     def children(self):
         return [self.child]
@@ -343,7 +401,10 @@ class VHashJoin(VectorNode):
     """Batch equi-join; builds on the right input, probes batch-at-a-time.
 
     Emission order matches the row pipeline's ``HashJoin`` exactly: left
-    rows in scan order, matches per key in right-input order.
+    rows in scan order, matches per key in right-input order.  Partition
+    streams pass through the probe side (the build side is broadcast, as a
+    distributed engine would broadcast the smaller input), so a partitioned
+    left input keeps feeding the scatter-gather aggregate above.
     """
 
     def __init__(self, left: VectorNode, right: VectorNode,
@@ -355,18 +416,19 @@ class VHashJoin(VectorNode):
         self.kind = kind
         self.schema = left.schema + right.schema
 
-    def execute_batches(self, ctx):
-        ctx.stats.join_ops += 1
+    def _build(self, ctx) -> dict:
         build: dict = {}
-        right_width = len(self.right.schema)
         setdefault = build.setdefault
         for batch in self.right.execute_batches(ctx):
             key_cols = [fn(batch, ctx) for fn in self.right_fns]
             for row, key in zip(batch.rows(), zip(*key_cols)):
                 setdefault(key, []).append(row)
+        return build
+
+    def _probe(self, batches, build: dict, ctx):
+        right_width = len(self.right.schema)
         null_row = (None,) * right_width
-        emitted = 0
-        for batch in self.left.execute_batches(ctx):
+        for batch in batches:
             key_cols = [fn(batch, ctx) for fn in self.left_fns]
             out_left: list[int] = []
             out_right: list[tuple] = []
@@ -381,14 +443,24 @@ class VHashJoin(VectorNode):
                     out_right.append(null_row)
             if not out_left:
                 continue
-            emitted += len(out_left)
+            ctx.stats.rows_joined += len(out_left)
             columns = [[col[i] for i in out_left] for col in batch.columns]
             if out_right and right_width:
                 columns.extend(list(col) for col in zip(*out_right))
             else:
                 columns.extend([] for _ in range(right_width))
             yield Batch(columns, len(out_left))
-        ctx.stats.rows_joined += emitted
+
+    def execute_batches(self, ctx):
+        ctx.stats.join_ops += 1
+        build = self._build(ctx)
+        yield from self._probe(self.left.execute_batches(ctx), build, ctx)
+
+    def execute_partitions(self, ctx):
+        ctx.stats.join_ops += 1
+        build = self._build(ctx)
+        for pid, batches in self.left.execute_partitions(ctx):
+            yield pid, self._probe(batches, build, ctx)
 
     def children(self):
         return [self.left, self.right]
@@ -420,6 +492,12 @@ class BatchAggregate:
     so the planner's above-aggregate rewrite applies unchanged.  Grouping
     keys and aggregate arguments are evaluated column-at-a-time; the global
     (no GROUP BY) case folds whole column slices into the accumulators.
+
+    This operator is the *gather* half of the scatter-gather plan: each
+    partition stream of the child is folded into its own partial aggregate,
+    and the partials are merged in partition order.  Accumulators are
+    order-insensitive and mergeable, so the merged result is bit-identical
+    to aggregating one concatenated stream — and to the row pipeline.
     """
 
     def __init__(self, child: VectorNode, group_fns, agg_specs):
@@ -434,12 +512,12 @@ class BatchAggregate:
         return [make_accumulator(s.name, s.arg_fn is None, s.distinct)
                 for s in self.agg_specs]
 
-    def execute(self, ctx):
-        groups: dict = {}
+    def _fold(self, batches, ctx, groups: dict):
+        """Fold one batch stream into ``groups`` (a partial aggregate)."""
         group_fns = self.group_fns
         specs = self.agg_specs
         rows = 0
-        for batch in self.child.execute_batches(ctx):
+        for batch in batches:
             n = len(batch)
             rows += n
             arg_cols = [None if s.arg_fn is None else s.arg_fn(batch, ctx)
@@ -464,7 +542,28 @@ class BatchAggregate:
                 for acc, col in zip(accs, arg_cols):
                     acc.add(1 if col is None else col[i])
         ctx.stats.agg_input_rows += rows
-        if not groups and not group_fns:
+
+    def execute(self, ctx):
+        groups: dict = {}
+        partials = 0
+        for _pid, batches in self.child.execute_partitions(ctx):
+            partials += 1
+            if not groups:
+                # first (or only) stream folds straight into the result
+                self._fold(batches, ctx, groups)
+                continue
+            partial: dict = {}
+            self._fold(batches, ctx, partial)
+            for key, accs in partial.items():
+                merged = groups.get(key)
+                if merged is None:
+                    groups[key] = accs
+                else:
+                    for acc, sub in zip(merged, accs):
+                        acc.merge(sub)
+        if partials > 1:
+            ctx.stats.partial_aggregates += partials
+        if not groups and not self.group_fns:
             groups[()] = self._make_accs()
         ctx.stats.groups += len(groups)
         for key, accs in groups.items():

@@ -5,10 +5,18 @@ from repro.storage.columnstore import (
     SEGMENT_ROWS,
     ColumnarReplica,
     ColumnarTable,
+    PartitionedColumnarView,
     Segment,
 )
 from repro.storage.index import HashIndex, OrderedIndex
-from repro.storage.rowstore import INF_TS, RowStorage, RowVersion, TableStore
+from repro.storage.partition import PartitionMap, stable_hash
+from repro.storage.rowstore import (
+    INF_TS,
+    PartitionedTableStore,
+    RowStorage,
+    RowVersion,
+    TableStore,
+)
 from repro.storage.wal import LogOp, LogRecord, WriteAheadLog
 
 __all__ = [
@@ -17,10 +25,14 @@ __all__ = [
     "SEGMENT_ROWS",
     "ColumnarReplica",
     "ColumnarTable",
+    "PartitionedColumnarView",
     "Segment",
     "HashIndex",
     "OrderedIndex",
+    "PartitionMap",
+    "stable_hash",
     "INF_TS",
+    "PartitionedTableStore",
     "RowStorage",
     "RowVersion",
     "TableStore",

@@ -23,11 +23,13 @@ lookups stay on the row store, as in TiDB.
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Iterator
 
 from repro.catalog.schema import Table
 from repro.errors import CatalogError
 from repro.sql.result import Batch
+from repro.storage.partition import PartitionMap
 from repro.storage.wal import LogOp, WriteAheadLog
 
 SEGMENT_ROWS = 4096
@@ -239,43 +241,158 @@ class ColumnarTable:
             yield self.segment_batch(segment, positions)
 
 
-class ColumnarReplica:
-    """The set of columnar tables fed from one WAL."""
+class PartitionedColumnarView:
+    """Read-only union over one table's per-partition columnar stores.
 
-    def __init__(self, segment_rows: int = SEGMENT_ROWS):
+    Presents the ``ColumnarTable`` read interface so row-pipeline scans and
+    introspection work unchanged against partitioned replicas; partition-
+    aware operators go straight to the per-partition tables instead.
+    """
+
+    def __init__(self, table: Table, parts: list[ColumnarTable]):
+        self.table = table
+        self.parts = parts
+
+    @property
+    def row_count(self) -> int:
+        return sum(p.row_count for p in self.parts)
+
+    def scan(self) -> Iterator[tuple[tuple, tuple]]:
+        for part in self.parts:
+            yield from part.scan()
+
+    def column_values(self, column: str) -> list:
+        values: list = []
+        for part in self.parts:
+            values.extend(part.column_values(column))
+        return values
+
+    def segments(self) -> list[Segment]:
+        return [s for part in self.parts for s in part.segments()]
+
+    def segment_count(self) -> int:
+        return sum(p.segment_count() for p in self.parts)
+
+    def scan_batches(self, columns: list[str] | None = None,
+                     skip_segment=None) -> Iterator[Batch]:
+        for part in self.parts:
+            yield from part.scan_batches(columns, skip_segment)
+
+
+class ColumnarReplica:
+    """The set of columnar tables fed from the per-partition WAL streams.
+
+    Each partition keeps its own tables and its own applied-LSN watermark,
+    so replication progress (and therefore freshness) is partition-local —
+    exactly how TiFlash tracks progress per region.  ``apply_from_partitions``
+    merges the streams by global ``seq``, which reproduces the single-stream
+    apply order bit-for-bit regardless of the partition count.
+    """
+
+    def __init__(self, segment_rows: int = SEGMENT_ROWS,
+                 partition_map: PartitionMap | None = None):
         if segment_rows <= 0:
             raise ValueError("segment_rows must be positive")
-        self._tables: dict[str, ColumnarTable] = {}
+        self.pmap = partition_map or PartitionMap(1)
+        # table -> one ColumnarTable per partition
+        self._tables: dict[str, list[ColumnarTable]] = {}
         self.segment_rows = segment_rows
-        self.applied_lsn = 0
+        self.applied_lsns = [0] * self.pmap.partitions
         self.applied_ts = 0
+
+    @property
+    def partitions(self) -> int:
+        return self.pmap.partitions
+
+    @property
+    def applied_lsn(self) -> int:
+        """Applied watermark of unpartitioned replicas (single stream)."""
+        if len(self.applied_lsns) != 1:
+            raise CatalogError(
+                "partitioned replica has one watermark per partition; "
+                "use .applied_lsns"
+            )
+        return self.applied_lsns[0]
 
     def register_table(self, table: Table):
         key = table.name.upper()
         if key in self._tables:
             raise CatalogError(f"columnar table {table.name!r} already exists")
-        self._tables[key] = ColumnarTable(table, self.segment_rows)
+        self._tables[key] = [
+            ColumnarTable(table, self.segment_rows)
+            for _ in self.pmap.all_partitions()
+        ]
 
     def has_table(self, name: str) -> bool:
         return name.upper() in self._tables
 
-    def table(self, name: str) -> ColumnarTable:
+    def table(self, name: str) -> ColumnarTable | PartitionedColumnarView:
+        parts = self.table_partitions(name)
+        if len(parts) == 1:
+            return parts[0]
+        return PartitionedColumnarView(parts[0].table, parts)
+
+    def table_partitions(self, name: str) -> list[ColumnarTable]:
+        """The per-partition columnar stores of one table."""
         try:
             return self._tables[name.upper()]
         except KeyError:
             raise CatalogError(f"no columnar replica for table {name!r}") from None
 
+    def _apply_record(self, pid: int, record):
+        parts = self._tables.get(record.table.upper())
+        if parts is not None:
+            parts[pid].apply(record.pk, record.values, record.op)
+        self.applied_lsns[pid] = record.lsn + 1
+        self.applied_ts = record.commit_ts
+
     def apply_from(self, wal: WriteAheadLog, limit: int | None = None) -> int:
-        """Apply pending log records; return how many were applied."""
+        """Apply pending records from the single stream (unpartitioned)."""
         records = wal.read_from(self.applied_lsn, limit)
         for record in records:
-            store = self._tables.get(record.table.upper())
-            if store is not None:
-                store.apply(record.pk, record.values, record.op)
-            self.applied_lsn = record.lsn + 1
-            self.applied_ts = record.commit_ts
+            self._apply_record(0, record)
         return len(records)
+
+    def apply_from_partitions(self, wals: list[WriteAheadLog],
+                              limit: int | None = None) -> int:
+        """Merge-apply pending records across partition streams by ``seq``.
+
+        Applying in global commit order keeps partial replication (``limit``)
+        equivalent to the unpartitioned single stream: the replica's state
+        after N applied records is identical for every partition count.
+        A heap merges the streams (O(log P) per record); with a ``limit``
+        each stream is read at most ``limit`` records deep — applying N
+        records in seq order can never need more than the first N of any
+        one stream.
+        """
+        if len(wals) != len(self.applied_lsns):
+            raise CatalogError(
+                f"replica has {len(self.applied_lsns)} partitions but "
+                f"{len(wals)} WAL streams were supplied"
+            )
+        pending = [wal.read_from(self.applied_lsns[pid], limit)
+                   for pid, wal in enumerate(wals)]
+        heap = [(records[0].seq, pid, 0)
+                for pid, records in enumerate(pending) if records]
+        heapq.heapify(heap)
+        applied = 0
+        while heap and (limit is None or applied < limit):
+            _seq, pid, cursor = heapq.heappop(heap)
+            records = pending[pid]
+            self._apply_record(pid, records[cursor])
+            applied += 1
+            cursor += 1
+            if cursor < len(records):
+                heapq.heappush(heap, (records[cursor].seq, pid, cursor))
+        return applied
 
     def lag(self, wal: WriteAheadLog) -> int:
         """Number of log records not yet applied (freshness gap)."""
         return wal.head_lsn - self.applied_lsn
+
+    def total_lag(self, wals: list[WriteAheadLog]) -> int:
+        """Records not yet applied, summed across partition streams."""
+        return sum(
+            wal.head_lsn - self.applied_lsns[pid]
+            for pid, wal in enumerate(wals)
+        )

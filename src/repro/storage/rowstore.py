@@ -6,15 +6,25 @@ snapshot timestamp ``ts`` when ``begin_ts <= ts`` and (``end_ts`` is unset or
 committing transaction's commit timestamp; there are no in-place updates, so
 readers never block writers (snapshot isolation's core property, shared by
 both TiDB and MemSQL in the paper's experiments).
+
+Storage is hash-partitioned (``repro.storage.partition``): a table is a set
+of ``TableStore`` shards, one per partition, each with its own secondary
+index shards, and the WAL is one stream per partition.  Primary-key access
+routes to exactly one shard; full scans preserve the database-global row
+arrival order (via a placement map), so query results are independent of
+the partition count.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from collections.abc import Iterator
 
 from repro.catalog.schema import IndexDef, Table
 from repro.errors import CatalogError, IntegrityError
 from repro.storage.index import HashIndex, OrderedIndex
+from repro.storage.partition import PartitionMap
 from repro.storage.wal import LogOp, WriteAheadLog
 
 INF_TS = float("inf")
@@ -187,41 +197,220 @@ class TableStore:
         return reclaimed
 
 
-class RowStorage:
-    """All table stores of one logical database, plus the shared WAL."""
+class _ShardedIndex:
+    """Union view over one secondary index's per-partition shards.
 
-    def __init__(self):
-        self._stores: dict[str, TableStore] = {}
-        self.wal = WriteAheadLog()
+    A secondary-index key says nothing about data placement, so lookups are
+    scatter operations over every shard (exactly why secondary-index access
+    costs extra network fan-out on a real distributed HTAP system).
+    """
+
+    def __init__(self, shards: list):
+        self._shards = shards
+        self.name = shards[0].name
+        self.columns = shards[0].columns
+        self.unique = shards[0].unique
+
+    def lookup(self, key: tuple) -> set:
+        pks: set = set()
+        for shard in self._shards:
+            pks |= shard.lookup(key)
+        return pks
+
+    def _merged(self, per_shard_iters):
+        """Stream the shard scans merged in key order, same-key entry sets
+        unioned.  Shard iterators already yield sorted keys, so the merge
+        is lazy — a consumer that stops early never drains the shards."""
+        merged = heapq.merge(*per_shard_iters, key=lambda item: item[0])
+        for key, group in itertools.groupby(merged,
+                                            key=lambda item: item[0]):
+            entries = [entry for _key, entry in group]
+            if len(entries) == 1:
+                yield key, entries[0]
+            else:
+                yield key, set().union(*entries)
+
+    def prefix_scan(self, prefix: tuple):
+        yield from self._merged(
+            [shard.prefix_scan(prefix) for shard in self._shards])
+
+    def range_scan(self, low: tuple | None, high: tuple | None):
+        yield from self._merged(
+            [shard.range_scan(low, high) for shard in self._shards])
+
+
+class PartitionedTableStore:
+    """One table as hash-partitioned ``TableStore`` shards.
+
+    Exposes the same interface as ``TableStore`` so transactions and plan
+    operators are agnostic of the partition count.  ``scan`` iterates a
+    placement map kept in global first-install order, which makes full-scan
+    row order identical to the single-partition layout — partitioning
+    redistributes data, it must never change query results.
+    """
+
+    def __init__(self, table: Table, pmap: PartitionMap):
+        self.table = table
+        self.pmap = pmap
+        self.shards = [TableStore(table) for _ in pmap.all_partitions()]
+        # pk -> partition id, in first-install order (drives scan order)
+        self._placement: dict[tuple, int] = {}
+
+    # -- routing -----------------------------------------------------------
+
+    def shard_of(self, pk: tuple) -> TableStore:
+        return self.shards[self.pmap.partition_of_pk(pk)]
+
+    def partition_of(self, pk: tuple) -> int:
+        return self.pmap.partition_of_pk(pk)
+
+    # -- index management --------------------------------------------------
+
+    def create_index(self, index: IndexDef, ordered: bool = True):
+        for shard in self.shards:
+            shard.create_index(index, ordered)
+
+    def index(self, name: str) -> _ShardedIndex:
+        return _ShardedIndex([shard.index(name) for shard in self.shards])
+
+    def indexes(self) -> dict:
+        return {
+            name: _ShardedIndex([s.index(name) for s in self.shards])
+            for name in self.shards[0].indexes()
+        }
+
+    # -- version chain access ----------------------------------------------
+
+    def get(self, pk: tuple, ts: int) -> tuple | None:
+        return self.shard_of(pk).get(pk, ts)
+
+    def latest_committed(self, pk: tuple) -> RowVersion | None:
+        return self.shard_of(pk).latest_committed(pk)
+
+    def scan(self, ts: int) -> Iterator[tuple[tuple, tuple]]:
+        shards = self.shards
+        for pk, pid in self._placement.items():
+            values = shards[pid].get(pk, ts)
+            if values is not None:
+                yield pk, values
+
+    def pk_lookup(self, pk: tuple, ts: int) -> tuple | None:
+        return self.get(pk, ts)
+
+    def pk_prefix_scan(self, prefix: tuple, ts: int) -> Iterator[tuple[tuple, tuple]]:
+        """Prefix scans always bind to one shard: the partition key is the
+        first primary-key column and every prefix includes it."""
+        yield from self.shards[
+            self.pmap.partition_of_value(prefix[0])
+        ].pk_prefix_scan(prefix, ts)
+
+    # -- commit-time installation -------------------------------------------
+
+    def install(self, pk: tuple, values: tuple | None, commit_ts: int):
+        pid = self.pmap.partition_of_pk(pk)
+        self.shards[pid].install(pk, values, commit_ts)
+        if pk not in self._placement:
+            self._placement[pk] = pid
+
+    # -- aggregates over shards ---------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        return sum(shard.row_count for shard in self.shards)
+
+    def partition_row_counts(self) -> list[int]:
+        return [shard.row_count for shard in self.shards]
+
+    def version_count(self) -> int:
+        return sum(shard.version_count() for shard in self.shards)
+
+    def garbage_collect(self, watermark_ts: int) -> int:
+        return sum(shard.garbage_collect(watermark_ts)
+                   for shard in self.shards)
+
+
+class RowStorage:
+    """All table stores of one logical database, plus per-partition WALs.
+
+    With ``partitions == 1`` (the default) tables are plain ``TableStore``
+    objects and ``wal`` is the familiar single stream; with more partitions
+    each table is a ``PartitionedTableStore`` and every partition has its
+    own WAL, stamped with a database-global ``seq`` so consumers can merge
+    the streams back into commit order.
+    """
+
+    def __init__(self, partition_map: PartitionMap | None = None):
+        self.pmap = partition_map or PartitionMap(1)
+        self._stores: dict[str, TableStore | PartitionedTableStore] = {}
+        self.wals = [WriteAheadLog() for _ in self.pmap.all_partitions()]
+        self._seq = 0  # database-global commit-order stamp
+
+    @property
+    def partitions(self) -> int:
+        return self.pmap.partitions
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        """The single WAL stream of unpartitioned storage."""
+        if len(self.wals) != 1:
+            raise CatalogError(
+                "partitioned storage has one WAL per partition; use .wals"
+            )
+        return self.wals[0]
+
+    @property
+    def wal_head(self) -> int:
+        """Total records ever logged across every partition stream."""
+        return self._seq
 
     def register_table(self, table: Table):
         key = table.name.upper()
         if key in self._stores:
             raise CatalogError(f"storage for {table.name!r} already exists")
-        self._stores[key] = TableStore(table)
+        if self.pmap.partitions == 1:
+            self._stores[key] = TableStore(table)
+        else:
+            self._stores[key] = PartitionedTableStore(table, self.pmap)
 
     def drop_table(self, name: str):
         self._stores.pop(name.upper(), None)
 
-    def store(self, name: str) -> TableStore:
+    def store(self, name: str) -> TableStore | PartitionedTableStore:
         try:
             return self._stores[name.upper()]
         except KeyError:
             raise CatalogError(f"no storage for table {name!r}") from None
 
-    def stores(self) -> dict[str, TableStore]:
+    def stores(self) -> dict[str, TableStore | PartitionedTableStore]:
         return self._stores
+
+    def partition_of(self, pk: tuple) -> int:
+        return self.pmap.partition_of_pk(pk)
+
+    def partitions_touched(self, writes) -> tuple[int, ...]:
+        """Sorted distinct partition ids a write set lands on."""
+        return tuple(sorted({
+            self.pmap.partition_of_pk(pk) for _table, pk, _v, _op in writes
+        }))
 
     def apply_commit(self, commit_ts: int, writes) -> list:
         """Install a committed write set and log it.
 
         ``writes`` is an iterable of ``(table_name, pk, values_or_None, op)``.
+        Every record lands in its partition's WAL under the shared
+        ``commit_ts`` (the one-timestamp half of two-phase commit) plus a
+        global ``seq`` preserving cross-partition commit order.
         Returns the log records produced.
         """
         records = []
         for table_name, pk, values, op in writes:
             self.store(table_name).install(pk, values, commit_ts)
-            records.append(self.wal.append(commit_ts, table_name, pk, op, values))
+            wal = self.wals[self.pmap.partition_of_pk(pk)]
+            records.append(
+                wal.append(commit_ts, table_name, pk, op, values,
+                           seq=self._seq)
+            )
+            self._seq += 1
         return records
 
     def table_rows(self, name: str) -> int:
@@ -231,4 +420,5 @@ class RowStorage:
         return sum(s.row_count for s in self._stores.values())
 
 
-__all__ = ["INF_TS", "RowVersion", "TableStore", "RowStorage", "LogOp"]
+__all__ = ["INF_TS", "RowVersion", "TableStore", "PartitionedTableStore",
+           "RowStorage", "LogOp"]

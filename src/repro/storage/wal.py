@@ -7,8 +7,15 @@ Every committed write produces a ``LogRecord``.  The log serves two roles:
   asynchronous log replication — the mechanism TiDB uses to keep fresh data
   queryable in the column store).
 
-LSNs are dense integers; the columnar replica tracks the highest LSN it has
-applied, which defines its freshness watermark.
+Partitioned storage keeps **one WAL per partition**.  ``lsn`` is dense
+within a stream; ``seq`` is the database-global commit order stamped by the
+row store, which lets the replica apply a k-way merge of the partition
+streams in exactly the order a single-stream log would have produced.
+
+Applied records are reclaimable: ``truncate_upto(lsn)`` drops the prefix
+the replica has already consumed.  Truncation never moves ``head_lsn`` —
+LSNs are positions in the logical stream, not list indexes — so watermarks
+and lag arithmetic stay valid across compaction.
 """
 
 from __future__ import annotations
@@ -33,30 +40,66 @@ class LogRecord:
     pk: tuple
     op: LogOp
     values: tuple | None  # None for deletes
+    seq: int = -1         # database-global commit order (defaults to lsn)
+
+    def __post_init__(self):
+        if self.seq < 0:
+            object.__setattr__(self, "seq", self.lsn)
 
 
 class WriteAheadLog:
-    """Append-only commit log with LSN-addressed reads."""
+    """Append-only commit log with LSN-addressed reads and prefix truncation."""
 
     def __init__(self):
         self._records: list[LogRecord] = []
+        self._base_lsn = 0  # LSN of the oldest retained record
 
     @property
     def head_lsn(self) -> int:
         """LSN that the *next* record will receive."""
-        return len(self._records)
+        return self._base_lsn + len(self._records)
+
+    @property
+    def base_lsn(self) -> int:
+        """LSN of the oldest record still retained."""
+        return self._base_lsn
 
     def append(self, commit_ts: int, table: str, pk: tuple, op: LogOp,
-               values: tuple | None) -> LogRecord:
-        record = LogRecord(self.head_lsn, commit_ts, table, pk, op, values)
+               values: tuple | None, seq: int = -1) -> LogRecord:
+        record = LogRecord(self.head_lsn, commit_ts, table, pk, op, values,
+                           seq)
         self._records.append(record)
         return record
 
     def read_from(self, lsn: int, limit: int | None = None) -> list[LogRecord]:
-        """Return records with LSN >= ``lsn`` (up to ``limit`` of them)."""
+        """Return records with LSN >= ``lsn`` (up to ``limit`` of them).
+
+        Reading below ``base_lsn`` is an error: those records were
+        truncated away because every consumer had already applied them.
+        """
+        if lsn < self._base_lsn:
+            raise ValueError(
+                f"LSN {lsn} was truncated (oldest retained is "
+                f"{self._base_lsn})"
+            )
+        start = lsn - self._base_lsn
         if limit is None:
-            return self._records[lsn:]
-        return self._records[lsn:lsn + limit]
+            return self._records[start:]
+        return self._records[start:start + limit]
+
+    def truncate_upto(self, lsn: int) -> int:
+        """Drop records with LSN < ``lsn``; returns how many were reclaimed.
+
+        ``head_lsn`` is unaffected — the stream keeps its logical length,
+        only the storage for the applied prefix is released.
+        """
+        cut = min(lsn, self.head_lsn) - self._base_lsn
+        if cut <= 0:
+            return 0
+        del self._records[:cut]
+        self._base_lsn += cut
+        return cut
 
     def __len__(self):
+        """Number of records currently retained (post-truncation)."""
         return len(self._records)

@@ -66,6 +66,8 @@ class Transaction:
         self.isolation = isolation
         self.status = TxnStatus.ACTIVE
         self.commit_ts: int | None = None
+        # partition ids the commit touched (set at commit; () if read-only)
+        self.commit_partitions: tuple[int, ...] = ()
         # (table, pk) -> (values | None, LogOp); insertion order preserved
         self._writes: dict[tuple, tuple] = {}
         self._read_keys: set[tuple] = set()
@@ -242,6 +244,10 @@ class TransactionManager:
         self._active: dict[int, Transaction] = {}
         self.commits = 0
         self.aborts = 0
+        # commit-path classification: one participant partition -> fast
+        # path; several -> two-phase (all logged under one commit_ts)
+        self.single_partition_commits = 0
+        self.multi_partition_commits = 0
 
     def current_ts(self) -> int:
         return self._latest_ts
@@ -271,9 +277,20 @@ class TransactionManager:
                 return
             if txn.isolation.validates_writes:
                 self._validate(txn)
+            write_set = txn.write_set
+            participants = self.storage.partitions_touched(write_set)
             commit_ts = self._next_ts()
-            self.storage.apply_commit(commit_ts, txn.write_set)
+            # single-partition commits take the fast path; multi-partition
+            # commits are two-phase: every participant logs its records
+            # under the one shared commit_ts, so the commit is atomic
+            # across partitions (all records visible at commit_ts or none)
+            self.storage.apply_commit(commit_ts, write_set)
             txn.commit_ts = commit_ts
+            txn.commit_partitions = participants
+            if len(participants) > 1:
+                self.multi_partition_commits += 1
+            else:
+                self.single_partition_commits += 1
             txn.status = TxnStatus.COMMITTED
             self.commits += 1
         except Exception:

@@ -5,6 +5,13 @@ OrderStatus, Delivery and StockLevel at the standard 45/43/4/4/4 mix, which
 makes 8% of the weight read-only (OrderStatus + StockLevel), matching
 Table II.
 
+The TPC-C remote fractions are preserved: ~1% of NewOrder order lines are
+supplied by a remote warehouse and 15% of Payments are for a customer of a
+remote warehouse (both only when the run has more than one warehouse).
+Warehouses are the partition key under hash-partitioned storage, so these
+are exactly the transactions that become multi-partition (two-phase)
+commits on a distributed cluster.
+
 A shared ``TpccContext`` carries the data-population parameters and a
 monotonic timestamp counter (used for o_entry_d / h_date uniqueness).
 """
@@ -41,6 +48,11 @@ class TpccContext:
     def pick_warehouse(self, rng: Random) -> int:
         return rng.randint(1, self.warehouses)
 
+    def pick_remote_warehouse(self, rng: Random, home: int) -> int:
+        """A warehouse other than ``home`` (requires >= 2 warehouses)."""
+        other = rng.randint(1, self.warehouses - 1)
+        return other + (1 if other >= home else 0)
+
     def pick_district(self, rng: Random) -> int:
         return rng.randint(1, self.districts)
 
@@ -67,6 +79,13 @@ def new_order_body(session, rng, ctx: TpccContext):
     d_id = ctx.pick_district(rng)
     c_id = ctx.pick_customer(rng)
     ol_cnt = rng.randint(5, 15)
+    # TPC-C §2.4: ~1% of order lines are supplied by a remote warehouse
+    supply_w_ids = [
+        ctx.pick_remote_warehouse(rng, w_id)
+        if ctx.warehouses > 1 and rng.random() < 0.01 else w_id
+        for _ in range(ol_cnt)
+    ]
+    all_local = 1 if all(s == w_id for s in supply_w_ids) else 0
 
     session.execute("SELECT w_tax FROM warehouse WHERE w_id = ?", (w_id,))
     district = session.execute(
@@ -83,18 +102,18 @@ def new_order_body(session, rng, ctx: TpccContext):
     session.execute(
         "INSERT INTO orders (o_id, o_d_id, o_w_id, o_c_id, o_entry_d, "
         "o_carrier_id, o_ol_cnt, o_all_local) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-        (o_id, d_id, w_id, c_id, entry_d, None, ol_cnt, 1))
+        (o_id, d_id, w_id, c_id, entry_d, None, ol_cnt, all_local))
     session.execute(
         "INSERT INTO new_order (no_o_id, no_d_id, no_w_id) VALUES (?, ?, ?)",
         (o_id, d_id, w_id))
-    for ol_number in range(1, ol_cnt + 1):
+    for ol_number, supply_w_id in enumerate(supply_w_ids, start=1):
         i_id = ctx.pick_item(rng)
         price = session.execute(
             "SELECT i_price, i_name, i_data FROM item WHERE i_id = ?",
             (i_id,)).first()[0]
         stock = session.execute(
             "SELECT s_quantity, s_ytd, s_order_cnt FROM stock "
-            "WHERE s_w_id = ? AND s_i_id = ?", (w_id, i_id)).first()
+            "WHERE s_w_id = ? AND s_i_id = ?", (supply_w_id, i_id)).first()
         quantity = rng.randint(1, 10)
         new_quantity = stock[0] - quantity
         if new_quantity < 10:
@@ -102,12 +121,13 @@ def new_order_body(session, rng, ctx: TpccContext):
         session.execute(
             "UPDATE stock SET s_quantity = ?, s_ytd = ?, s_order_cnt = ? "
             "WHERE s_w_id = ? AND s_i_id = ?",
-            (new_quantity, stock[1] + quantity, stock[2] + 1, w_id, i_id))
+            (new_quantity, stock[1] + quantity, stock[2] + 1,
+             supply_w_id, i_id))
         session.execute(
             "INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, ol_number, "
             "ol_i_id, ol_supply_w_id, ol_delivery_d, ol_quantity, ol_amount, "
             "ol_dist_info) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (o_id, d_id, w_id, ol_number, i_id, w_id, None, quantity,
+            (o_id, d_id, w_id, ol_number, i_id, supply_w_id, None, quantity,
              round(price * quantity, 2), f"dist_{d_id:02d}_{i_id:06d}"[:24]))
 
 
@@ -116,6 +136,12 @@ def payment_body(session, rng, ctx: TpccContext):
     w_id = ctx.pick_warehouse(rng)
     d_id = ctx.pick_district(rng)
     amount = round(rng.uniform(1.0, 5000.0), 2)
+    # TPC-C §2.5: 15% of payments are by a customer of a remote warehouse
+    if ctx.warehouses > 1 and rng.random() < 0.15:
+        c_w_id = ctx.pick_remote_warehouse(rng, w_id)
+        c_d_id = ctx.pick_district(rng)
+    else:
+        c_w_id, c_d_id = w_id, d_id
     session.execute(
         "UPDATE warehouse SET w_ytd = w_ytd + ? WHERE w_id = ?",
         (amount, w_id))
@@ -126,7 +152,7 @@ def payment_body(session, rng, ctx: TpccContext):
         last = ctx.pick_last_name(rng)
         rows = session.execute(
             "SELECT c_id FROM customer WHERE c_w_id = ? AND c_d_id = ? "
-            "AND c_last = ? ORDER BY c_first", (w_id, d_id, last)).rows
+            "AND c_last = ? ORDER BY c_first", (c_w_id, c_d_id, last)).rows
         if rows:
             c_id = rows[len(rows) // 2][0]
         else:
@@ -136,16 +162,16 @@ def payment_body(session, rng, ctx: TpccContext):
     customer = session.execute(
         "SELECT c_balance, c_ytd_payment, c_payment_cnt FROM customer "
         "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
-        (w_id, d_id, c_id)).first()
+        (c_w_id, c_d_id, c_id)).first()
     session.execute(
         "UPDATE customer SET c_balance = ?, c_ytd_payment = ?, "
         "c_payment_cnt = ? WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
         (customer[0] - amount, customer[1] + amount, customer[2] + 1,
-         w_id, d_id, c_id))
+         c_w_id, c_d_id, c_id))
     session.execute(
         "INSERT INTO history (h_c_id, h_c_d_id, h_c_w_id, h_d_id, h_w_id, "
         "h_date, h_amount, h_data) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-        (c_id, d_id, w_id, d_id, w_id, ctx.next_ts(), amount,
+        (c_id, c_d_id, c_w_id, d_id, w_id, ctx.next_ts(), amount,
          f"wh{w_id}dist{d_id}"))
 
 
