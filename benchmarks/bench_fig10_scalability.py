@@ -14,6 +14,7 @@ multi-partition commit fraction and the partition-parallel OLAP speedup.
 """
 
 from conftest import fresh_bench, run_once
+from record import record_bench
 
 from repro.analysis import ScalingStudy
 
@@ -131,6 +132,24 @@ def test_fig10_scalability(benchmark, series):
         "tidb": tidb_2pc, "oceanbase": ob_2pc,
     }
     benchmark.extra_info["scatter_gather"] = scatter
+
+    record_bench("fig10", {
+        "figure": "fig10",
+        "workload": "subenchmark",
+        "node_counts": list(NODE_COUNTS),
+        "oltp_growth_4_to_16": {"tidb": tidb_oltp, "oceanbase": ob_oltp},
+        "oltp_p95_growth_4_to_16": {"tidb": tidb_oltp_p95,
+                                    "oceanbase": ob_oltp_p95},
+        "hybrid_growth_4_to_16": {"tidb": tidb_hybrid,
+                                  "oceanbase": ob_hybrid},
+        "olap_latency_penalty_at_16": {"tidb": tidb_penalty,
+                                       "oceanbase": ob_penalty},
+        "multi_partition_commit_fraction": {
+            "tidb": {str(k): v for k, v in tidb_2pc.items()},
+            "oceanbase": {str(k): v for k, v in ob_2pc.items()},
+        },
+        "scatter_gather": scatter,
+    })
 
     # shapes: neither scales out well; TiDB degrades more on plain OLTP,
     # but isolates OLAP pressure better than OceanBase

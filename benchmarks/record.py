@@ -1,0 +1,74 @@
+"""Canonical benchmark recording: ``BENCH_<name>.json`` at the repo root.
+
+These files seed the repository's recorded perf trajectory: each perf PR
+regenerates them, and CI asserts the headline speedups stay above
+conservative floors, so a regression on the measured hot paths fails the
+build instead of silently eroding.
+
+``record_bench`` writes deterministic JSON (sorted keys, stable layout).
+The module doubles as the CI floor checker::
+
+    python benchmarks/record.py check BENCH_fig05.json --min-speedup 5
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_path(name: str) -> Path:
+    """Repo-root path of one canonical benchmark record."""
+    stem = name if name.startswith("BENCH_") else f"BENCH_{name}"
+    if not stem.endswith(".json"):
+        stem += ".json"
+    return REPO_ROOT / stem
+
+
+def record_bench(name: str, payload: dict) -> Path:
+    """Write one benchmark record canonically; returns the path written."""
+    path = bench_path(name)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def load_bench(name: str) -> dict:
+    return json.loads(bench_path(name).read_text(encoding="utf-8"))
+
+
+def check_fig05(path: str, min_speedup: float) -> int:
+    """CI floor: encoded-vectorized over row-pipeline speedup on the
+    selective district query must stay above ``min_speedup``."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    selective = next(q for q in payload["queries"]
+                     if q["query"] == "selective_district")
+    speedup = selective["speedup_encoded_vs_row"]
+    print(f"selective_district encoded-vs-row speedup: {speedup:.1f}x "
+          f"(floor {min_speedup:g}x)")
+    if speedup < min_speedup:
+        print("FAIL: speedup below the conservative floor")
+        return 1
+    if not selective["segments_encoded"] or not selective["runs_skipped"]:
+        print("FAIL: encoded-execution counters are zero — the encoding "
+              "layer did not engage")
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) >= 2 and argv[0] == "check":
+        min_speedup = 5.0
+        if "--min-speedup" in argv:
+            min_speedup = float(argv[argv.index("--min-speedup") + 1])
+        return check_fig05(argv[1], min_speedup)
+    print(__doc__)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

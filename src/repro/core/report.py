@@ -54,7 +54,22 @@ def render_text(report: RunReport, per_transaction: bool = False) -> str:
         lines.append(
             f"  vectorized: statements={report.vectorized_statements} "
             f"batches={report.batches_scanned} "
-            f"segments_pruned={report.segments_pruned}"
+            f"segments_pruned={report.segments_pruned} "
+            f"segments_encoded={report.segments_encoded} "
+            f"runs_skipped={report.runs_skipped}"
+        )
+    if report.encoding and report.encoding.get("segments_encoded"):
+        encoding = report.encoding
+        lines.append(
+            f"  encoding: segments={encoding['segments_encoded']}"
+            f"/{encoding['segments_total']} "
+            f"bytes_saved={encoding['bytes_saved']} "
+            f"compression={encoding['compression_ratio']:.2f}x"
+        )
+    if report.plan_cache_hits or report.plan_cache_misses:
+        lines.append(
+            f"  plan cache: hits={report.plan_cache_hits} "
+            f"misses={report.plan_cache_misses}"
         )
     return "\n".join(lines)
 
@@ -82,6 +97,8 @@ def render_csv(reports: list[RunReport]) -> str:
         "workload", "engine", "mode", "loop", "oltp_rate", "olap_rate",
         "hybrid_rate", "class", "throughput", *_LATENCY_COLUMNS,
         "vectorized_requests", "batches_scanned", "segments_pruned",
+        "segments_encoded", "runs_skipped",
+        "plan_cache_hits", "plan_cache_misses",
         "partitions_scanned", "partitions_pruned",
         "multi_partition_commits",
     ])
@@ -96,6 +113,8 @@ def render_csv(reports: list[RunReport]) -> str:
                 *_latency_row(summary),
                 report.vectorized_statements, report.batches_scanned,
                 report.segments_pruned,
+                report.segments_encoded, report.runs_skipped,
+                report.plan_cache_hits, report.plan_cache_misses,
                 report.partitions_scanned, report.partitions_pruned,
                 report.multi_partition_commits,
             ])

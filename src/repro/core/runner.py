@@ -57,6 +57,17 @@ class RunReport:
     vectorized_statements: int = 0
     batches_scanned: int = 0
     segments_pruned: int = 0
+    # encoding-aware execution counters (aggregated over every request)
+    segments_encoded: int = 0
+    runs_skipped: int = 0
+    columns_decoded: int = 0
+    values_decoded: int = 0
+    # plan-cache outcome over the run, plus the replica's encoding layer
+    # accounting at run end (segments/bytes/compression, None when the
+    # engine has no columnar replica)
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    encoding: dict | None = None
     # partition counters (aggregated over every request)
     partitions_scanned: int = 0
     partitions_pruned: int = 0
@@ -113,7 +124,21 @@ class RunReport:
             lines.append(
                 f"  vectorized: statements={self.vectorized_statements} "
                 f"batches={self.batches_scanned} "
-                f"segments_pruned={self.segments_pruned}"
+                f"segments_pruned={self.segments_pruned} "
+                f"segments_encoded={self.segments_encoded} "
+                f"runs_skipped={self.runs_skipped}"
+            )
+        if self.encoding and self.encoding.get("segments_encoded"):
+            lines.append(
+                f"  encoding: segments={self.encoding['segments_encoded']}"
+                f"/{self.encoding['segments_total']} "
+                f"bytes_saved={self.encoding['bytes_saved']} "
+                f"compression={self.encoding['compression_ratio']:.2f}x"
+            )
+        if self.plan_cache_hits or self.plan_cache_misses:
+            lines.append(
+                f"  plan cache: hits={self.plan_cache_hits} "
+                f"misses={self.plan_cache_misses}"
             )
         commits = self.single_partition_commits + self.multi_partition_commits
         if commits:
@@ -312,6 +337,12 @@ class OLxPBench:
         report.batches_scanned += exec_stats.batches_scanned
         report.segments_pruned += exec_stats.segments_pruned
         report.vectorized_statements += exec_stats.vectorized_statements
+        report.segments_encoded += exec_stats.segments_encoded
+        report.runs_skipped += exec_stats.runs_skipped
+        report.columns_decoded += exec_stats.columns_decoded
+        report.values_decoded += exec_stats.values_decoded
+        report.plan_cache_hits += exec_stats.plan_cache_hits
+        report.plan_cache_misses += exec_stats.plan_cache_misses
         report.partitions_scanned += exec_stats.partitions_scanned
         report.partitions_pruned += exec_stats.partitions_pruned
         report.partial_aggregates += exec_stats.partial_aggregates
@@ -357,6 +388,8 @@ class OLxPBench:
         report.lock_wait_ms = locks.total_wait_ms
         report.lock_waits = locks.waits
         report.lock_acquisitions = locks.acquisitions
+        if self.engine.db.columnar is not None:
+            report.encoding = self.engine.db.columnar.encoding_stats()
         report.busy_ms = {
             name: group.busy_ms for name, group in self.engine.groups.items()
         }

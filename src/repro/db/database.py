@@ -11,11 +11,14 @@ driver-like API::
         conn.commit()
         result = conn.execute("SELECT v FROM t WHERE id = ?", (1,))
 
-Statements are prepared once per SQL string and cached database-wide, so the
-benchmark loop never re-parses its workload statements.
+Statements are prepared once per SQL string and cached database-wide in a
+bounded LRU (``plan_cache_size``), so the benchmark loop never re-parses its
+workload statements; hits/misses surface in each statement's ``ExecStats``.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 from repro.catalog.schema import Catalog, Column, ForeignKey, IndexDef, Table
 from repro.catalog.types import type_from_name
@@ -54,8 +57,12 @@ class Database:
                  supports_foreign_keys: bool = True,
                  with_columnar: bool = False,
                  columnar_segment_rows: int | None = None,
+                 columnar_encoding: bool = True,
                  default_isolation: IsolationLevel = IsolationLevel.SNAPSHOT,
-                 partitions: int = 1):
+                 partitions: int = 1,
+                 plan_cache_size: int = 256):
+        if plan_cache_size <= 0:
+            raise ValueError("plan_cache_size must be positive")
         self.catalog = Catalog()
         self.partition_map = PartitionMap(partitions)
         self.storage = RowStorage(self.partition_map)
@@ -64,12 +71,17 @@ class Database:
                 columnar_segment_rows if columnar_segment_rows is not None
                 else SEGMENT_ROWS,
                 partition_map=self.partition_map,
+                encode=columnar_encoding,
             )
         else:
             self.columnar = None
         self.txn_manager = TransactionManager(self.storage)
+        # columnar_encoding=False reverts the whole columnar path to the
+        # pre-encoding engine (plain segments, prune-only pushdown): the
+        # recorded A/B baseline the encoding benchmarks compare against
         self.planner = Planner(self.catalog,
-                               build_vectorized=self.columnar is not None)
+                               build_vectorized=self.columnar is not None,
+                               encoded_pushdown=columnar_encoding)
         self.supports_foreign_keys = supports_foreign_keys
         self.enforce_foreign_keys = enforce_foreign_keys and supports_foreign_keys
         self.default_isolation = default_isolation
@@ -78,7 +90,13 @@ class Database:
             enforce_foreign_keys=self.enforce_foreign_keys,
             partition_map=self.partition_map,
         )
-        self._plan_cache: dict[str, object] = {}
+        # bounded LRU keyed on SQL text: statements beyond the capacity
+        # evict the least-recently-prepared plan instead of growing the
+        # cache for the database's lifetime
+        self._plan_cache: OrderedDict[str, object] = OrderedDict()
+        self.plan_cache_size = plan_cache_size
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     @property
     def partitions(self) -> int:
@@ -180,8 +198,14 @@ class Database:
             return 0
         applied = self.columnar.apply_from_partitions(self.storage.wals,
                                                       limit)
+        if applied == 0:
+            # nothing new: no prefix to truncate, no demotions to re-encode
+            # (this path runs once per simulated request via engine ticks)
+            return 0
         for pid, wal in enumerate(self.storage.wals):
             wal.truncate_upto(self.columnar.applied_lsns[pid])
+        # re-encode segments demoted by in-place overwrites this chunk
+        self.columnar.compact()
         return applied
 
     def replication_lag(self) -> int:
@@ -192,12 +216,24 @@ class Database:
     # -- statement preparation -----------------------------------------------------
 
     def prepare(self, sql: str):
-        plan = self._plan_cache.get(sql)
-        if plan is None:
-            statement = parse_sql(sql)
-            plan = self.planner.plan(statement)
-            self._plan_cache[sql] = plan
+        plan, _hit = self._prepare(sql)
         return plan
+
+    def _prepare(self, sql: str) -> tuple[object, bool]:
+        """Plan lookup through the LRU; returns ``(plan, cache_hit)``."""
+        cache = self._plan_cache
+        plan = cache.get(sql)
+        if plan is not None:
+            cache.move_to_end(sql)
+            self.plan_cache_hits += 1
+            return plan, True
+        statement = parse_sql(sql)
+        plan = self.planner.plan(statement)
+        self.plan_cache_misses += 1
+        cache[sql] = plan
+        if len(cache) > self.plan_cache_size:
+            cache.popitem(last=False)
+        return plan, False
 
     # -- connections ------------------------------------------------------------------
 
@@ -273,7 +309,7 @@ class Connection:
         transaction."""
         if self._closed:
             raise ConnectionStateError("connection is closed")
-        plan = self.db.prepare(sql)
+        plan, cache_hit = self.db._prepare(sql)
         autocommit = self._txn is None
         if autocommit:
             self.begin()
@@ -285,6 +321,10 @@ class Connection:
             if autocommit:
                 self.rollback()
             raise
+        if cache_hit:
+            result.stats.plan_cache_hits += 1
+        else:
+            result.stats.plan_cache_misses += 1
         if autocommit:
             self.commit()
         return result

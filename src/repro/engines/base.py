@@ -197,6 +197,7 @@ class HTAPCluster:
         demand = self.cost.transaction_cost(
             work.stats, work.n_statements, hybrid_context=False,
             columnar_parallelism=self._columnar_parallelism(work, columnar),
+            columnar_scan_factor=self._columnar_scan_factor(columnar),
         ).cpu
         if work.realtime_stats is not None:
             demand += self.cost.transaction_cost(
@@ -273,6 +274,17 @@ class HTAPCluster:
             hits += hit
         io = self.cost.io_cost(point_misses, hits, scan_misses)
         return io, flooded
+
+    def _columnar_scan_factor(self, columnar: bool) -> float:
+        """Measured encoded/plain compression ratio of the columnar replica.
+
+        Columnar-routed requests scan encoded segments (dictionary codes,
+        run-length runs, typed arrays), so their per-row scan demand drops
+        by the measured byte ratio; row-store-routed requests are unchanged.
+        """
+        if not columnar or self.db.columnar is None:
+            return 1.0
+        return self.db.columnar.scan_cost_factor()
 
     def _columnar_parallelism(self, work: WorkResult, columnar: bool) -> int:
         """Effective scatter-gather fan-out of a columnar-routed request.

@@ -86,7 +86,8 @@ class CostModel:
         self.params = params
 
     def statement_cost(self, stats: ExecStats, hybrid_context: bool = False,
-                       columnar_parallelism: int = 1) -> CostBreakdown:
+                       columnar_parallelism: int = 1,
+                       columnar_scan_factor: float = 1.0) -> CostBreakdown:
         """CPU demand of one statement's relational work (no queueing/IO).
 
         ``columnar_parallelism`` models partition-parallel scatter-gather:
@@ -94,17 +95,24 @@ class CostModel:
         finishes in ~1/N of the serial scan time (the per-partition partial
         aggregates divide the same way), so the critical-path demand for
         the columnar scan and aggregate components is divided by it.
+
+        ``columnar_scan_factor`` scales the per-row columnar scan demand by
+        the replica's *measured* compression ratio (encoded/plain bytes,
+        <= 1.0): dictionary codes and typed arrays move fewer bytes per
+        row, so encoded scans are proportionally cheaper — the mechanism
+        the Fig. 1/5/6/10 simulations inherit from the encoding layer.
         """
         p = self.params
         amplify = p.hybrid_join_amplification if hybrid_context else 1.0
         parallel = max(1, columnar_parallelism)
+        scan_factor = min(1.0, max(0.0, columnar_scan_factor))
         cpu = p.stmt_overhead
         if stats.used_columnar:
             cpu += p.columnar_stmt_overhead
         cpu += sum(stats.rows_row_store.values()) * p.row_scan_row_store * \
             (amplify if hybrid_context else 1.0)
         cpu += sum(stats.rows_columnar.values()) * p.row_scan_columnar \
-            / parallel
+            * scan_factor / parallel
         cpu += stats.pk_lookups * p.pk_lookup
         cpu += stats.index_lookups * p.index_lookup
         cpu += stats.index_range_scans * p.index_lookup
@@ -118,10 +126,12 @@ class CostModel:
 
     def transaction_cost(self, stats: ExecStats, n_statements: int,
                          hybrid_context: bool = False,
-                         columnar_parallelism: int = 1) -> CostBreakdown:
+                         columnar_parallelism: int = 1,
+                         columnar_scan_factor: float = 1.0) -> CostBreakdown:
         """CPU demand of a whole transaction (statement work + txn overhead)."""
         breakdown = self.statement_cost(stats, hybrid_context,
-                                        columnar_parallelism)
+                                        columnar_parallelism,
+                                        columnar_scan_factor)
         breakdown.cpu += self.params.txn_overhead
         breakdown.cpu += max(0, n_statements - 1) * self.params.stmt_overhead
         return breakdown

@@ -21,27 +21,28 @@ from repro.errors import ExecutionError
 # 2^1074 scales any finite double to an exact integer (as_integer_ratio
 # denominators are powers of two no larger than 2^1074)
 _FLOAT_SCALE = 1 << 1074
-# the scale-completion factor per denominator; denominators repeat heavily
-# (values of similar magnitude share exponents), so memoise the big-int
-# division out of the per-value path
-_SCALE_BY_DENOM: dict = {}
 
 
 class _ExactSum:
     """Exact, order-insensitive sum of ints and floats.
 
-    Integers accumulate separately from scaled float mantissas; ``value``
-    reproduces plain Python ``+`` semantics (int stays int until a float
-    joins) with the float result correctly rounded irrespective of fold
-    order.  Anything without an exact integer scaling — Decimals, inf/nan —
-    falls back to ordered addition, preserving historical behaviour.
+    Integers accumulate separately from float mantissas, which are summed
+    per binary exponent (``mantissas[e]`` holds the exact integer sum of
+    all mantissas whose value was ``m * 2^e``) — small-int additions on the
+    per-value hot path, with the single big-int reconstruction deferred to
+    ``value()``.  ``value`` reproduces plain Python ``+`` semantics (int
+    stays int until a float joins) with the float result correctly rounded
+    irrespective of fold order.  Anything without an exact integer scaling
+    — Decimals, inf/nan — falls back to ordered addition, preserving
+    historical behaviour.
     """
 
-    __slots__ = ("int_total", "scaled_total", "float_seen", "other")
+    __slots__ = ("int_total", "mantissas", "float_seen", "other")
 
     def __init__(self):
         self.int_total = 0
-        self.scaled_total = 0
+        # binary exponent -> exact integer sum of mantissas at that scale
+        self.mantissas: dict = {}
         self.float_seen = False
         self.other = None  # inexact fallback for inexactly-scalable addends
 
@@ -55,22 +56,90 @@ class _ExactSum:
             except (OverflowError, ValueError):  # inf / nan
                 pass
             else:
-                factor = _SCALE_BY_DENOM.get(denominator)
-                if factor is None:
-                    factor = _SCALE_BY_DENOM[denominator] = \
-                        _FLOAT_SCALE // denominator
-                self.scaled_total += numerator * factor
+                # denominator is 2^k: value = numerator * 2^-k
+                exponent = 1 - denominator.bit_length()
+                mantissas = self.mantissas
+                mantissas[exponent] = \
+                    mantissas.get(exponent, 0) + numerator
                 self.float_seen = True
                 return
         self.other = value if self.other is None else self.other + value
 
+    def add_times(self, value, count: int):
+        """Fold ``count`` copies of ``value`` in one multiplication.
+
+        Exact for ints and scalable floats (the mantissa times ``count``
+        equals the sum of ``count`` mantissas at the same exponent), so an
+        RLE run folds in O(1) with a bit-identical result to per-value adds.
+        """
+        if isinstance(value, int):
+            self.int_total += value * count
+            return
+        if isinstance(value, float):
+            try:
+                numerator, denominator = value.as_integer_ratio()
+            except (OverflowError, ValueError):  # inf / nan
+                pass
+            else:
+                exponent = 1 - denominator.bit_length()
+                mantissas = self.mantissas
+                mantissas[exponent] = \
+                    mantissas.get(exponent, 0) + numerator * count
+                self.float_seen = True
+                return
+        for _ in range(count):      # inexact fallback keeps add() order
+            self.add(value)
+
+    def fold_values(self, values) -> int:
+        """Fold an iterable of values exactly (NULLs skipped); returns the
+        number of non-NULL values folded.
+
+        The per-value int/float split is inlined here once — both SUM and
+        AVG batch folds go through this single loop, so the exactness
+        logic (and its inf/nan fallback) cannot diverge between them.
+        """
+        count = 0
+        int_total = 0
+        floats = False
+        mantissas = self.mantissas
+        bucket = mantissas.get
+        for value in values:
+            if value is None:
+                continue
+            count += 1
+            kind = type(value)
+            if kind is int:
+                int_total += value
+            elif kind is float:
+                try:
+                    numerator, denominator = value.as_integer_ratio()
+                except (OverflowError, ValueError):  # inf / nan
+                    self.add(value)
+                    continue
+                exponent = 1 - denominator.bit_length()
+                mantissas[exponent] = bucket(exponent, 0) + numerator
+                floats = True
+            else:          # bool / Decimal / subclasses: exact slow path
+                self.add(value)
+        self.int_total += int_total
+        self.float_seen = self.float_seen or floats
+        return count
+
     def merge(self, sub: "_ExactSum"):
         self.int_total += sub.int_total
-        self.scaled_total += sub.scaled_total
+        mantissas = self.mantissas
+        for exponent, mantissa in sub.mantissas.items():
+            mantissas[exponent] = mantissas.get(exponent, 0) + mantissa
         self.float_seen = self.float_seen or sub.float_seen
         if sub.other is not None:
             self.other = sub.other if self.other is None \
                 else self.other + sub.other
+
+    def _scaled_total(self) -> int:
+        """The exact float sum scaled by 2^1074 (one big-int fold)."""
+        # every finite double's exponent is >= -1074, so the shift is >= 0
+        return sum(mantissa << (1074 + exponent)
+                   for exponent, mantissa in self.mantissas.items())
 
     def value(self):
         if self.other is not None:
@@ -78,20 +147,73 @@ class _ExactSum:
             if self.int_total:
                 total = total + self.int_total
             if self.float_seen:
-                total = total + self.scaled_total / _FLOAT_SCALE
+                total = total + self._scaled_total() / _FLOAT_SCALE
             return total
         if not self.float_seen:
             return self.int_total
         # one exact big-int sum, one correctly-rounded conversion
-        return (self.scaled_total + self.int_total * _FLOAT_SCALE) \
+        return (self._scaled_total() + self.int_total * _FLOAT_SCALE) \
             / _FLOAT_SCALE
 
     def averaged(self, count: int):
         """Exact total divided by ``count``, correctly rounded."""
         if self.other is not None:
             return self.value() / count
-        return (self.scaled_total + self.int_total * _FLOAT_SCALE) \
+        return (self._scaled_total() + self.int_total * _FLOAT_SCALE) \
             / (_FLOAT_SCALE * count)
+
+
+def _fold_float_mantissas(total: _ExactSum, values) -> bool:
+    """Fold an all-float slice into ``total`` exactly, at batch speed.
+
+    ``map(float.as_integer_ratio, ...)`` runs the expensive decomposition
+    as a C-level pipeline; the mantissa sums land in a local dict that is
+    committed only on success, so an inf/nan (which has no integer ratio)
+    aborts cleanly and returns False — the caller then takes the generic
+    per-value path, which handles non-finite floats via ``add``.
+    """
+    local: dict = {}
+    get = local.get
+    try:
+        for numerator, denominator in map(float.as_integer_ratio, values):
+            exponent = 1 - denominator.bit_length()
+            local[exponent] = get(exponent, 0) + numerator
+    except (OverflowError, ValueError):      # inf / nan in the slice
+        return False
+    mantissas = total.mantissas
+    for exponent, mantissa in local.items():
+        mantissas[exponent] = mantissas.get(exponent, 0) + mantissa
+    total.float_seen = True
+    return True
+
+
+def _fold_typed_slice(total: _ExactSum, values) -> bool:
+    """Fold a typed-array column slice (NATIVE encoding) exactly.
+
+    Dense ranges of a sealed typed column — whole unfiltered segments, or
+    RLE-run-shaped selections — fold via the column's precomputed exact
+    block partials (floats) or one builtin ``sum`` over the array slice
+    (ints), without materialising a single Python value.  Non-contiguous
+    typed slices fall back to C-pipeline folds over the gathered values.
+    Returns False when ``values`` carries no typed-slice guarantee; the
+    caller then runs the generic per-value fold.
+    """
+    source = getattr(values, "contiguous_source", None)
+    if source is not None and (found := source()) is not None:
+        column, start, stop = found
+        int_sum = column.range_int_sum(start, stop)
+        if int_sum is not None:
+            total.int_total += int_sum
+            return True
+        if column.fold_range_sum(total.mantissas, start, stop):
+            total.float_seen = True
+            return True
+    if getattr(values, "all_ints", False):
+        total.int_total += sum(values)           # builtin sum: exact for ints
+        return True
+    if getattr(values, "all_floats", False):
+        return _fold_float_mantissas(total, values)
+    return False
 
 
 class Accumulator:
@@ -173,6 +295,29 @@ class SumAccumulator(Accumulator):
         self._any = True
         self._sum.add(value)
 
+    def add_many(self, values):
+        """Batch fold: RLE column slices fold run-at-a-time (value * n);
+        typed-array slices (NATIVE encoding) fold at C speed exploiting
+        their no-NULL homogeneous-type guarantee; other slices fold through
+        an inlined int/float split that does the exact arithmetic of
+        per-value ``add`` without its call overhead."""
+        if self.distinct:
+            super().add_many(values)
+            return
+        runs = getattr(values, "iter_runs", None)
+        if runs is not None:
+            for value, n in runs():
+                if value is not None:
+                    self._any = True
+                    self._sum.add_times(value, n)
+            return
+        total = self._sum
+        if len(values) and _fold_typed_slice(total, values):
+            self._any = True
+            return
+        if total.fold_values(values):
+            self._any = True
+
     def merge(self, sub: "SumAccumulator"):
         if self.distinct:
             for value in sub._seen - self._seen:
@@ -204,6 +349,26 @@ class AvgAccumulator(Accumulator):
         self._sum.add(value)
         self.count += 1
 
+    def add_many(self, values):
+        """Batch fold: RLE runs multiply, typed-array slices fold at C
+        speed, other slices inline the int/float split (exact arithmetic
+        identical to per-value ``add``)."""
+        if self.distinct:
+            super().add_many(values)
+            return
+        runs = getattr(values, "iter_runs", None)
+        if runs is not None:
+            for value, n in runs():
+                if value is not None:
+                    self._sum.add_times(value, n)
+                    self.count += n
+            return
+        total = self._sum
+        if len(values) and _fold_typed_slice(total, values):
+            self.count += len(values)
+            return
+        self.count += total.fold_values(values)
+
     def merge(self, sub: "AvgAccumulator"):
         if self.distinct:
             for value in sub._seen - self._seen:
@@ -229,7 +394,11 @@ class MinAccumulator(Accumulator):
             self.value = value
 
     def add_many(self, values):
-        present = [v for v in values if v is not None]
+        runs = getattr(values, "iter_runs", None)
+        if runs is not None:
+            present = [v for v, _n in runs() if v is not None]
+        else:
+            present = [v for v in values if v is not None]
         if present:
             low = min(present)
             if self.value is None or low < self.value:
@@ -254,7 +423,11 @@ class MaxAccumulator(Accumulator):
             self.value = value
 
     def add_many(self, values):
-        present = [v for v in values if v is not None]
+        runs = getattr(values, "iter_runs", None)
+        if runs is not None:
+            present = [v for v, _n in runs() if v is not None]
+        else:
+            present = [v for v in values if v is not None]
         if present:
             high = max(present)
             if self.value is None or high > self.value:

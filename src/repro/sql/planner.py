@@ -743,11 +743,18 @@ class Planner:
     ``build_vectorized`` gates the second (vectorized) physical plan; a
     database without a columnar replica turns it off so every prepare
     doesn't build an unreachable operator tree.
+
+    ``encoded_pushdown`` gates exact in-scan predicate evaluation: when
+    False the vectorized plan reverts to prune-only pushdown (zone-map
+    segment skipping with every conjunct re-applied above the scan) — the
+    pre-encoding engine, kept as the recorded A/B benchmark baseline.
     """
 
-    def __init__(self, catalog: Catalog, build_vectorized: bool = True):
+    def __init__(self, catalog: Catalog, build_vectorized: bool = True,
+                 encoded_pushdown: bool = True):
         self.catalog = catalog
         self.build_vectorized = build_vectorized
+        self.encoded_pushdown = encoded_pushdown
 
     # -- public entry points ------------------------------------------------
 
@@ -1208,13 +1215,19 @@ class Planner:
                                                   base_schema)
         if self._access_path(base_table, binding, base_conjs).kind != "seq":
             return None
-        node = VColumnarScan(base_table, binding,
-                             self._pushed_predicates(base_table, base_conjs),
+        pushed, exact = self._pushed_predicates(base_table, base_conjs)
+        if not self.encoded_pushdown:
+            exact = set()
+        node = VColumnarScan(base_table, binding, pushed,
                              self._referenced_columns(select, base_table,
-                                                      binding))
-        if base_conjs:
+                                                      binding),
+                             filter_in_scan=self.encoded_pushdown)
+        # the scan evaluates pushed predicates exactly (code space on
+        # encoded segments), so only the residual conjuncts are re-applied
+        residual_base = [c for c in base_conjs if id(c) not in exact]
+        if residual_base:
             node = VFilter(node, compile_batch_predicate(
-                _and_all(base_conjs), node.schema, sub))
+                _and_all(residual_base), node.schema, sub))
         consumed: set[int] = {id(c) for c in base_conjs}
 
         for join_index, join in enumerate(select.joins):
@@ -1242,16 +1255,22 @@ class Planner:
             residual_on = [c for c in on_pool
                            if id(c) not in consumed and id(c) not in used]
             consumed |= used
+            right_pushed, right_exact = self._pushed_predicates(right_table,
+                                                                right_conjs)
+            if not self.encoded_pushdown:
+                right_exact = set()
             right_node: object = VColumnarScan(
-                right_table, right_binding,
-                self._pushed_predicates(right_table, right_conjs),
-                self._referenced_columns(select, right_table, right_binding))
+                right_table, right_binding, right_pushed,
+                self._referenced_columns(select, right_table, right_binding),
+                filter_in_scan=self.encoded_pushdown)
             # the scan's schema may be a projected subset of the table —
             # compile filters and keys against it, not the full layout
             scan_schema = right_node.schema
-            if right_conjs:
+            residual_right = [c for c in right_conjs
+                              if id(c) not in right_exact]
+            if residual_right:
                 right_node = VFilter(right_node, compile_batch_predicate(
-                    _and_all(right_conjs), scan_schema, sub))
+                    _and_all(residual_right), scan_schema, sub))
             node = VHashJoin(
                 node, right_node,
                 [compile_batch_expr(e, node.schema, sub) for e in left_keys],
@@ -1318,17 +1337,26 @@ class Planner:
 
     _FLIPPED_CMP = {"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
 
-    def _pushed_predicates(self, table: Table,
-                           conjuncts: list[ast.Expr]) -> list[PushedPredicate]:
-        """Range/equality bounds usable for zone-map segment pruning.
+    def _pushed_predicates(
+            self, table: Table,
+            conjuncts: list[ast.Expr]) -> tuple[list[PushedPredicate], set]:
+        """Range/equality/IN predicates pushable into the columnar scan.
 
-        Only ``column <op> constant`` conjuncts qualify; the full predicate
-        is still re-applied above the scan, so pushing is purely a skip
-        optimisation and never affects results.
+        Only ``column <op> constant`` (and ``column [NOT]-less IN
+        (constants)``) conjuncts qualify.  Returns the pushed predicates
+        plus the ids of conjuncts they represent *exactly*: the scan
+        evaluates pushed predicates with row-pipeline semantics (zone-map
+        pruning and code-space filtering on encoded segments), so exact
+        conjuncts are not re-applied above the scan.
+
+        IN lists are pushed only when every item is a literal or parameter
+        — item expressions must keep the row pipeline's lazy any() order,
+        which eager per-segment evaluation would break.
         """
         empty = Schema([])
         sub = self._plan_subquery
         pushed: list[PushedPredicate] = []
+        exact: set[int] = set()
         for conjunct in conjuncts:
             if isinstance(conjunct, ast.Between) and not conjunct.negated:
                 operand = conjunct.operand
@@ -1341,6 +1369,20 @@ class Planner:
                         low_fn=compile_expr(conjunct.low, empty, sub),
                         high_fn=compile_expr(conjunct.high, empty, sub),
                     ))
+                    exact.add(id(conjunct))
+                continue
+            if isinstance(conjunct, ast.InList) and not conjunct.negated:
+                operand = conjunct.operand
+                if (isinstance(operand, ast.ColumnRef)
+                        and table.has_column(operand.name)
+                        and all(isinstance(i, (ast.Literal, ast.Param))
+                                for i in conjunct.items)):
+                    pushed.append(PushedPredicate(
+                        table.position(operand.name),
+                        item_fns=[compile_expr(i, empty, sub)
+                                  for i in conjunct.items],
+                    ))
+                    exact.add(id(conjunct))
                 continue
             if not (isinstance(conjunct, ast.BinaryOp)
                     and conjunct.op in self._FLIPPED_CMP):
@@ -1369,7 +1411,8 @@ class Planner:
                                               low_inclusive=False))
             else:  # ">="
                 pushed.append(PushedPredicate(position, low_fn=bound_fn))
-        return pushed
+            exact.add(id(conjunct))
+        return pushed, exact
 
     # -- scans --------------------------------------------------------------------
 

@@ -43,9 +43,15 @@ class Batch:
         return zip(*self.columns)
 
     def take(self, selection: list[int]) -> "Batch":
-        """Gather the given row indices into a new batch."""
-        return Batch([[col[i] for i in selection] for col in self.columns],
-                     len(selection))
+        """Gather the given row indices into a new batch.
+
+        Encoded column views (and lazy gathers) provide their own
+        ``gather``; plain lists fall back to an index comprehension.
+        """
+        return Batch(
+            [col.gather(selection) if hasattr(col, "gather")
+             else [col[i] for i in selection] for col in self.columns],
+            len(selection))
 
     def __repr__(self):
         return f"Batch({len(self.columns)} cols, {self.length} rows)"
@@ -82,6 +88,16 @@ class ExecStats:
     vectorized_statements: int = 0
     batches_scanned: int = 0
     segments_pruned: int = 0
+    # encoding-aware execution counters: encoded segments the scan touched,
+    # whole RLE runs skipped by code-space predicates, and how much the
+    # lazy-materialisation layer actually decoded
+    segments_encoded: int = 0
+    runs_skipped: int = 0
+    columns_decoded: int = 0
+    values_decoded: int = 0
+    # statement-plan LRU cache outcome for this statement
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
     # partition counters: how many hash partitions each access touched and
     # how many it proved irrelevant (PK routing / partition-key pruning)
     partitions_scanned: int = 0
@@ -119,6 +135,12 @@ class ExecStats:
         self.vectorized_statements += other.vectorized_statements
         self.batches_scanned += other.batches_scanned
         self.segments_pruned += other.segments_pruned
+        self.segments_encoded += other.segments_encoded
+        self.runs_skipped += other.runs_skipped
+        self.columns_decoded += other.columns_decoded
+        self.values_decoded += other.values_decoded
+        self.plan_cache_hits += other.plan_cache_hits
+        self.plan_cache_misses += other.plan_cache_misses
         self.partitions_scanned += other.partitions_scanned
         self.partitions_pruned += other.partitions_pruned
         self.scatter_partitions = max(self.scatter_partitions,

@@ -29,6 +29,7 @@ from repro.sql import ast
 from repro.sql.expressions import Schema, _null_safe_binop, compile_expr
 from repro.sql.functions import SCALARS, like_to_predicate, make_accumulator
 from repro.sql.result import Batch
+from repro.storage.columnstore import DictColumn
 
 
 # ---------------------------------------------------------------------------
@@ -198,27 +199,35 @@ def compile_batch_predicate(expr: ast.Expr, schema: Schema,
 
 
 # ---------------------------------------------------------------------------
-# pushed-down scan predicates (zone-map pruning)
+# pushed-down scan predicates (zone-map pruning + code-space filtering)
 # ---------------------------------------------------------------------------
 
 class PushedPredicate:
-    """A single-column range/equality bound pushed into the columnar scan.
+    """A single-column range/equality/IN predicate pushed into the scan.
 
     Bounds are compiled constant expressions (literals, parameters,
     arithmetic over them) evaluated once per execution; ``None`` fns leave
-    that side open.  Equality pushes the same fn as both bounds.
+    that side open.  Equality pushes the same fn as both bounds; IN-lists
+    push one compiled fn per item (``item_fns``).
+
+    Pushed predicates are evaluated *exactly* by the scan — in code space
+    on encoded columns, in value space otherwise — mirroring the row
+    pipeline's NULL-falsy comparison semantics, so the planner does not
+    re-apply them above the scan.
     """
 
     __slots__ = ("position", "low_fn", "high_fn",
-                 "low_inclusive", "high_inclusive")
+                 "low_inclusive", "high_inclusive", "item_fns")
 
     def __init__(self, position: int, low_fn=None, high_fn=None,
-                 low_inclusive: bool = True, high_inclusive: bool = True):
+                 low_inclusive: bool = True, high_inclusive: bool = True,
+                 item_fns=None):
         self.position = position
         self.low_fn = low_fn
         self.high_fn = high_fn
         self.low_inclusive = low_inclusive
         self.high_inclusive = high_inclusive
+        self.item_fns = item_fns          # not None => IN-list predicate
 
     def bounds(self, ctx):
         """Evaluate to ``(low, high)``; a bound that evaluates to NULL makes
@@ -228,6 +237,203 @@ class PushedPredicate:
         unsatisfiable = ((self.low_fn is not None and low is None)
                          or (self.high_fn is not None and high is None))
         return low, high, unsatisfiable
+
+    def evaluate(self, ctx) -> "_EvalPred | None":
+        """Bind the predicate's constants for one execution.
+
+        Returns ``None`` when the predicate is unsatisfiable (a NULL bound
+        or an all-NULL IN list): no row can ever compare true against it.
+        """
+        if self.item_fns is not None:
+            values = [fn((), ctx) for fn in self.item_fns]
+            present = [v for v in values if v is not None]
+            if not present:
+                return None
+            return _EvalPred(self.position, in_values=present)
+        low, high, unsatisfiable = self.bounds(ctx)
+        if unsatisfiable:
+            return None
+        return _EvalPred(self.position, low=low, high=high,
+                         low_inclusive=self.low_inclusive,
+                         high_inclusive=self.high_inclusive,
+                         is_eq=(self.low_fn is not None
+                                and self.low_fn is self.high_fn))
+
+
+def _eq_test(value):
+    return lambda v: v is not None and v == value
+
+
+def _membership_test(wanted):
+    return lambda v: v is not None and v in wanted
+
+
+def _range_test(low, high, low_inc, high_inc):
+    """Specialised NULL-falsy range test (one comparison chain per value,
+    no generic-helper call — this runs once per row on the scan hot path).
+    Mirrors the row pipeline's comparison semantics, TypeErrors included."""
+    if high is None:
+        if low_inc:
+            return lambda v: v is not None and v >= low
+        return lambda v: v is not None and v > low
+    if low is None:
+        if high_inc:
+            return lambda v: v is not None and v <= high
+        return lambda v: v is not None and v < high
+    if low_inc and high_inc:
+        return lambda v: v is not None and low <= v <= high
+    if low_inc:
+        return lambda v: v is not None and low <= v < high
+    if high_inc:
+        return lambda v: v is not None and low < v <= high
+    return lambda v: v is not None and low < v < high
+
+
+class _EvalPred:
+    """One pushed predicate with its constants bound for this execution."""
+
+    __slots__ = ("position", "low", "high", "low_inclusive",
+                 "high_inclusive", "is_eq", "in_values", "in_set", "test")
+
+    def __init__(self, position: int, low=None, high=None,
+                 low_inclusive: bool = True, high_inclusive: bool = True,
+                 is_eq: bool = False, in_values=None):
+        self.position = position
+        self.low = low
+        self.high = high
+        self.low_inclusive = low_inclusive
+        self.high_inclusive = high_inclusive
+        self.is_eq = is_eq
+        self.in_values = in_values
+        if in_values is not None:
+            try:
+                wanted = set(in_values)
+            except TypeError:      # unhashable constant: linear fallback
+                wanted = tuple(in_values)
+            self.in_set = wanted
+            self.test = _membership_test(wanted)
+        elif is_eq:
+            self.in_set = None
+            self.test = _eq_test(low)
+        else:
+            self.in_set = None
+            self.test = _range_test(low, high, low_inclusive, high_inclusive)
+
+    def zone_allows(self, segment) -> bool:
+        """Could any row of ``segment`` satisfy this predicate?
+
+        Zone maps first; then, for dictionary-encoded columns of sealed
+        segments, a per-segment dictionary membership check — a literal
+        absent from the segment dictionary proves the segment irrelevant.
+        """
+        if self.in_values is not None:
+            if not any(segment.may_contain(self.position, v, v)
+                       for v in self.in_values):
+                return False
+        elif not segment.may_contain(self.position, self.low, self.high,
+                                     self.low_inclusive,
+                                     self.high_inclusive):
+            return False
+        column = segment.columns[self.position]
+        if isinstance(column, DictColumn):
+            if self.in_values is not None:
+                return any(column.code_for(v) is not None
+                           for v in self.in_values)
+            if self.is_eq:
+                return column.code_for(self.low) is not None
+        return True
+
+    def column_selection(self, column) -> tuple[list, int]:
+        """Offsets of matching rows, plus the number of whole runs skipped.
+
+        Encoded columns filter in code/run space; plain lists (and open
+        tail segments) fall back to a value-space sweep.
+        """
+        if self.in_values is not None:
+            if hasattr(column, "select_in"):
+                return column.select_in(self.in_values)
+        elif self.is_eq:
+            if hasattr(column, "select_eq"):
+                return column.select_eq(self.low)
+        elif hasattr(column, "select_where"):
+            return column.select_where(self.test)
+        test = self.test
+        return [i for i, v in enumerate(column) if test(v)], 0
+
+
+class _LazyColumn:
+    """A deferred gather of one column at the surviving scan offsets.
+
+    Late materialization: the scan's selection vector is carried as
+    ``(column, selection)`` and only decoded — once, memoised — if a
+    downstream operator actually touches the column.  Columns that only
+    served pushed predicates are never materialised at all.
+    """
+
+    __slots__ = ("_column", "_selection", "_stats", "_data")
+
+    def __init__(self, column, selection: list, stats=None):
+        self._column = column
+        self._selection = selection
+        self._stats = stats
+        self._data = None
+
+    def _materialise(self) -> list:
+        data = self._data
+        if data is None:
+            column = self._column
+            selection = self._selection
+            if hasattr(column, "gather"):
+                data = column.gather(selection)
+            else:
+                data = [column[i] for i in selection]
+            self._data = data
+            if self._stats is not None:
+                self._stats.columns_decoded += 1
+                self._stats.values_decoded += len(data)
+        return data
+
+    @property
+    def all_ints(self) -> bool:
+        """Type guarantee inherited from the source column (a selection of
+        a no-NULL int column is still all non-NULL ints)."""
+        return getattr(self._column, "all_ints", False)
+
+    @property
+    def all_floats(self) -> bool:
+        return getattr(self._column, "all_floats", False)
+
+    def contiguous_source(self):
+        """``(native_column, start, stop)`` when this gather is one dense
+        range of a typed-array column — RLE-run selections are — letting
+        SUM/AVG fold precomputed block partials instead of materialising."""
+        column = self._column
+        if not hasattr(column, "fold_range_sum"):
+            return None
+        selection = self._selection
+        if not selection:
+            return None
+        start = selection[0]
+        stop = selection[-1] + 1
+        if stop - start != len(selection):
+            return None
+        return column, start, stop
+
+    def __len__(self) -> int:
+        return len(self._selection)
+
+    def __iter__(self):
+        return iter(self._materialise())
+
+    def __getitem__(self, i: int):
+        return self._materialise()[i]
+
+    def count(self, value) -> int:
+        return self._materialise().count(value)
+
+    def gather(self, selection: list) -> list:
+        data = self._materialise()
+        return [data[i] for i in selection]
 
 
 # ---------------------------------------------------------------------------
@@ -256,13 +462,22 @@ class VectorNode:
 
 
 class VColumnarScan(VectorNode):
-    """Segment-at-a-time scan of a columnar table with zone-map pruning.
+    """Segment-at-a-time scan of a columnar table with zone-map pruning
+    and exact code-space evaluation of pushed predicates.
 
     ``columns`` projects the scan to the named columns (table order); the
     operator's schema shrinks with it, so downstream expressions resolve
     against the projected layout.  Pushed-predicate positions stay
-    full-table positions — zone maps are per segment column, independent
-    of what the batch materialises.
+    full-table positions — zone maps and segment columns are per full
+    table layout, independent of what the batch materialises.
+
+    Execution per segment: zone maps (plus dictionary membership for DICT
+    columns) prune whole segments; surviving segments evaluate the pushed
+    predicates directly on the encoded columns — integer code compares for
+    DICT, whole-run keeps/skips for RLE, typed-array sweeps for NATIVE —
+    producing a selection vector; the projected columns are then wrapped
+    as lazy gathers, so only columns (and positions) a downstream operator
+    touches are ever decoded.
 
     Under a partitioned replica the scan scatters across the per-partition
     segment sets; a pushed *equality* predicate on the partition key (the
@@ -272,13 +487,19 @@ class VColumnarScan(VectorNode):
 
     def __init__(self, table, binding: str,
                  pushed: list[PushedPredicate] | None = None,
-                 columns: list[str] | None = None):
+                 columns: list[str] | None = None,
+                 filter_in_scan: bool = True):
         self.table = table
         self.binding = binding
         self.pushed = pushed or []
         self.columns = columns
+        # False reproduces the prune-only pushdown of the pre-encoding
+        # engine: pushed predicates skip segments via zone maps but rows
+        # are re-filtered above the scan (the A/B baseline mode)
+        self.filter_in_scan = filter_in_scan
         self.partition_position = table.pk_positions[0]
         names = table.column_names if columns is None else columns
+        self.positions = [table.position(c) for c in names]
         self.schema = Schema([(binding, col) for col in names])
 
     def _target_partitions(self, ctx, n_parts: int) -> list[int]:
@@ -292,15 +513,55 @@ class VColumnarScan(VectorNode):
                     return [ctx.columnar.pmap.partition_of_value(value)]
         return list(range(n_parts))
 
-    def _scan_partition(self, part, ctx, skip_segment):
+    def _segment_selection(self, segment, preds, stats):
+        """Selection vector of rows passing every pushed predicate.
+
+        ``None`` means "all rows" (no pushed predicates).  The first
+        predicate selects on its (possibly encoded) column; later ones
+        refine the surviving offsets with per-value tests.
+        """
+        selection = None
+        for pred in preds:
+            column = segment.columns[pred.position]
+            if selection is None:
+                selection, skipped = pred.column_selection(column)
+                stats.runs_skipped += skipped
+            else:
+                test = pred.test
+                selection = [i for i in selection if test(column[i])]
+            if not selection:
+                break
+        return selection
+
+    def _scan_partition(self, part, ctx, preds, skip_segment):
         name = self.table.name
         stats = ctx.stats
+        positions = self.positions
         scanned = 0
-        for batch in part.scan_batches(columns=self.columns,
-                                       skip_segment=skip_segment):
+        for segment in part.scan_segments(skip_segment):
+            if segment.encoded:
+                stats.segments_encoded += 1
+            selection = (self._segment_selection(segment, preds, stats)
+                         if self.filter_in_scan else None)
+            if selection is None:
+                if segment.live_count == segment.size:
+                    # untouched segment: zero-copy column views
+                    stats.batches_scanned += 1
+                    scanned += segment.size
+                    yield Batch([segment.columns[p] for p in positions],
+                                segment.size)
+                    continue
+                live = segment.live
+                selection = [i for i in range(segment.size) if live[i]]
+            elif segment.live_count != segment.size:
+                live = segment.live
+                selection = [i for i in selection if live[i]]
+            if not selection:
+                continue
             stats.batches_scanned += 1
-            scanned += len(batch)
-            yield batch
+            scanned += len(selection)
+            yield Batch([_LazyColumn(segment.columns[p], selection, stats)
+                         for p in positions], len(selection))
         stats.rows_columnar[name] += scanned
 
     def execute_partitions(self, ctx):
@@ -310,23 +571,21 @@ class VColumnarScan(VectorNode):
         stats.used_columnar = True
         parts = ctx.columnar.table_partitions(name)
 
-        bounds = []
-        for pred in self.pushed:
-            low, high, unsatisfiable = pred.bounds(ctx)
-            if unsatisfiable:
+        preds = []
+        for pushed in self.pushed:
+            pred = pushed.evaluate(ctx)
+            if pred is None:
+                # unsatisfiable (NULL bound): every partition is irrelevant,
+                # so the scanned+pruned == partition-count invariant holds
                 stats.segments_pruned += sum(
                     1 for part in parts
                     for s in part.segments() if s.live_count)
-                # the predicate proves every partition irrelevant, so the
-                # scanned+pruned == partition-count invariant holds here too
                 stats.partitions_pruned += len(parts)
                 return
-            bounds.append((pred.position, low, high,
-                           pred.low_inclusive, pred.high_inclusive))
+            preds.append(pred)
 
         def skip_segment(segment):
-            if any(not segment.may_contain(pos, low, high, low_inc, high_inc)
-                   for pos, low, high, low_inc, high_inc in bounds):
+            if any(not pred.zone_allows(segment) for pred in preds):
                 stats.segments_pruned += 1
                 return True
             return False
@@ -336,7 +595,8 @@ class VColumnarScan(VectorNode):
         stats.partitions_pruned += len(parts) - len(pids)
         stats.scatter_partitions = max(stats.scatter_partitions, len(pids))
         for pid in pids:
-            yield pid, self._scan_partition(parts[pid], ctx, skip_segment)
+            yield pid, self._scan_partition(parts[pid], ctx, preds,
+                                            skip_segment)
 
     def execute_batches(self, ctx):
         for _pid, batches in self.execute_partitions(ctx):

@@ -13,7 +13,21 @@ columnstore) organise it: fixed-size *segments* of column arrays, each with
   same primary key is reinserted),
 * per-column **zone maps** (min/max over every value ever written to the
   segment — widen-only, so they stay a conservative superset of the live
-  values and pruning can never drop a matching row).
+  values and pruning can never drop a matching row),
+* a **physical encoding** per column, chosen when the segment fills up
+  (*seals*): ``DICT`` (low-cardinality strings -> int codes + per-segment
+  dictionary), ``RLE`` (long constant runs -> (value, length) pairs),
+  ``NATIVE`` (homogeneous ints/floats -> ``array('q')``/``array('d')``
+  typed arrays with a null set), falling back to ``PLAIN`` object lists.
+
+WAL records always apply into *unencoded* tail segments (replication
+semantics are unchanged); an in-place overwrite of a sealed segment demotes
+it back to PLAIN, and ``compact()`` re-encodes demoted segments.  Encoded
+columns implement the sequence protocol, so every reader that iterates or
+indexes a column slice works unchanged — but they also expose code-space
+selection primitives (``select_eq``/``select_range``/``select_in``) and run
+iteration (``iter_runs``) that the vectorized executor uses to filter and
+aggregate *without decoding*.
 
 ``scan_batches`` exposes the segments as column-slice batches for the
 vectorized executor; ``scan`` keeps the row-tuple view for the row pipeline.
@@ -24,6 +38,8 @@ lookups stay on the row store, as in TiDB.
 from __future__ import annotations
 
 import heapq
+from array import array
+from bisect import bisect_right
 from collections.abc import Iterator
 
 from repro.catalog.schema import Table
@@ -34,16 +50,492 @@ from repro.storage.wal import LogOp, WriteAheadLog
 
 SEGMENT_ROWS = 4096
 
+# encoding choice thresholds (see _encode_column): a column whose average
+# run is this long is better off run-length encoded than typed-array
+# encoded, even for numerics
+RLE_MIN_AVG_RUN = 32
+# fallback RLE threshold for columns that qualify for no other encoding
+RLE_FALLBACK_AVG_RUN = 8
+# dictionary encoding only pays while the dictionary stays small relative
+# to the segment
+DICT_MAX_CARDINALITY = 256
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+class Encoding:
+    """Physical encodings of one sealed segment column."""
+
+    PLAIN = "plain"
+    DICT = "dict"
+    RLE = "rle"
+    NATIVE = "native"
+
+
+def _approx_value_bytes(value) -> int:
+    """Deterministic per-value heap estimate (CPython-shaped, not exact)."""
+    if value is None:
+        return 8          # pointer to the shared None
+    if isinstance(value, float):
+        return 24
+    if isinstance(value, int):
+        return 28
+    if isinstance(value, str):
+        return 49 + len(value)
+    return 48
+
+
+def _plain_bytes(values) -> int:
+    """Approximate footprint of a plain object-list column."""
+    return 56 + 8 * len(values) + sum(_approx_value_bytes(v) for v in values)
+
+
+class DictColumn:
+    """Dictionary-encoded column: int codes + a per-segment dictionary.
+
+    ``codes[i]`` indexes ``values``; ``-1`` encodes NULL.  Equality/IN
+    predicates translate the literal to a code once (``code_for``) and
+    compare ints; a literal absent from the dictionary proves the whole
+    segment predicate-free (*dictionary membership check*).
+    """
+
+    encoding = Encoding.DICT
+    __slots__ = ("codes", "values", "code_of")
+
+    def __init__(self, codes: array, values: list, code_of: dict):
+        self.codes = codes
+        self.values = values
+        self.code_of = code_of
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def __getitem__(self, i: int):
+        code = self.codes[i]
+        return None if code < 0 else self.values[code]
+
+    def __iter__(self):
+        # bulk-decode then iterate: one C-level comprehension beats a
+        # per-element generator on every full-column consumer
+        return iter(self.decode())
+
+    def decode(self) -> list:
+        values = self.values
+        return [None if c < 0 else values[c] for c in self.codes]
+
+    def count(self, value) -> int:
+        if value is None:
+            return self.codes.count(-1)
+        code = self.code_of.get(value)
+        return 0 if code is None else self.codes.count(code)
+
+    def gather(self, selection: list) -> list:
+        codes = self.codes
+        values = self.values
+        return [None if (c := codes[i]) < 0 else values[c]
+                for i in selection]
+
+    def code_for(self, value):
+        """Code of ``value`` in this segment's dictionary (None if absent)."""
+        if value is None:
+            return None
+        try:
+            return self.code_of.get(value)
+        except TypeError:          # unhashable literal can never match
+            return None
+
+    def select_eq(self, value) -> tuple[list, int]:
+        code = self.code_for(value)
+        if code is None:
+            return [], 0
+        return [i for i, c in enumerate(self.codes) if c == code], 0
+
+    def select_in(self, values) -> tuple[list, int]:
+        wanted = {code for v in values
+                  if (code := self.code_for(v)) is not None}
+        if not wanted:
+            return [], 0
+        return [i for i, c in enumerate(self.codes) if c in wanted], 0
+
+    def select_where(self, test) -> tuple[list, int]:
+        """Selection via a per-value test applied to the *dictionary* only:
+        one test per distinct value, then integer code membership."""
+        passing = {code for code, value in enumerate(self.values)
+                   if test(value)}
+        if not passing:
+            return [], 0
+        if len(passing) == 1:
+            wanted = next(iter(passing))
+            return [i for i, c in enumerate(self.codes) if c == wanted], 0
+        return [i for i, c in enumerate(self.codes) if c in passing], 0
+
+
+class RLEColumn:
+    """Run-length-encoded column: parallel (value, length) run arrays.
+
+    ``starts`` holds each run's first offset for O(log runs) random access;
+    range/equality predicates test one value per run and keep or skip the
+    whole run, and aggregates multiply by run length instead of iterating.
+    """
+
+    encoding = Encoding.RLE
+    __slots__ = ("run_values", "run_lengths", "starts", "length")
+
+    def __init__(self, run_values: list, run_lengths: array):
+        self.run_values = run_values
+        self.run_lengths = run_lengths
+        starts = array("q", [0] * len(run_lengths))
+        total = 0
+        for i, n in enumerate(run_lengths):
+            starts[i] = total
+            total += n
+        self.starts = starts
+        self.length = total
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __getitem__(self, i: int):
+        return self.run_values[bisect_right(self.starts, i) - 1]
+
+    def __iter__(self):
+        # bulk-decode (C-level list repeats) then iterate
+        return iter(self.decode())
+
+    def iter_runs(self):
+        """Yield ``(value, length)`` pairs — the aggregate fast path."""
+        return zip(self.run_values, self.run_lengths)
+
+    def decode(self) -> list:
+        out: list = []
+        for value, n in zip(self.run_values, self.run_lengths):
+            out.extend([value] * n)
+        return out
+
+    def count(self, value) -> int:
+        if value is None:
+            return sum(n for v, n in self.iter_runs() if v is None)
+        return sum(n for v, n in self.iter_runs()
+                   if v is not None and v == value)
+
+    def gather(self, selection: list) -> list:
+        # selections are sorted scan offsets: walk the runs alongside them
+        # instead of a bisect per element
+        out = []
+        run = 0
+        starts = self.starts
+        run_values = self.run_values
+        top = len(starts) - 1
+        for i in selection:
+            while run < top and starts[run + 1] <= i:
+                run += 1
+            out.append(run_values[run])
+        return out
+
+    def _select(self, test) -> tuple[list, int]:
+        out: list = []
+        skipped = 0
+        offset = 0
+        for value, n in zip(self.run_values, self.run_lengths):
+            if value is not None and test(value):
+                out.extend(range(offset, offset + n))
+            else:
+                skipped += 1
+            offset += n
+        return out, skipped
+
+    def select_eq(self, value) -> tuple[list, int]:
+        return self._select(lambda v: v == value)
+
+    def select_in(self, values) -> tuple[list, int]:
+        wanted = set(values)
+        return self._select(lambda v: v in wanted)
+
+    def select_where(self, test) -> tuple[list, int]:
+        return self._select(test)
+
+
+class NativeColumn:
+    """Typed-array column: ``array('q')`` ints / ``array('d')`` floats.
+
+    NULL slots store a sentinel zero and their offsets live in ``nulls``;
+    decoding restores exact values (the array is only built for homogeneous
+    int or homogeneous float columns, so no int/float identity is lost).
+    """
+
+    encoding = Encoding.NATIVE
+    __slots__ = ("data", "nulls", "_float_blocks")
+
+    #: block width of the precomputed exact float partial sums
+    SUM_BLOCK = 512
+
+    def __init__(self, data: array, nulls: frozenset):
+        self.data = data
+        self.nulls = nulls
+        # lazily built small materialized aggregates: one exponent->mantissa
+        # dict per SUM_BLOCK values (sealed columns are immutable, so the
+        # partials stay valid); False marks an unsupported column (inf/nan)
+        self._float_blocks = None
+
+    @property
+    def all_ints(self) -> bool:
+        """True when every slot is a non-NULL int — aggregates may fold the
+        whole slice with builtin ``sum`` (exact for ints)."""
+        return self.data.typecode == "q" and not self.nulls
+
+    @property
+    def all_floats(self) -> bool:
+        """True when every slot is a non-NULL float (may include inf/nan)."""
+        return self.data.typecode == "d" and not self.nulls
+
+    def _mantissa_blocks(self):
+        """Per-block exact float partial sums (built once per sealed column).
+
+        Each block is a dict mapping binary exponent to the exact integer
+        sum of the mantissas of its values — the same representation the
+        executor's exact-sum accumulator uses, so folding a whole block is
+        a handful of small-int dict merges instead of per-value work.
+        """
+        blocks = self._float_blocks
+        if blocks is None:
+            data = self.data
+            width = self.SUM_BLOCK
+            blocks = []
+            try:
+                for start in range(0, len(data), width):
+                    local: dict = {}
+                    get = local.get
+                    for numerator, denominator in map(
+                            float.as_integer_ratio, data[start:start + width]):
+                        exponent = 1 - denominator.bit_length()
+                        local[exponent] = get(exponent, 0) + numerator
+                    blocks.append(local)
+            except (OverflowError, ValueError):   # inf/nan: no partials
+                blocks = False
+            self._float_blocks = blocks
+        return blocks
+
+    def fold_range_sum(self, mantissas: dict, start: int, stop: int) -> bool:
+        """Fold the exact sum of ``data[start:stop]`` (floats) into the
+        exponent->mantissa dict ``mantissas``.
+
+        Whole blocks merge from the precomputed partials; only the edge
+        values decompose individually.  Returns False when unsupported
+        (int column, NULLs, or non-finite floats present).
+        """
+        if self.data.typecode != "d" or self.nulls:
+            return False
+        blocks = self._mantissa_blocks()
+        if blocks is False:
+            return False
+        data = self.data
+        width = self.SUM_BLOCK
+        get = mantissas.get
+        first_block = -(-start // width)          # ceil
+        last_block = stop // width                # floor
+        if first_block >= last_block:             # no whole block inside
+            edges = (data[start:stop],)
+        else:
+            for block in blocks[first_block:last_block]:
+                for exponent, mantissa in block.items():
+                    mantissas[exponent] = get(exponent, 0) + mantissa
+            edges = (data[start:first_block * width],
+                     data[last_block * width:stop])
+        for edge in edges:
+            for numerator, denominator in map(float.as_integer_ratio, edge):
+                exponent = 1 - denominator.bit_length()
+                mantissas[exponent] = get(exponent, 0) + numerator
+        return True
+
+    def range_int_sum(self, start: int, stop: int):
+        """Exact builtin sum of ``data[start:stop]`` for int columns
+        (``None`` when unsupported)."""
+        if self.data.typecode != "q" or self.nulls:
+            return None
+        return sum(self.data[start:stop])
+
+    def contiguous_source(self):
+        """The whole column is trivially one dense range (see the lazy
+        gather's method of the same name)."""
+        return self, 0, len(self.data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __getitem__(self, i: int):
+        return None if i in self.nulls else self.data[i]
+
+    def __iter__(self):
+        if not self.nulls:
+            return iter(self.data)
+        return iter(self.decode())
+
+    def decode(self) -> list:
+        # bulk-convert then patch the (usually few) NULL slots: far cheaper
+        # than a per-element membership test
+        out = list(self.data)
+        for i in self.nulls:
+            out[i] = None
+        return out
+
+    def count(self, value) -> int:
+        if value is None:
+            return len(self.nulls)
+        if not self.nulls:
+            return self.data.count(value)
+        nulls = self.nulls
+        return sum(1 for i, v in enumerate(self.data)
+                   if i not in nulls and v == value)
+
+    def gather(self, selection: list) -> list:
+        data = self.data
+        if not self.nulls:
+            return [data[i] for i in selection]
+        nulls = self.nulls
+        return [None if i in nulls else data[i] for i in selection]
+
+    def _select(self, test) -> tuple[list, int]:
+        if not self.nulls:
+            return [i for i, v in enumerate(self.data) if test(v)], 0
+        nulls = self.nulls
+        return [i for i, v in enumerate(self.data)
+                if i not in nulls and test(v)], 0
+
+    def select_eq(self, value) -> tuple[list, int]:
+        return self._select(lambda v: v == value)
+
+    def select_in(self, values) -> tuple[list, int]:
+        wanted = set(values)
+        return self._select(lambda v: v in wanted)
+
+    def select_where(self, test) -> tuple[list, int]:
+        return self._select(test)
+
+
+def _encoded_bytes(column) -> int:
+    """Approximate footprint of one encoded column."""
+    if isinstance(column, DictColumn):
+        return (64 + column.codes.itemsize * len(column.codes)
+                + _plain_bytes(column.values))
+    if isinstance(column, RLEColumn):
+        return (64 + 2 * column.run_lengths.itemsize * len(column.run_lengths)
+                + _plain_bytes(column.run_values))
+    if isinstance(column, NativeColumn):
+        return (64 + column.data.itemsize * len(column.data)
+                + 8 * len(column.nulls))
+    return _plain_bytes(column)
+
+
+def _encode_column(values: list):
+    """Pick and build the cheapest safe encoding for a sealed column slice.
+
+    Returns the original list when no encoding applies (``PLAIN``).  The
+    choice is conservative: NATIVE requires a *homogeneous* int or float
+    column (so decoding cannot change a value's type), DICT requires
+    hashable low-cardinality strings, and RLE requires genuinely long runs
+    (value equality across a run is exact, so round-tripping is lossless).
+    """
+    n = len(values)
+    if n == 0:
+        return values
+    runs = 1
+    previous = values[0]
+    all_int = True
+    all_float = True
+    all_str = True
+    nulls = 0
+    try:
+        for value in values:
+            if value is not previous and value != previous:
+                runs += 1
+            previous = value
+            if value is None:
+                nulls += 1
+                continue
+            if all_int and not (type(value) is int
+                                and _INT64_MIN <= value <= _INT64_MAX):
+                all_int = False
+            if all_float and type(value) is not float:
+                all_float = False
+            if all_str and type(value) is not str:
+                all_str = False
+    except TypeError:
+        # a value that cannot even be compared for equality (exotic type
+        # clash): keep the object list untouched
+        return values
+    if nulls:
+        all_int = all_int and nulls < n
+        all_float = all_float and nulls < n
+    if nulls == n:
+        all_int = all_float = all_str = False
+
+    def build_rle():
+        run_values: list = []
+        run_lengths = array("q")
+        previous_value = values[0]
+        count = 0
+        for value in values:
+            if count and (value is previous_value
+                          or (value == previous_value
+                              and type(value) is type(previous_value))):
+                count += 1
+                continue
+            if count:
+                run_values.append(previous_value)
+                run_lengths.append(count)
+            previous_value = value
+            count = 1
+        run_values.append(previous_value)
+        run_lengths.append(count)
+        return RLEColumn(run_values, run_lengths)
+
+    if n // runs >= RLE_MIN_AVG_RUN:
+        return build_rle()
+    if all_int or all_float:
+        data = array("q" if all_int else "d",
+                     [0 if v is None else v for v in values])
+        null_set = (frozenset(i for i, v in enumerate(values) if v is None)
+                    if nulls else frozenset())
+        return NativeColumn(data, null_set)
+    if all_str:
+        code_of: dict = {}
+        codes = array("i")
+        dictionary: list = []
+        for value in values:
+            if value is None:
+                codes.append(-1)
+                continue
+            code = code_of.get(value)
+            if code is None:
+                code = code_of[value] = len(dictionary)
+                dictionary.append(value)
+                if len(dictionary) > DICT_MAX_CARDINALITY:
+                    break
+            codes.append(code)
+        else:
+            return DictColumn(codes, dictionary, code_of)
+    if n // runs >= RLE_FALLBACK_AVG_RUN:
+        return build_rle()
+    return values
+
 
 class Segment:
-    """One fixed-capacity block of column arrays with zone maps."""
+    """One fixed-capacity block of column arrays with zone maps.
+
+    Open segments hold plain lists and receive WAL applies; a segment that
+    fills up is *sealed* (each column encoded).  In-place overwrites demote
+    a sealed segment back to plain lists and mark it dirty for re-encoding
+    at the next compaction.
+    """
 
     __slots__ = ("capacity", "columns", "live", "size", "live_count",
-                 "mins", "maxs", "zone_valid")
+                 "mins", "maxs", "zone_valid", "encoded", "dirty",
+                 "plain_bytes", "encoded_bytes")
 
     def __init__(self, n_columns: int, capacity: int = SEGMENT_ROWS):
         self.capacity = capacity
-        self.columns: list[list] = [[] for _ in range(n_columns)]
+        self.columns: list = [[] for _ in range(n_columns)]
         self.live: list[bool] = []
         self.size = 0          # rows ever appended (== len(self.live))
         self.live_count = 0
@@ -53,26 +545,45 @@ class Segment:
         self.mins: list = [None] * n_columns
         self.maxs: list = [None] * n_columns
         self.zone_valid = [True] * n_columns  # False after a type clash
+        self.encoded = False
+        self.dirty = False          # demoted since the last seal
+        self.plain_bytes = 0
+        self.encoded_bytes = 0
 
     @property
     def full(self) -> bool:
         return self.size >= self.capacity
 
-    def _observe(self, values: tuple):
-        """Widen the zone maps to cover ``values``."""
-        for pos, value in enumerate(values):
-            if value is None or not self.zone_valid[pos]:
+    def encodings(self) -> list[str]:
+        return [getattr(col, "encoding", Encoding.PLAIN)
+                for col in self.columns]
+
+    def observe_batch(self, rows: list[tuple]):
+        """Widen the zone maps to cover a whole applied-WAL chunk at once.
+
+        One min()/max() per column per chunk replaces the per-row per-column
+        comparison loop of the old ``_observe`` — the replica apply path
+        batches all widening behind the chunk.
+        """
+        for pos in range(len(self.columns)):
+            if not self.zone_valid[pos]:
                 continue
-            lo = self.mins[pos]
             try:
-                if lo is None:
-                    self.mins[pos] = value
-                    self.maxs[pos] = value
+                values = [v for row in rows
+                          if (v := row[pos]) is not None]
+                if not values:
+                    continue
+                low = min(values)
+                high = max(values)
+                current = self.mins[pos]
+                if current is None:
+                    self.mins[pos] = low
+                    self.maxs[pos] = high
                 else:
-                    if value < lo:
-                        self.mins[pos] = value
-                    if value > self.maxs[pos]:
-                        self.maxs[pos] = value
+                    if low < current:
+                        self.mins[pos] = low
+                    if high > self.maxs[pos]:
+                        self.maxs[pos] = high
             except TypeError:
                 # mixed uncomparable types: disable pruning on this column
                 self.zone_valid[pos] = False
@@ -80,21 +591,52 @@ class Segment:
                 self.maxs[pos] = None
 
     def append(self, values: tuple) -> int:
-        """Append a live row; returns its offset within the segment."""
+        """Append a live row; returns its offset within the segment.
+
+        Zone maps are *not* widened here — the owning table batches
+        ``observe_batch`` per applied WAL chunk.
+        """
         offset = self.size
         for col, value in zip(self.columns, values):
             col.append(value)
         self.live.append(True)
         self.size += 1
         self.live_count += 1
-        self._observe(values)
         return offset
 
     def write(self, offset: int, values: tuple):
-        """Overwrite a slot in place (replicated UPDATE / reinsert)."""
+        """Overwrite a slot in place (replicated UPDATE / reinsert).
+
+        Encoded columns are immutable: the first overwrite demotes the
+        segment back to plain lists (re-encoded at the next compaction).
+        """
+        if self.encoded:
+            self.demote()
         for col, value in zip(self.columns, values):
             col[offset] = value
-        self._observe(values)
+
+    def demote(self):
+        """Decode every encoded column back to a plain list."""
+        for pos, col in enumerate(self.columns):
+            if not isinstance(col, list):
+                self.columns[pos] = col.decode()
+        self.encoded = False
+        self.dirty = True
+
+    def seal(self):
+        """Encode every column (called when the segment fills / compacts)."""
+        plain_total = 0
+        encoded_total = 0
+        for pos, col in enumerate(self.columns):
+            values = col if isinstance(col, list) else col.decode()
+            encoded = _encode_column(values)
+            self.columns[pos] = encoded
+            plain_total += _plain_bytes(values)
+            encoded_total += _encoded_bytes(encoded)
+        self.plain_bytes = plain_total
+        self.encoded_bytes = encoded_total
+        self.encoded = True
+        self.dirty = False
 
     def kill(self, offset: int):
         self.live[offset] = False
@@ -135,14 +677,20 @@ class Segment:
 class ColumnarTable:
     """Column-major storage for one table, in fixed-size segments."""
 
-    def __init__(self, table: Table, segment_rows: int = SEGMENT_ROWS):
+    def __init__(self, table: Table, segment_rows: int = SEGMENT_ROWS,
+                 encode: bool = True):
         if segment_rows <= 0:
             raise ValueError("segment_rows must be positive")
         self.table = table
         self.segment_rows = segment_rows
+        self.encode = encode
         self._segments: list[Segment] = []
         self._pk_to_slot: dict[tuple, int] = {}
         self.row_count = 0
+        # zone-map widening deferred until the end of the apply chunk:
+        # (segment, values) pairs grouped and flushed by flush_zone_maps()
+        self._zone_pending: list[tuple[Segment, tuple]] = []
+        self.encode_events = 0      # seals + compaction re-encodes
 
     # -- write path (WAL application) ----------------------------------
 
@@ -168,17 +716,77 @@ class ColumnarTable:
             self._pk_to_slot[pk] = \
                 (len(self._segments) - 1) * self.segment_rows + offset
             self.row_count += 1
+            if segment.full and self.encode:
+                self.flush_zone_maps()
+                segment.seal()
+                self.encode_events += 1
         else:
             segment, offset = self._locate(slot)
             if not segment.live[offset]:
                 segment.revive(offset)
                 self.row_count += 1
             segment.write(offset, values)
+        self._zone_pending.append((segment, values))
+
+    def flush_zone_maps(self):
+        """Batch-widen zone maps for everything applied since the last
+        flush (one ``observe_batch`` per touched segment)."""
+        pending = self._zone_pending
+        if not pending:
+            return
+        self._zone_pending = []
+        by_segment: dict[int, tuple[Segment, list]] = {}
+        for segment, values in pending:
+            entry = by_segment.get(id(segment))
+            if entry is None:
+                by_segment[id(segment)] = (segment, [values])
+            else:
+                entry[1].append(values)
+        for segment, rows in by_segment.values():
+            segment.observe_batch(rows)
+
+    def compact(self) -> int:
+        """Re-encode demoted (dirty) sealed-size segments; returns count."""
+        if not self.encode:
+            return 0
+        self.flush_zone_maps()
+        compacted = 0
+        for segment in self._segments:
+            if segment.dirty and segment.full:
+                segment.seal()
+                self.encode_events += 1
+                compacted += 1
+        return compacted
+
+    # -- encoding statistics -------------------------------------------
+
+    def encoding_stats(self) -> dict:
+        """Segment/byte accounting of the encoding layer."""
+        self.flush_zone_maps()
+        stats = {
+            "segments_total": len(self._segments),
+            "segments_encoded": 0,
+            "bytes_plain": 0,
+            "bytes_encoded": 0,
+            "encodings": {Encoding.PLAIN: 0, Encoding.DICT: 0,
+                          Encoding.RLE: 0, Encoding.NATIVE: 0},
+        }
+        for segment in self._segments:
+            if not segment.encoded:
+                continue
+            stats["segments_encoded"] += 1
+            stats["bytes_plain"] += segment.plain_bytes
+            stats["bytes_encoded"] += segment.encoded_bytes
+            for encoding in segment.encodings():
+                stats["encodings"][encoding] += 1
+        stats["bytes_saved"] = stats["bytes_plain"] - stats["bytes_encoded"]
+        return stats
 
     # -- read path ------------------------------------------------------
 
     def scan(self) -> Iterator[tuple[tuple, tuple]]:
         """Yield ``(pk, values)`` for live rows as of the applied watermark."""
+        self.flush_zone_maps()
         segments = self._segments
         width = self.segment_rows
         for pk, slot in self._pk_to_slot.items():
@@ -189,6 +797,7 @@ class ColumnarTable:
 
     def column_values(self, column: str) -> list:
         """Materialise one live column (used by columnar aggregate fast paths)."""
+        self.flush_zone_maps()
         pos = self.table.position(column)
         segments = self._segments
         width = self.segment_rows
@@ -199,6 +808,7 @@ class ColumnarTable:
         ]
 
     def segments(self) -> list[Segment]:
+        self.flush_zone_maps()
         return list(self._segments)
 
     def segment_count(self) -> int:
@@ -209,8 +819,10 @@ class ColumnarTable:
         """Live column-slices of one segment as a ``Batch``.
 
         Batches reference (or copy live subsets of) the underlying arrays;
-        they are only guaranteed stable until the next ``apply``.
+        they are only guaranteed stable until the next ``apply``.  Columns
+        of sealed segments come back as encoded views (sequence-compatible).
         """
+        self.flush_zone_maps()
         if positions is None:
             columns = segment.columns
         else:
@@ -219,7 +831,9 @@ class ColumnarTable:
             return Batch(list(columns), segment.size)
         live = segment.live
         keep = [i for i in range(segment.size) if live[i]]
-        return Batch([[col[i] for i in keep] for col in columns], len(keep))
+        return Batch([col.gather(keep) if hasattr(col, "gather")
+                      else [col[i] for i in keep] for col in columns],
+                     len(keep))
 
     def scan_batches(self, columns: list[str] | None = None,
                      skip_segment=None) -> Iterator[Batch]:
@@ -230,6 +844,7 @@ class ColumnarTable:
         ``(Segment) -> bool``; segments for which it returns True are
         skipped — the hook zone-map pruning plugs into.
         """
+        self.flush_zone_maps()
         positions = None
         if columns is not None:
             positions = [self.table.position(c) for c in columns]
@@ -239,6 +854,17 @@ class ColumnarTable:
             if skip_segment is not None and skip_segment(segment):
                 continue
             yield self.segment_batch(segment, positions)
+
+    def scan_segments(self, skip_segment=None) -> Iterator[Segment]:
+        """Yield non-empty segments (zone maps flushed), applying
+        ``skip_segment`` pruning — the encoded-execution scan entry point."""
+        self.flush_zone_maps()
+        for segment in self._segments:
+            if segment.live_count == 0:
+                continue
+            if skip_segment is not None and skip_segment(segment):
+                continue
+            yield segment
 
 
 class PartitionedColumnarView:
@@ -273,10 +899,29 @@ class PartitionedColumnarView:
     def segment_count(self) -> int:
         return sum(p.segment_count() for p in self.parts)
 
+    def encoding_stats(self) -> dict:
+        return _merge_encoding_stats(p.encoding_stats() for p in self.parts)
+
     def scan_batches(self, columns: list[str] | None = None,
                      skip_segment=None) -> Iterator[Batch]:
         for part in self.parts:
             yield from part.scan_batches(columns, skip_segment)
+
+
+def _merge_encoding_stats(stats_iter) -> dict:
+    merged = {
+        "segments_total": 0, "segments_encoded": 0,
+        "bytes_plain": 0, "bytes_encoded": 0, "bytes_saved": 0,
+        "encodings": {Encoding.PLAIN: 0, Encoding.DICT: 0,
+                      Encoding.RLE: 0, Encoding.NATIVE: 0},
+    }
+    for stats in stats_iter:
+        for key in ("segments_total", "segments_encoded",
+                    "bytes_plain", "bytes_encoded", "bytes_saved"):
+            merged[key] += stats[key]
+        for encoding, count in stats["encodings"].items():
+            merged["encodings"][encoding] += count
+    return merged
 
 
 class ColumnarReplica:
@@ -287,18 +932,26 @@ class ColumnarReplica:
     exactly how TiFlash tracks progress per region.  ``apply_from_partitions``
     merges the streams by global ``seq``, which reproduces the single-stream
     apply order bit-for-bit regardless of the partition count.
+
+    ``encode=False`` forces every segment to stay PLAIN — the parity
+    baseline the encoding tests and benchmarks compare against.
     """
 
     def __init__(self, segment_rows: int = SEGMENT_ROWS,
-                 partition_map: PartitionMap | None = None):
+                 partition_map: PartitionMap | None = None,
+                 encode: bool = True):
         if segment_rows <= 0:
             raise ValueError("segment_rows must be positive")
         self.pmap = partition_map or PartitionMap(1)
         # table -> one ColumnarTable per partition
         self._tables: dict[str, list[ColumnarTable]] = {}
         self.segment_rows = segment_rows
+        self.encode = encode
         self.applied_lsns = [0] * self.pmap.partitions
         self.applied_ts = 0
+        # scan_cost_factor cache, invalidated whenever a seal/compact
+        # changes the encoded byte accounting (keyed on total encode events)
+        self._scan_factor_cache: tuple[int, float] = (-1, 1.0)
 
     @property
     def partitions(self) -> int:
@@ -319,7 +972,7 @@ class ColumnarReplica:
         if key in self._tables:
             raise CatalogError(f"columnar table {table.name!r} already exists")
         self._tables[key] = [
-            ColumnarTable(table, self.segment_rows)
+            ColumnarTable(table, self.segment_rows, encode=self.encode)
             for _ in self.pmap.all_partitions()
         ]
 
@@ -346,11 +999,54 @@ class ColumnarReplica:
         self.applied_lsns[pid] = record.lsn + 1
         self.applied_ts = record.commit_ts
 
+    def _flush_zone_maps(self):
+        """End-of-chunk zone-map widening across every touched table."""
+        for parts in self._tables.values():
+            for part in parts:
+                part.flush_zone_maps()
+
+    def compact(self) -> int:
+        """Re-encode segments demoted by in-place overwrites."""
+        return sum(part.compact()
+                   for parts in self._tables.values() for part in parts)
+
+    def encoding_stats(self) -> dict:
+        """Aggregate encoding accounting across tables and partitions."""
+        merged = _merge_encoding_stats(
+            part.encoding_stats()
+            for parts in self._tables.values() for part in parts)
+        plain = merged["bytes_plain"]
+        merged["compression_ratio"] = (
+            plain / merged["bytes_encoded"] if merged["bytes_encoded"] else 1.0)
+        return merged
+
+    def scan_cost_factor(self) -> float:
+        """Per-row columnar scan cost multiplier for the simulator.
+
+        The measured encoded/plain byte ratio of sealed segments (<= 1.0):
+        an engine scanning dictionary codes and typed arrays moves that much
+        less data per row.  1.0 while nothing is sealed or encoding is off.
+        """
+        events = sum(part.encode_events
+                     for parts in self._tables.values() for part in parts)
+        cached_events, cached_factor = self._scan_factor_cache
+        if cached_events == events:
+            return cached_factor
+        stats = self.encoding_stats()
+        if not stats["bytes_plain"] or not stats["bytes_encoded"]:
+            factor = 1.0
+        else:
+            factor = max(0.05, min(1.0, stats["bytes_encoded"]
+                                   / stats["bytes_plain"]))
+        self._scan_factor_cache = (events, factor)
+        return factor
+
     def apply_from(self, wal: WriteAheadLog, limit: int | None = None) -> int:
         """Apply pending records from the single stream (unpartitioned)."""
         records = wal.read_from(self.applied_lsn, limit)
         for record in records:
             self._apply_record(0, record)
+        self._flush_zone_maps()
         return len(records)
 
     def apply_from_partitions(self, wals: list[WriteAheadLog],
@@ -384,6 +1080,7 @@ class ColumnarReplica:
             cursor += 1
             if cursor < len(records):
                 heapq.heappush(heap, (records[cursor].seq, pid, cursor))
+        self._flush_zone_maps()
         return applied
 
     def lag(self, wal: WriteAheadLog) -> int:

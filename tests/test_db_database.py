@@ -183,3 +183,47 @@ class TestBulkLoadAndReplication:
         db.execute_ddl("CREATE TABLE u (b INT PRIMARY KEY)")
         p2 = db.prepare("SELECT a FROM t WHERE a = ?")
         assert p1 is not p2
+
+
+class TestPlanCacheLRU:
+    def test_capacity_bound_evicts_lru(self):
+        db = Database(plan_cache_size=4)
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY)")
+        statements = [f"SELECT a FROM t WHERE a = {i}" for i in range(6)]
+        plans = [db.prepare(sql) for sql in statements]
+        # cache holds the last 4 only
+        assert len(db._plan_cache) == 4
+        assert statements[0] not in db._plan_cache
+        assert statements[1] not in db._plan_cache
+        # re-preparing an evicted statement is a miss (new plan object)
+        assert db.prepare(statements[0]) is not plans[0]
+        # a cached statement is a hit (same plan object)
+        assert db.prepare(statements[5]) is plans[5]
+
+    def test_hit_refreshes_recency(self):
+        db = Database(plan_cache_size=2)
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY)")
+        first = db.prepare("SELECT a FROM t WHERE a = 1")
+        db.prepare("SELECT a FROM t WHERE a = 2")
+        # touch the first again, then insert a third: the second evicts
+        assert db.prepare("SELECT a FROM t WHERE a = 1") is first
+        db.prepare("SELECT a FROM t WHERE a = 3")
+        assert db.prepare("SELECT a FROM t WHERE a = 1") is first
+        assert "SELECT a FROM t WHERE a = 2" not in db._plan_cache
+
+    def test_hit_miss_counters_database_and_stats(self):
+        db = Database()
+        db.execute_ddl("CREATE TABLE t (a INT PRIMARY KEY)")
+        with db.connect() as conn:
+            miss = conn.execute("SELECT COUNT(*) FROM t")
+            hit = conn.execute("SELECT COUNT(*) FROM t")
+        assert miss.stats.plan_cache_misses == 1
+        assert miss.stats.plan_cache_hits == 0
+        assert hit.stats.plan_cache_hits == 1
+        assert hit.stats.plan_cache_misses == 0
+        assert db.plan_cache_misses >= 1
+        assert db.plan_cache_hits >= 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Database(plan_cache_size=0)

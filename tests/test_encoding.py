@@ -1,0 +1,497 @@
+"""Encoding-aware columnar segments: round-trips, code-space predicates,
+analytical parity vs the PLAIN-forced engine, and the encoding/plan-cache
+stat counters."""
+
+import math
+from array import array
+from random import Random
+
+import pytest
+
+from repro.db import Database
+from repro.storage.columnstore import (
+    DictColumn,
+    Encoding,
+    NativeColumn,
+    RLEColumn,
+    _encode_column,
+)
+from repro.workloads import make_workload
+
+
+# ---------------------------------------------------------------------------
+# per-encoding round trips (unit level)
+# ---------------------------------------------------------------------------
+
+class TestEncodeColumn:
+    def test_low_cardinality_strings_dict(self):
+        values = (["GC", "BC", "GC", None] * 64)[:200]
+        column = _encode_column(values)
+        assert isinstance(column, DictColumn)
+        assert column.decode() == values
+        assert list(column) == values
+        assert column[1] == "BC" and column[3] is None
+        assert len(column) == len(values)
+        assert column.count(None) == values.count(None)
+        assert column.count("GC") == values.count("GC")
+
+    def test_long_runs_rle(self):
+        values = [1] * 100 + [2] * 100 + [None] * 50 + [3] * 100
+        column = _encode_column(values)
+        assert isinstance(column, RLEColumn)
+        assert column.decode() == values
+        assert column[0] == 1 and column[225] is None and column[349] == 3
+        assert column.count(None) == 50
+        assert column.count(2) == 100
+        assert list(column.iter_runs()) == [(1, 100), (2, 100),
+                                            (None, 50), (3, 100)]
+
+    def test_rle_does_not_merge_equal_values_of_different_types(self):
+        values = [1] * 40 + [1.0] * 40
+        column = _encode_column(values)
+        if isinstance(column, RLEColumn):
+            decoded = column.decode()
+            assert [type(v) for v in decoded] == [type(v) for v in values]
+
+    def test_homogeneous_ints_native(self):
+        values = [((i * 37) % 1000) - 500 for i in range(300)]
+        column = _encode_column(values)
+        assert isinstance(column, NativeColumn)
+        assert column.data.typecode == "q"
+        assert column.decode() == values
+        assert column.all_ints and not column.all_floats
+
+    def test_homogeneous_floats_with_nulls_native(self):
+        values = [float(i) * 0.5 if i % 7 else None for i in range(300)]
+        column = _encode_column(values)
+        assert isinstance(column, NativeColumn)
+        assert column.data.typecode == "d"
+        assert column.decode() == values
+        assert column.count(None) == values.count(None)
+        assert not column.all_ints and not column.all_floats  # has NULLs
+
+    def test_mixed_int_float_falls_back_to_plain(self):
+        # NATIVE would coerce 1 -> 1.0 and change decoded value types
+        values = [1, 2.0] * 100
+        column = _encode_column(values)
+        assert isinstance(column, list)
+
+    def test_high_cardinality_strings_plain(self):
+        values = [f"payload-{i}" for i in range(400)]
+        column = _encode_column(values)
+        assert isinstance(column, list)
+
+    def test_huge_ints_fall_back(self):
+        values = [1 << 70, 2, 3] * 50
+        column = _encode_column(values)
+        assert not isinstance(column, NativeColumn)
+        decoded = column if isinstance(column, list) else column.decode()
+        assert decoded == values
+
+    def test_type_clash_uncomparable_plain(self):
+        values = ([1, "x", 3.5, None] * 30)[:100]
+        column = _encode_column(values)
+        assert isinstance(column, list)
+        assert column == values
+
+    def test_all_null_column_stays_plain_or_rle(self):
+        values = [None] * 128
+        column = _encode_column(values)
+        decoded = column if isinstance(column, list) else column.decode()
+        assert decoded == values
+
+    def test_gather_matches_indexing(self):
+        for values in (
+            ["a", "b", "a", None] * 50,
+            [5] * 90 + [7] * 110,
+            [float(i) for i in range(200)],
+        ):
+            column = _encode_column(values)
+            selection = [0, 3, 50, 120, 199]
+            if isinstance(column, list):
+                continue
+            assert column.gather(selection) == [values[i] for i in selection]
+
+
+class TestCodeSpaceSelection:
+    def test_dict_eq_absent_literal(self):
+        column = _encode_column((["a", "b"] * 100))
+        assert isinstance(column, DictColumn)
+        selection, _ = column.select_eq("zzz")
+        assert selection == []
+        assert column.code_for("zzz") is None
+        assert column.code_for("a") is not None
+
+    def test_dict_in_partial_hits(self):
+        column = _encode_column((["a", "b", "c", "a"] * 64)[:200])
+        assert isinstance(column, DictColumn)
+        selection, _ = column.select_in(["b", "nope"])
+        assert selection == [i for i in range(200)
+                            if (["a", "b", "c", "a"] * 64)[i] == "b"]
+
+    def test_rle_eq_skips_runs(self):
+        column = _encode_column([1] * 100 + [2] * 100 + [3] * 100)
+        assert isinstance(column, RLEColumn)
+        selection, skipped = column.select_eq(2)
+        assert selection == list(range(100, 200))
+        assert skipped == 2
+
+    def test_rle_range_straddles_runs(self):
+        values = [1] * 50 + [2] * 50 + [3] * 50 + [4] * 50
+        column = _encode_column(values)
+        assert isinstance(column, RLEColumn)
+        selection, skipped = column.select_where(
+            lambda v: v is not None and 2 <= v <= 3)
+        assert selection == list(range(50, 150))
+        assert skipped == 2
+
+    def test_native_range_skips_nulls(self):
+        values = [float(i) if i % 2 else None for i in range(100)]
+        column = _encode_column(values)
+        assert isinstance(column, NativeColumn)
+        selection, _ = column.select_where(
+            lambda v: v is not None and v >= 90.0)
+        assert selection == [91, 93, 95, 97, 99]
+
+    def test_native_block_partial_sums_exact(self):
+        rng = Random(5)
+        values = [rng.uniform(-1e6, 1e6) for i in range(2000)]
+        column = _encode_column(values)
+        assert isinstance(column, NativeColumn)
+        for start, stop in ((0, 2000), (3, 1999), (511, 513), (512, 1024),
+                            (700, 701)):
+            mantissas: dict = {}
+            assert column.fold_range_sum(mantissas, start, stop)
+            total = sum(m << (1074 + e) for e, m in mantissas.items())
+            expected = 0
+            for v in values[start:stop]:
+                num, den = v.as_integer_ratio()
+                expected += num * ((1 << 1074) // den)
+            assert total == expected
+
+    def test_native_block_partials_refuse_non_finite(self):
+        column = _encode_column([1.0, float("inf"), 2.0] * 50)
+        assert isinstance(column, NativeColumn)
+        assert not column.fold_range_sum({}, 0, 10)
+
+
+# ---------------------------------------------------------------------------
+# engine level: encoded vs PLAIN-forced parity
+# ---------------------------------------------------------------------------
+
+def _fill_encoded(db, n=512):
+    with db.connect() as conn:
+        for i in range(n):
+            conn.execute(
+                "INSERT INTO e (id, grp, tag, v, q) VALUES (?, ?, ?, ?, ?)",
+                (i, i // 64, f"t{i % 3}", float(i % 10) * 1.5,
+                 None if i % 11 == 0 else i % 100))
+        conn.commit()
+    db.replicate()
+
+
+def _make_encoded_db(segment_rows=64, encoding=True, partitions=1):
+    db = Database(with_columnar=True, columnar_segment_rows=segment_rows,
+                  columnar_encoding=encoding, partitions=partitions)
+    db.execute_ddl(
+        "CREATE TABLE e (id INT PRIMARY KEY, grp INT, tag VARCHAR(8), "
+        "v DOUBLE, q INT)")
+    return db
+
+
+def _routed(db, sql, params=()):
+    with db.connect() as conn:
+        result = conn.execute(sql, params, route_columnar=True)
+        conn.commit()
+    return result
+
+
+QUERIES = [
+    ("SELECT COUNT(*), SUM(v), AVG(q) FROM e WHERE grp = 3", ()),
+    ("SELECT COUNT(*) FROM e WHERE tag = 't1'", ()),
+    ("SELECT COUNT(*) FROM e WHERE tag = 'absent'", ()),
+    ("SELECT COUNT(*), MIN(v), MAX(v) FROM e WHERE id BETWEEN ? AND ?",
+     (100, 300)),
+    ("SELECT COUNT(*), SUM(q) FROM e WHERE grp IN (1, 3, 9)", ()),
+    ("SELECT grp, COUNT(*), SUM(v) FROM e GROUP BY grp ORDER BY grp", ()),
+    ("SELECT COUNT(*) FROM e WHERE q IS NULL", ()),
+    ("SELECT id FROM e WHERE v > 12.0 ORDER BY id LIMIT 7", ()),
+]
+
+
+class TestEncodedEngineParity:
+    def test_queries_identical_to_plain_forced_engine(self):
+        enc = _make_encoded_db(encoding=True)
+        plain = _make_encoded_db(encoding=False)
+        _fill_encoded(enc)
+        _fill_encoded(plain)
+        for sql, params in QUERIES:
+            a = _routed(enc, sql, params)
+            b = _routed(plain, sql, params)
+            assert a.rows == b.rows, sql
+            assert a.columns == b.columns, sql
+
+    def test_eq_on_dict_column_counts_and_prunes(self):
+        enc = _make_encoded_db(encoding=True)
+        _fill_encoded(enc)
+        hit = _routed(enc, "SELECT COUNT(*) FROM e WHERE tag = 't1'")
+        assert hit.stats.segments_encoded > 0
+        miss = _routed(enc, "SELECT COUNT(*) FROM e WHERE tag = 'absent'")
+        assert miss.rows == [(0,)]
+        # a literal absent from every segment dictionary prunes everything
+        assert miss.stats.segments_pruned >= miss.stats.segments_encoded
+        assert miss.stats.batches_scanned == 0
+
+    def test_rle_run_skipping_counted(self):
+        # two 32-row runs *within* every 64-row segment (>= RLE_MIN_AVG_RUN
+        # so the column run-length encodes), so zone maps cannot prune and
+        # the RLE selection must skip whole runs
+        enc = _make_encoded_db(encoding=True)
+        with enc.connect() as conn:
+            for i in range(512):
+                conn.execute(
+                    "INSERT INTO e (id, grp, tag, v, q) "
+                    "VALUES (?, ?, 'r', 1.0, 1)", (i, (i % 64) // 32))
+            conn.commit()
+        enc.replicate()
+        result = _routed(enc, "SELECT COUNT(*) FROM e WHERE grp = 1")
+        assert result.rows == [(256,)]
+        assert result.stats.runs_skipped > 0
+        assert result.stats.segments_encoded > 0
+        assert result.stats.segments_pruned == 0
+
+    def test_in_pushdown_with_params(self):
+        enc = _make_encoded_db(encoding=True)
+        plain = _make_encoded_db(encoding=False)
+        _fill_encoded(enc)
+        _fill_encoded(plain)
+        sql = "SELECT COUNT(*) FROM e WHERE grp IN (?, ?)"
+        for params in ((1, 5), (None, 2), (None, None), (99, 98)):
+            assert _routed(enc, sql, params).rows == \
+                _routed(plain, sql, params).rows, params
+
+    def test_update_demotes_then_compact_reencodes(self):
+        enc = _make_encoded_db(encoding=True)
+        _fill_encoded(enc)
+        table = enc.columnar.table("e")
+        sealed = [s for s in table.segments() if s.encoded]
+        assert sealed, "no segment sealed"
+        with enc.connect() as conn:
+            conn.execute("UPDATE e SET v = 999.0 WHERE id = 3")
+            conn.commit()
+        # replicate applies the overwrite (demote) and then compacts
+        enc.replicate()
+        target = table.segments()[0]
+        assert target.encoded and not target.dirty
+        assert _routed(enc, "SELECT v FROM e WHERE id = 3").rows == [(999.0,)]
+        result = _routed(enc, "SELECT COUNT(*) FROM e WHERE v = 999.0")
+        assert result.rows == [(1,)]
+
+    def test_lazy_decode_counters(self):
+        enc = _make_encoded_db(encoding=True)
+        _fill_encoded(enc)
+        result = _routed(enc, "SELECT SUM(q) FROM e WHERE grp = 2")
+        # the filter column (grp) itself is never materialised; q is folded
+        # either via decode or via typed-slice fast paths
+        assert result.stats.segments_encoded > 0
+        assert result.stats.columns_decoded <= result.stats.batches_scanned
+
+    def test_encoding_stats_accounting(self):
+        enc = _make_encoded_db(encoding=True)
+        _fill_encoded(enc)
+        stats = enc.columnar.encoding_stats()
+        assert stats["segments_encoded"] > 0
+        assert stats["bytes_saved"] > 0
+        assert stats["compression_ratio"] > 1.0
+        assert sum(stats["encodings"].values()) == \
+            stats["segments_encoded"] * 5  # five columns per segment
+        assert 0.0 < enc.columnar.scan_cost_factor() < 1.0
+
+    def test_plain_forced_engine_never_encodes(self):
+        plain = _make_encoded_db(encoding=False)
+        _fill_encoded(plain)
+        stats = plain.columnar.encoding_stats()
+        assert stats["segments_encoded"] == 0
+        assert plain.columnar.scan_cost_factor() == 1.0
+        result = _routed(plain, "SELECT COUNT(*) FROM e WHERE grp = 3")
+        assert result.stats.segments_encoded == 0
+        assert result.stats.runs_skipped == 0
+
+
+class TestZoneMapBatching:
+    def test_pruning_correct_after_chunked_apply(self):
+        """Zone maps widened per applied-WAL chunk must prune exactly like
+        per-row widening did."""
+        db = _make_encoded_db(segment_rows=32)
+        with db.connect() as conn:
+            for i in range(128):
+                conn.execute(
+                    "INSERT INTO e (id, grp, tag, v, q) "
+                    "VALUES (?, ?, 'z', ?, ?)", (i, i // 16, float(i), i))
+            conn.commit()
+        # replicate in awkward chunk sizes: widening happens per chunk
+        while db.replication_lag() > 0:
+            db.replicate(limit=7)
+        result = _routed(db, "SELECT COUNT(*) FROM e WHERE id BETWEEN 40 AND 50")
+        assert result.rows == [(11,)]
+        assert result.stats.segments_pruned >= 1
+        # a value outside every zone map prunes all segments
+        nothing = _routed(db, "SELECT COUNT(*) FROM e WHERE id = 100000")
+        assert nothing.rows == [(0,)]
+        assert nothing.stats.batches_scanned == 0
+
+    def test_mutation_visibility_with_deferred_widening(self):
+        db = _make_encoded_db(segment_rows=16)
+        _fill_encoded(db, 48)
+        with db.connect() as conn:
+            conn.execute("UPDATE e SET v = ? WHERE id = 2", (5555.5,))
+            conn.commit()
+        db.replicate()
+        found = _routed(db, "SELECT id FROM e WHERE v > 5000 ORDER BY id")
+        assert found.rows == [(2,)]
+
+
+# ---------------------------------------------------------------------------
+# workload-level parity: encoded vs PLAIN across partitions and lag
+# ---------------------------------------------------------------------------
+
+def _build_workload_db(name, scale, seed, encoding, partitions):
+    # 64-row segments so sealing (and therefore encoding) engages even on
+    # the per-partition shards of the smallest 0.05-scale tables
+    db = Database(with_columnar=True, columnar_segment_rows=64,
+                  columnar_encoding=encoding, partitions=partitions)
+    workload = make_workload(name)
+    workload.install(db, Random(seed), scale, with_foreign_keys=False)
+    return db, workload
+
+
+def _mutate(db, workload, seed, rounds=2):
+    """Apply a deterministic stream of OLTP transactions (same seed =>
+    identical WAL streams on every engine)."""
+    from repro.core.session import run_transaction
+
+    rng = Random(seed)
+    with db.connect() as conn:
+        for _ in range(rounds):
+            for profile in workload.oltp_transactions():
+                run_transaction(conn, "oltp", profile.name, profile.program,
+                                rng)
+
+
+def _run_analytical(db, workload, seed):
+    outputs = []
+    for profile in workload.analytical_queries():
+        rng = Random(f"{profile.name}:{seed}")
+        with db.connect() as conn:
+            class _S:
+                def execute(self, sql, params=()):
+                    result = conn.execute(sql, params, route_columnar=True)
+                    outputs.append((profile.name, result.columns,
+                                    result.rows))
+                    return result
+
+                def query_scalar(self, sql, params=()):
+                    return self.execute(sql, params).scalar()
+            profile.program(_S(), rng)
+            conn.commit()
+    return outputs
+
+
+@pytest.mark.parametrize("workload_name", ["subenchmark", "fibenchmark",
+                                           "tabenchmark"])
+@pytest.mark.parametrize("partitions", [1, 2, 8])
+class TestWorkloadParity:
+    def test_fully_replicated_byte_identical(self, workload_name, partitions):
+        enc, workload = _build_workload_db(workload_name, 0.05, 7, True,
+                                           partitions)
+        plain, _ = _build_workload_db(workload_name, 0.05, 7, False,
+                                      partitions)
+        enc.replicate()
+        plain.replicate()
+        assert enc.columnar.encoding_stats()["segments_encoded"] > 0, \
+            "encoding never engaged — shrink segment_rows"
+        enc_out = _run_analytical(enc, workload, seed=7)
+        plain_out = _run_analytical(plain, workload, seed=7)
+        assert enc_out == plain_out
+
+    def test_mid_replication_byte_identical(self, workload_name, partitions):
+        # install() fully replicates, so lag comes from a deterministic
+        # OLTP mutation stream applied identically to both engines; then
+        # only a prefix replicates and both replicas sit mid-lag at the
+        # same watermark
+        enc, workload = _build_workload_db(workload_name, 0.05, 9, True,
+                                           partitions)
+        plain, _ = _build_workload_db(workload_name, 0.05, 9, False,
+                                      partitions)
+        _mutate(enc, workload, seed=13)
+        _mutate(plain, workload, seed=13)
+        lag = enc.replication_lag()
+        assert lag == plain.replication_lag() and lag > 1
+        applied_enc = enc.replicate(limit=lag // 2)
+        applied_plain = plain.replicate(limit=lag // 2)
+        assert applied_enc == applied_plain
+        assert enc.replication_lag() > 0
+        enc_out = _run_analytical(enc, workload, seed=9)
+        plain_out = _run_analytical(plain, workload, seed=9)
+        assert enc_out == plain_out
+
+
+# ---------------------------------------------------------------------------
+# accumulator exactness on encoded inputs
+# ---------------------------------------------------------------------------
+
+class TestRunAggregation:
+    def test_rle_sum_multiplies_exactly(self):
+        from repro.sql.functions import SumAccumulator
+
+        values = [0.1] * 1000 + [2.5] * 500 + [None] * 100
+        column = _encode_column(values)
+        assert isinstance(column, RLEColumn)
+        fast = SumAccumulator()
+        fast.add_many(column)
+        slow = SumAccumulator()
+        for v in values:
+            slow.add(v)
+        assert math.isclose(fast.result(), slow.result(), rel_tol=0)
+        assert fast.result() == slow.result()  # bit-identical
+
+    def test_rle_avg_count_min_max(self):
+        from repro.sql.functions import (
+            AvgAccumulator,
+            CountAccumulator,
+            MaxAccumulator,
+            MinAccumulator,
+        )
+
+        values = [3] * 400 + [None] * 50 + [9] * 150
+        column = _encode_column(values)
+        assert isinstance(column, RLEColumn)
+        for make, expected in (
+            (CountAccumulator, 550),
+            (AvgAccumulator, (3 * 400 + 9 * 150) / 550),
+            (MinAccumulator, 3),
+            (MaxAccumulator, 9),
+        ):
+            fast = make()
+            fast.add_many(column)
+            slow = make()
+            for v in values:
+                slow.add(v)
+            assert fast.result() == slow.result() == expected
+
+    def test_native_typed_slice_sum_exact(self):
+        from repro.sql.functions import SumAccumulator
+
+        rng = Random(3)
+        values = [rng.uniform(-1000, 1000) for _ in range(1500)]
+        column = NativeColumn(array("d", values), frozenset())
+        fast = SumAccumulator()
+        fast.add_many(column)
+        slow = SumAccumulator()
+        for v in values:
+            slow.add(v)
+        assert fast.result() == slow.result()
+
+    def test_encoding_label_constants(self):
+        assert {Encoding.PLAIN, Encoding.DICT, Encoding.RLE,
+                Encoding.NATIVE} == {"plain", "dict", "rle", "native"}
