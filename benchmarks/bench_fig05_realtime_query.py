@@ -11,10 +11,13 @@ The companion benchmark below measures the *embedded engine's* analytical
 executors head to head on the same routed-columnar queries, wall-clock
 timed: the row pipeline, the vectorized pipeline over a PLAIN-forced
 replica (the pre-encoding engine — prune-only pushdown, eager batches),
-and the vectorized pipeline over encoded segments (code-space predicates,
-late materialization, block-partial exact sums).  The comparison lands in
-the JSON report (``extra_info``) and in the canonical ``BENCH_fig05.json``
-at the repo root — the recorded perf trajectory CI guards.
+the vectorized pipeline over arrival-order encoded segments (the PR 4
+engine — code-space predicates, late materialization, block-partial
+exact sums), and the delta–main sorted engine (ordered compaction,
+contiguous-span pruning, sort elision, DICT-code group-by).  The
+comparison lands in the JSON report (``extra_info``) and in the
+canonical ``BENCH_fig05.json`` at the repo root — the recorded perf
+trajectory CI guards.
 """
 
 import time
@@ -98,6 +101,23 @@ ANALYTICAL_SQL = [
 ]
 
 
+# delta–main engine showcase queries (see run_pipeline_comparison):
+# the range scan binds a contiguous main-segment span via the sorted
+# zone-map index (the arrival-order engine cannot prune on ol_i_id at
+# all), the ordered TopN rides the scan's sort-key order (Sort elided),
+# and the grouped report groups by DICT codes without decoding keys
+SORTED_RANGE_SQL = (
+    "SELECT COUNT(*) AS lines, SUM(ol_amount) AS amount "
+    "FROM order_line WHERE ol_i_id BETWEEN 5000 AND 5400")
+ORDERED_TOPN_SQL = (
+    "SELECT ol_w_id, ol_d_id, ol_o_id, ol_number, ol_amount "
+    "FROM order_line ORDER BY ol_w_id, ol_d_id LIMIT 100")
+GROUPED_REPORT_SQL = (
+    "SELECT c_credit, COUNT(*) AS customers, SUM(c_balance) AS balance, "
+    "AVG(c_balance) AS avg_balance FROM customer "
+    "GROUP BY c_credit ORDER BY c_credit")
+
+
 def _timed_columnar(db: Database, sql: str, repeats: int = 5):
     """Best-of-N wall-clock latency of one routed-columnar statement."""
     best = float("inf")
@@ -111,20 +131,35 @@ def _timed_columnar(db: Database, sql: str, repeats: int = 5):
     return best * 1000.0, result
 
 
-def _loaded_db(columnar_encoding: bool) -> Database:
-    db = Database(with_columnar=True, columnar_encoding=columnar_encoding)
+def _loaded_db(columnar_encoding: bool, sorted_compaction: bool = False,
+               sort_keys: dict | None = None) -> Database:
+    db = Database(with_columnar=True, columnar_encoding=columnar_encoding,
+                  sorted_compaction=sorted_compaction, sort_keys=sort_keys)
     make_workload("subenchmark").install(db, Random(2), 1.0,
                                          with_foreign_keys=False)
     db.replicate()
+    if sorted_compaction:
+        # steady state for the delta–main engine: merge every delta tail.
+        # Unlike arrival-order sealing (full segments only), the ordered
+        # merge also seals partial segments, so small tables (customer)
+        # get encoded — which is what makes the DICT group-by engage.
+        db.columnar.compact(force=True)
     return db
 
 
 def run_pipeline_comparison():
-    """Row pipeline vs PLAIN-forced vectorized (the pre-encoding engine)
-    vs encoded vectorized, on identical data; returns the comparison plus
-    the encoded replica's compression accounting."""
+    """Four engines on identical data: the row pipeline, the PLAIN-forced
+    vectorized engine (PR 2), the arrival-order encoded engine (PR 4) and
+    the delta–main sorted engine; returns the per-query comparison plus
+    the sorted replica's compression accounting."""
     db_plain = _loaded_db(columnar_encoding=False)
     db_encoded = _loaded_db(columnar_encoding=True)
+    db_sorted = _loaded_db(columnar_encoding=True, sorted_compaction=True)
+    # a replica sorted on the analytical range column instead of the PK:
+    # Database(sort_keys=...) is the per-table override the range query
+    # exploits (ol_i_id arrives shuffled, so arrival order cannot prune)
+    db_item = _loaded_db(columnar_encoding=True, sorted_compaction=True,
+                         sort_keys={"ORDER_LINE": ("OL_I_ID",)})
     comparison = []
     for name, sql in ANALYTICAL_SQL:
         db_plain.executor.use_vectorized = False
@@ -132,25 +167,83 @@ def run_pipeline_comparison():
         db_plain.executor.use_vectorized = True
         vec_ms, vec = _timed_columnar(db_plain, sql)
         enc_ms, enc = _timed_columnar(db_encoded, sql)
+        srt_ms, srt = _timed_columnar(db_sorted, sql)
         assert vec.stats.vectorized and enc.stats.vectorized
+        assert srt.stats.vectorized
         assert not row.stats.vectorized
-        # parity first: all three executions must agree exactly
-        assert row.rows == vec.rows == enc.rows
+        # parity first: all four executions must agree exactly
+        assert row.rows == vec.rows == enc.rows == srt.rows
         comparison.append({
             "query": name,
             "row_ms": row_ms,
             "vectorized_ms": vec_ms,
             "encoded_ms": enc_ms,
+            "sorted_ms": srt_ms,
             "speedup_vectorized_vs_row": row_ms / vec_ms,
             "speedup_encoded_vs_vectorized": vec_ms / enc_ms,
             "speedup_encoded_vs_row": row_ms / enc_ms,
+            "speedup_sorted_vs_row": row_ms / srt_ms,
             "batches_scanned": enc.stats.batches_scanned,
             "segments_pruned": enc.stats.segments_pruned,
             "segments_encoded": enc.stats.segments_encoded,
             "runs_skipped": enc.stats.runs_skipped,
             "columns_decoded": enc.stats.columns_decoded,
         })
-    encoding = db_encoded.columnar.encoding_stats()
+
+    # sorted-range-scan: contiguous-span pruning vs the PR 4 engine
+    db_plain.executor.use_vectorized = False
+    row_ms, row = _timed_columnar(db_plain, SORTED_RANGE_SQL)
+    db_plain.executor.use_vectorized = True
+    enc_ms, enc = _timed_columnar(db_encoded, SORTED_RANGE_SQL)
+    srt_ms, srt = _timed_columnar(db_item, SORTED_RANGE_SQL)
+    assert row.rows == enc.rows == srt.rows
+    comparison.append({
+        "query": "sorted_range_scan",
+        "row_ms": row_ms,
+        "encoded_ms": enc_ms,
+        "sorted_ms": srt_ms,
+        "speedup_encoded_vs_row": row_ms / enc_ms,
+        "speedup_sorted_vs_encoded": enc_ms / srt_ms,
+        "speedup_sorted_vs_row": row_ms / srt_ms,
+        "segments_pruned": srt.stats.segments_pruned,
+        "batches_scanned": srt.stats.batches_scanned,
+        "segments_encoded": srt.stats.segments_encoded,
+    })
+
+    # ordered TopN: Sort/TopN elided, streaming limit over the scan order
+    db_plain.executor.use_vectorized = False
+    row_ms, row = _timed_columnar(db_plain, ORDERED_TOPN_SQL)
+    db_plain.executor.use_vectorized = True
+    srt_ms, srt = _timed_columnar(db_sorted, ORDERED_TOPN_SQL)
+    assert row.rows == srt.rows
+    comparison.append({
+        "query": "ordered_topn",
+        "row_ms": row_ms,
+        "sorted_ms": srt_ms,
+        "speedup_sorted_vs_row": row_ms / srt_ms,
+        "sort_elided": srt.stats.sort_elided,
+        "sort_rows": srt.stats.sort_rows,
+    })
+
+    # grouped report: DICT-code group-by (decode only surviving keys)
+    db_plain.executor.use_vectorized = False
+    row_ms, row = _timed_columnar(db_plain, GROUPED_REPORT_SQL)
+    db_plain.executor.use_vectorized = True
+    vec_ms, vec = _timed_columnar(db_plain, GROUPED_REPORT_SQL)
+    srt_ms, srt = _timed_columnar(db_sorted, GROUPED_REPORT_SQL)
+    assert row.rows == vec.rows == srt.rows
+    comparison.append({
+        "query": "grouped_report",
+        "row_ms": row_ms,
+        "vectorized_ms": vec_ms,
+        "sorted_ms": srt_ms,
+        "speedup_sorted_vs_row": row_ms / srt_ms,
+        "speedup_sorted_vs_vectorized": vec_ms / srt_ms,
+        "groups_coded": srt.stats.groups_coded,
+        "columns_decoded": srt.stats.columns_decoded,
+    })
+
+    encoding = db_sorted.columnar.encoding_stats()
     return comparison, encoding
 
 
@@ -158,13 +251,15 @@ def test_fig5_vectorized_vs_row_pipeline(benchmark, series):
     comparison, encoding = benchmark.pedantic(run_pipeline_comparison,
                                               rounds=1, iterations=1)
     for entry in comparison:
-        series.add(
-            f"{entry['query']} enc-vs-row "
-            f"(pruned={entry['segments_pruned']})",
-            "-", entry["speedup_encoded_vs_row"],
-        )
-        series.add(f"{entry['query']} enc-vs-vectorized", "-",
-                   entry["speedup_encoded_vs_vectorized"])
+        if "speedup_encoded_vs_row" in entry:
+            series.add(
+                f"{entry['query']} enc-vs-row "
+                f"(pruned={entry.get('segments_pruned', 0)})",
+                "-", entry["speedup_encoded_vs_row"],
+            )
+        if "speedup_sorted_vs_row" in entry:
+            series.add(f"{entry['query']} sorted-vs-row", "-",
+                       entry["speedup_sorted_vs_row"])
     series.add("replica compression ratio", "-",
                encoding["compression_ratio"])
     benchmark.extra_info["vectorized_comparison"] = comparison
@@ -198,9 +293,32 @@ def test_fig5_vectorized_vs_row_pipeline(benchmark, series):
     # vectorized engine >=2x, and the row pipeline >=5x (the CI floor)
     assert selective["speedup_encoded_vs_vectorized"] >= 2.0
     assert selective["speedup_encoded_vs_row"] >= 5.0
-    # across the whole suite the vectorized engines come out ahead
-    total_row = sum(e["row_ms"] for e in comparison)
-    total_vec = sum(e["vectorized_ms"] for e in comparison)
-    total_enc = sum(e["encoded_ms"] for e in comparison)
-    assert total_vec < total_row
-    assert total_enc < total_row
+    # the delta–main engine: the contiguous-span range scan must beat the
+    # arrival-order PR 4 engine >=2x (the new CI floor), the ordered TopN
+    # must have elided its sort, and the grouped report must have grouped
+    # in DICT-code space
+    span = next(e for e in comparison if e["query"] == "sorted_range_scan")
+    assert span["segments_pruned"] > 0
+    assert span["speedup_sorted_vs_encoded"] >= 2.0
+    topn = next(e for e in comparison if e["query"] == "ordered_topn")
+    assert topn["sort_elided"] > 0
+    assert topn["sort_rows"] == 0
+    grouped = next(e for e in comparison if e["query"] == "grouped_report")
+    assert grouped["groups_coded"] > 0
+    # across the whole suite the vectorized engines come out ahead —
+    # each engine total compared against the row total over the SAME
+    # query subset, so an across-the-board regression cannot hide behind
+    # rows-only entries inflating total_row
+    total_vec = sum(e["vectorized_ms"] for e in comparison
+                    if "vectorized_ms" in e)
+    row_for_vec = sum(e["row_ms"] for e in comparison
+                      if "vectorized_ms" in e)
+    total_enc = sum(e["encoded_ms"] for e in comparison
+                    if "encoded_ms" in e)
+    row_for_enc = sum(e["row_ms"] for e in comparison
+                      if "encoded_ms" in e)
+    total_sorted = sum(e["sorted_ms"] for e in comparison)
+    row_for_sorted = sum(e["row_ms"] for e in comparison)
+    assert total_vec < row_for_vec
+    assert total_enc < row_for_enc
+    assert total_sorted < row_for_sorted

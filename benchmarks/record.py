@@ -40,9 +40,12 @@ def load_bench(name: str) -> dict:
     return json.loads(bench_path(name).read_text(encoding="utf-8"))
 
 
-def check_fig05(path: str, min_speedup: float) -> int:
-    """CI floor: encoded-vectorized over row-pipeline speedup on the
-    selective district query must stay above ``min_speedup``."""
+def check_fig05(path: str, min_speedup: float,
+                min_range_speedup: float = 2.0) -> int:
+    """CI floors: encoded-vectorized over row-pipeline speedup on the
+    selective district query must stay above ``min_speedup``, and the
+    delta–main engine's contiguous-span range scan must beat the
+    arrival-order encoded engine by ``min_range_speedup``."""
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
     selective = next(q for q in payload["queries"]
                      if q["query"] == "selective_district")
@@ -56,6 +59,29 @@ def check_fig05(path: str, min_speedup: float) -> int:
         print("FAIL: encoded-execution counters are zero — the encoding "
               "layer did not engage")
         return 1
+    span = next((q for q in payload["queries"]
+                 if q["query"] == "sorted_range_scan"), None)
+    if span is None:
+        print("FAIL: no sorted_range_scan row — regenerate the record "
+              "with benchmarks/bench_fig05_realtime_query.py")
+        return 1
+    range_speedup = span["speedup_sorted_vs_encoded"]
+    print(f"sorted_range_scan sorted-vs-encoded speedup: "
+          f"{range_speedup:.1f}x (floor {min_range_speedup:g}x)")
+    if range_speedup < min_range_speedup:
+        print("FAIL: sorted-range-scan speedup below the floor")
+        return 1
+    if not span["segments_pruned"]:
+        print("FAIL: the contiguous-span index pruned nothing")
+        return 1
+    topn = next((q for q in payload["queries"]
+                 if q["query"] == "ordered_topn"), None)
+    if topn is None:
+        print("FAIL: no ordered_topn row — regenerate the record")
+        return 1
+    if not topn["sort_elided"]:
+        print("FAIL: the ordered TopN did not elide its sort")
+        return 1
     print("OK")
     return 0
 
@@ -63,9 +89,13 @@ def check_fig05(path: str, min_speedup: float) -> int:
 def main(argv: list[str]) -> int:
     if len(argv) >= 2 and argv[0] == "check":
         min_speedup = 5.0
+        min_range_speedup = 2.0
         if "--min-speedup" in argv:
             min_speedup = float(argv[argv.index("--min-speedup") + 1])
-        return check_fig05(argv[1], min_speedup)
+        if "--min-range-speedup" in argv:
+            min_range_speedup = float(
+                argv[argv.index("--min-range-speedup") + 1])
+        return check_fig05(argv[1], min_speedup, min_range_speedup)
     print(__doc__)
     return 2
 

@@ -66,6 +66,14 @@ def render_text(report: RunReport, per_transaction: bool = False) -> str:
             f"bytes_saved={encoding['bytes_saved']} "
             f"compression={encoding['compression_ratio']:.2f}x"
         )
+    if report.segments_merged or report.sort_elided \
+            or report.delta_rows_pending or report.groups_coded:
+        lines.append(
+            f"  delta-main: segments_merged={report.segments_merged} "
+            f"delta_rows_pending={report.delta_rows_pending} "
+            f"sort_elided={report.sort_elided} "
+            f"groups_coded={report.groups_coded}"
+        )
     if report.plan_cache_hits or report.plan_cache_misses:
         lines.append(
             f"  plan cache: hits={report.plan_cache_hits} "
@@ -98,6 +106,8 @@ def render_csv(reports: list[RunReport]) -> str:
         "hybrid_rate", "class", "throughput", *_LATENCY_COLUMNS,
         "vectorized_requests", "batches_scanned", "segments_pruned",
         "segments_encoded", "runs_skipped",
+        "segments_merged", "delta_rows_pending", "sort_elided",
+        "groups_coded",
         "plan_cache_hits", "plan_cache_misses",
         "partitions_scanned", "partitions_pruned",
         "multi_partition_commits",
@@ -114,6 +124,8 @@ def render_csv(reports: list[RunReport]) -> str:
                 report.vectorized_statements, report.batches_scanned,
                 report.segments_pruned,
                 report.segments_encoded, report.runs_skipped,
+                report.segments_merged, report.delta_rows_pending,
+                report.sort_elided, report.groups_coded,
                 report.plan_cache_hits, report.plan_cache_misses,
                 report.partitions_scanned, report.partitions_pruned,
                 report.multi_partition_commits,

@@ -62,6 +62,13 @@ class RunReport:
     runs_skipped: int = 0
     columns_decoded: int = 0
     values_decoded: int = 0
+    # delta–main compaction observability: ordered-merge output segments
+    # over the run, delta-overlay rows merge-on-read scans considered,
+    # ORDER BYs satisfied by scan order, and code-space grouped batches
+    segments_merged: int = 0
+    delta_rows_pending: int = 0
+    sort_elided: int = 0
+    groups_coded: int = 0
     # plan-cache outcome over the run, plus the replica's encoding layer
     # accounting at run end (segments/bytes/compression, None when the
     # engine has no columnar replica)
@@ -134,6 +141,14 @@ class RunReport:
                 f"/{self.encoding['segments_total']} "
                 f"bytes_saved={self.encoding['bytes_saved']} "
                 f"compression={self.encoding['compression_ratio']:.2f}x"
+            )
+        if self.segments_merged or self.sort_elided \
+                or self.delta_rows_pending or self.groups_coded:
+            lines.append(
+                f"  delta-main: segments_merged={self.segments_merged} "
+                f"delta_rows_pending={self.delta_rows_pending} "
+                f"sort_elided={self.sort_elided} "
+                f"groups_coded={self.groups_coded}"
             )
         if self.plan_cache_hits or self.plan_cache_misses:
             lines.append(
@@ -321,6 +336,11 @@ class OLxPBench:
         rng = self._rng_for(kind, config)
         profile = weighted_choice(profiles, rng, overrides)
 
+        # snapshot before routing: route_analytical ticks the engine too,
+        # so merges it triggers belong to this request's attribution
+        replica = self.engine.db.columnar
+        merges_before = (replica.segments_merged_total()
+                         if replica is not None else 0)
         columnar = False
         if kind == "olap":
             columnar = self.engine.route_analytical(now)
@@ -333,7 +353,15 @@ class OLxPBench:
             self._conn, kind, profile.name, profile.program, rng,
             route_columnar=columnar,
         )
+        breakdown = self.engine.account(now, work, columnar)
+        latency = breakdown.total
         exec_stats = work.combined_stats()
+        if replica is not None:
+            # ordered-compaction merges triggered while serving this
+            # request (the engine tick replicates + compacts): attribute
+            # them to the statement window that caused them
+            exec_stats.segments_merged += \
+                replica.segments_merged_total() - merges_before
         report.batches_scanned += exec_stats.batches_scanned
         report.segments_pruned += exec_stats.segments_pruned
         report.vectorized_statements += exec_stats.vectorized_statements
@@ -341,13 +369,15 @@ class OLxPBench:
         report.runs_skipped += exec_stats.runs_skipped
         report.columns_decoded += exec_stats.columns_decoded
         report.values_decoded += exec_stats.values_decoded
+        report.delta_rows_pending += exec_stats.delta_rows_pending
+        report.sort_elided += exec_stats.sort_elided
+        report.groups_coded += exec_stats.groups_coded
+        report.segments_merged += exec_stats.segments_merged
         report.plan_cache_hits += exec_stats.plan_cache_hits
         report.plan_cache_misses += exec_stats.plan_cache_misses
         report.partitions_scanned += exec_stats.partitions_scanned
         report.partitions_pruned += exec_stats.partitions_pruned
         report.partial_aggregates += exec_stats.partial_aggregates
-        breakdown = self.engine.account(now, work, columnar)
-        latency = breakdown.total
 
         measured = now >= config.warmup_ms
         if measured:

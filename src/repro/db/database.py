@@ -23,6 +23,7 @@ from collections import OrderedDict
 from repro.catalog.schema import Catalog, Column, ForeignKey, IndexDef, Table
 from repro.catalog.types import type_from_name
 from repro.errors import (
+    CatalogError,
     ConnectionStateError,
     SQLError,
     UnsupportedFeatureError,
@@ -58,6 +59,8 @@ class Database:
                  with_columnar: bool = False,
                  columnar_segment_rows: int | None = None,
                  columnar_encoding: bool = True,
+                 sorted_compaction: bool = True,
+                 sort_keys: dict[str, tuple[str, ...]] | None = None,
                  default_isolation: IsolationLevel = IsolationLevel.SNAPSHOT,
                  partitions: int = 1,
                  plan_cache_size: int = 256):
@@ -66,12 +69,29 @@ class Database:
         self.catalog = Catalog()
         self.partition_map = PartitionMap(partitions)
         self.storage = RowStorage(self.partition_map)
+        # sorted_compaction=True (default) keeps the columnar replica in
+        # the delta–main organisation: replication applies into plain
+        # delta tails, compaction merges into sort-key-ordered encoded
+        # main segments.  False preserves the arrival-order engine
+        # byte-for-byte (the recorded A/B baseline).  sort_keys overrides
+        # the per-table sort key (default: the primary key), e.g.
+        # Database(sort_keys={"ORDER_LINE": ("OL_I_ID",)}).
+        self.columnar_encoding = columnar_encoding
+        self.sorted_compaction = sorted_compaction
+        self.sort_keys = {name.upper(): tuple(columns)
+                          for name, columns in (sort_keys or {}).items()}
+        # sort_keys names not yet matched by a created table: checked at
+        # the first replication (schema complete by then), so a typo'd
+        # table name fails loudly instead of silently falling back to
+        # primary-key ordering
+        self._unmatched_sort_keys = set(self.sort_keys)
         if with_columnar:
             self.columnar = ColumnarReplica(
                 columnar_segment_rows if columnar_segment_rows is not None
                 else SEGMENT_ROWS,
                 partition_map=self.partition_map,
                 encode=columnar_encoding,
+                sorted_compaction=sorted_compaction,
             )
         else:
             self.columnar = None
@@ -81,7 +101,10 @@ class Database:
         # recorded A/B baseline the encoding benchmarks compare against
         self.planner = Planner(self.catalog,
                                build_vectorized=self.columnar is not None,
-                               encoded_pushdown=columnar_encoding)
+                               encoded_pushdown=columnar_encoding,
+                               sorted_scan=(self.columnar is not None
+                                            and sorted_compaction),
+                               sort_keys=self.sort_keys)
         self.supports_foreign_keys = supports_foreign_keys
         self.enforce_foreign_keys = enforce_foreign_keys and supports_foreign_keys
         self.default_isolation = default_isolation
@@ -145,7 +168,16 @@ class Database:
         self.catalog.create_table(table)
         self.storage.register_table(table)
         if self.columnar is not None:
-            self.columnar.register_table(table)
+            self.columnar.register_table(table, self._sort_positions(table))
+
+    def _sort_positions(self, table: Table) -> tuple[int, ...] | None:
+        """Column positions of the table's configured sort key (None keeps
+        the replica default — the primary key)."""
+        override = self.sort_keys.get(table.name.upper())
+        if override is None:
+            return None
+        self._unmatched_sort_keys.discard(table.name.upper())
+        return tuple(table.position(column) for column in override)
 
     def _create_index(self, statement: ast.CreateIndex):
         index = IndexDef(statement.name, statement.table,
@@ -196,6 +228,13 @@ class Database:
         """
         if self.columnar is None:
             return 0
+        if self._unmatched_sort_keys:
+            names = ", ".join(sorted(self._unmatched_sort_keys))
+            raise CatalogError(
+                f"sort_keys name(s) {names} match no created table — "
+                f"fix the name or drop the entry (tables would silently "
+                f"fall back to primary-key ordering otherwise)"
+            )
         applied = self.columnar.apply_from_partitions(self.storage.wals,
                                                       limit)
         if applied == 0:
@@ -219,18 +258,29 @@ class Database:
         plan, _hit = self._prepare(sql)
         return plan
 
+    def _cache_key(self, sql: str) -> tuple:
+        """Plan-cache key: the SQL text plus every engine-affecting flag.
+
+        The planner compiles different physical plans depending on the
+        encoding pushdown and order-awareness toggles, so an A/B flip of
+        ``planner.encoded_pushdown`` / ``planner.sorted_scan`` on a shared
+        Database must never serve a plan built under the other setting.
+        """
+        return (sql, self.planner.encoded_pushdown, self.planner.sorted_scan)
+
     def _prepare(self, sql: str) -> tuple[object, bool]:
         """Plan lookup through the LRU; returns ``(plan, cache_hit)``."""
         cache = self._plan_cache
-        plan = cache.get(sql)
+        key = self._cache_key(sql)
+        plan = cache.get(key)
         if plan is not None:
-            cache.move_to_end(sql)
+            cache.move_to_end(key)
             self.plan_cache_hits += 1
             return plan, True
         statement = parse_sql(sql)
         plan = self.planner.plan(statement)
         self.plan_cache_misses += 1
-        cache[sql] = plan
+        cache[key] = plan
         if len(cache) > self.plan_cache_size:
             cache.popitem(last=False)
         return plan, False

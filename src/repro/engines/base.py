@@ -187,6 +187,16 @@ class HTAPCluster:
         # *timing* freshness is governed by ReplicationState
         if self.db.columnar is not None:
             self.db.replicate()
+            # ordered compaction is background work on the columnar nodes:
+            # each drained merge occupies that group's queue, so heavy
+            # write streams delay concurrent analytical queries a little —
+            # the delta-tree maintenance cost TiFlash pays
+            _segments, rows = self.db.columnar.drain_compaction_stats()
+            if rows:
+                group = self.groups.get("columnar")
+                if group is not None:
+                    group.admit(self.now_ms,
+                                self.cost.compaction_cost(rows))
 
     def account(self, arrival_ms: float, work: WorkResult,
                 columnar: bool = False) -> LatencyBreakdown:
@@ -320,6 +330,9 @@ class HTAPCluster:
             BufferPool(self.buffer.pool.capacity,
                        self.buffer.pool.rows_per_page))
         self._flood_until = 0.0
+        if self.db.columnar is not None:
+            # merges done while loading belong to no measurement run
+            self.db.columnar.drain_compaction_stats()
         if self.replication is not None:
             self.replication.reset()
             # replication restarts in sync with the current WAL head

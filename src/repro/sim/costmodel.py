@@ -41,6 +41,14 @@ class CostParams:
     agg_per_row: float = 0.0008
     # write path
     write_per_row: float = 0.045
+    # delta–main replica maintenance: ordered compaction re-sorts and
+    # re-encodes rows in the background (charged to the columnar group per
+    # merge), and every scan of a lagging sorted replica pays a small
+    # per-row premium for its delta-overlay rows — they sit in plain,
+    # unencoded tail segments (and ordered scans additionally interleave
+    # them), so they cost more than encoded main rows
+    compaction_per_row: float = 0.0008
+    delta_merge_per_row: float = 0.0007
     # storage characteristics
     page_miss_penalty: float = 0.12   # random read on a miss (SSD ~ 0.1ms)
     # sequential scans benefit from readahead: far cheaper per page
@@ -118,7 +126,11 @@ class CostModel:
         cpu += stats.index_range_scans * p.index_lookup
         cpu += stats.join_ops * p.join_op * amplify
         cpu += stats.rows_joined * p.join_per_row * amplify
+        # an elided sort contributes no sort_rows: ordered scans replace
+        # the materialising sort with a streaming merge, whose demand is
+        # the per-row delta-overlay charge below
         cpu += stats.sort_rows * p.sort_per_row
+        cpu += stats.delta_rows_pending * p.delta_merge_per_row / parallel
         agg_parallel = parallel if stats.partial_aggregates else 1
         cpu += stats.agg_input_rows * p.agg_per_row / agg_parallel
         cpu += stats.total_writes * p.write_per_row
@@ -135,6 +147,11 @@ class CostModel:
         breakdown.cpu += self.params.txn_overhead
         breakdown.cpu += max(0, n_statements - 1) * self.params.stmt_overhead
         return breakdown
+
+    def compaction_cost(self, rows_merged: int) -> float:
+        """CPU demand of one ordered-compaction merge (background work
+        charged to the columnar node group, not to any statement)."""
+        return rows_merged * self.params.compaction_per_row
 
     def io_cost(self, page_misses: int, page_hits: int,
                 scan_misses: int = 0) -> float:

@@ -208,6 +208,23 @@ def _fold_typed_slice(total: _ExactSum, values) -> bool:
         if column.fold_range_sum(total.mantissas, start, stop):
             total.float_seen = True
             return True
+    ranges_source = getattr(values, "contiguous_ranges", None)
+    if ranges_source is not None and (found := ranges_source()) is not None:
+        # sorted segments turn range/equality selections into a handful of
+        # dense spans per segment: fold each span through the same exact
+        # block partials instead of materialising the gather
+        column, ranges = found
+        if column.data.typecode == "q" and not column.nulls:
+            total.int_total += sum(column.range_int_sum(start, stop)
+                                   for start, stop in ranges)
+            return True
+        if all(column.fold_range_sum(total.mantissas, start, stop)
+               for start, stop in ranges):
+            # fold_range_sum is all-or-nothing per column (typecode/nulls/
+            # non-finite), so a False can only happen on the first range —
+            # nothing was committed and the generic fold takes over
+            total.float_seen = True
+            return True
     if getattr(values, "all_ints", False):
         total.int_total += sum(values)           # builtin sum: exact for ints
         return True

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field, replace
+from itertools import groupby
 
 from repro.catalog.schema import Catalog, Table
 from repro.errors import BindError, PlanError
@@ -39,6 +40,7 @@ from repro.sql.expressions import (
     expr_display_name,
 )
 from repro.sql.functions import make_accumulator
+from repro.sql.ordering import canonical_row_key, canonical_value_key, sort_key
 from repro.sql.vectorized import (
     BatchAggregate,
     BatchRows,
@@ -478,28 +480,12 @@ class Sort(PlanNode):
         return [self.child]
 
 
-def _sort_key(value):
-    """NULLs sort first (before any value), mixed types never compared."""
-    return (value is not None, value)
-
-
-def _canonical_value_key(value):
-    """A total order over the value domain (NULLs, numbers, strings).
-
-    Only used to break ORDER BY ties deterministically; any fixed total
-    order works as long as it never raises on mixed types.
-    """
-    if value is None:
-        return (0, "", 0)
-    if isinstance(value, (int, float)):
-        return (1, "", value)
-    if isinstance(value, str):
-        return (2, "", value)
-    return (3, type(value).__name__, repr(value))
-
-
-def _canonical_row_key(row: tuple):
-    return tuple(_canonical_value_key(v) for v in row)
+# canonical ordering helpers shared with sorted compaction and the
+# merge-on-read scan (repro.sql.ordering); the old private names stay as
+# aliases for the operators below
+_sort_key = sort_key
+_canonical_value_key = canonical_value_key
+_canonical_row_key = canonical_row_key
 
 
 class _TopNKey:
@@ -564,6 +550,72 @@ class TopN(PlanNode):
         )
         ctx.stats.sort_rows += count
         yield from top
+
+    def children(self):
+        return [self.child]
+
+
+class SortedMerge(PlanNode):
+    """ORDER BY satisfied by scan order: the sort (or heap TopN) is elided.
+
+    The child's row stream arrives ordered on the ORDER BY keys (an
+    ascending prefix of the scanned table's sort key, delivered by the
+    merge-on-read columnar scan); partition streams, each key-sorted on
+    its own, are k-way merged.  Output is *exactly* ``Sort`` followed by
+    ``Limit``: rows stream out grouped by key, with each tie group sorted
+    by the canonical whole-row key — the same tiebreak ``Sort``/``TopN``
+    apply — so eliding the sort can never change results.  With a
+    ``limit`` this degrades to a streaming limit: the scan stops being
+    consumed as soon as enough rows (plus the tail of the last tie group)
+    have been seen.
+    """
+
+    def __init__(self, child: PlanNode, key_positions: list[int],
+                 limit: int | None = None):
+        self.child = child
+        self.key_positions = key_positions
+        self.limit = limit
+        self.schema = child.schema
+
+    def _key_of(self, row: tuple) -> tuple:
+        return tuple(canonical_value_key(row[p]) for p in self.key_positions)
+
+    def execute(self, ctx):
+        ctx.stats.sort_elided += 1
+        remaining = self.limit
+        if remaining is not None and remaining <= 0:
+            return
+        key_of = self._key_of
+        streams_fn = getattr(self.child, "execute_streams", None)
+        if streams_fn is not None:
+            streams = list(streams_fn(ctx))
+        else:
+            streams = [self.child.execute(ctx)]
+        # decorate each row with its key once: the k-way merge and the tie
+        # grouping both read the precomputed key instead of rebuilding the
+        # canonical tuple per comparison stage
+        decorated = [((key_of(row), row) for row in stream)
+                     for stream in streams]
+        if len(decorated) == 1:
+            merged = decorated[0]
+        else:
+            merged = heapq.merge(*decorated, key=lambda entry: entry[0])
+        for _key, group in groupby(merged, key=lambda entry: entry[0]):
+            rows = (entry[1] for entry in group)
+            if remaining is None:
+                ready = sorted(rows, key=canonical_row_key)
+            else:
+                # only the first `remaining` rows of this tie group can be
+                # emitted: heap-select them so a huge group (low-cardinality
+                # ordering prefix) costs O(n log limit), not a full sort
+                ready = heapq.nsmallest(remaining, rows,
+                                        key=canonical_row_key)
+            for row in ready:
+                yield row
+                if remaining is not None:
+                    remaining -= 1
+            if remaining is not None and remaining <= 0:
+                return
 
     def children(self):
         return [self.child]
@@ -748,13 +800,34 @@ class Planner:
     False the vectorized plan reverts to prune-only pushdown (zone-map
     segment skipping with every conjunct re-applied above the scan) — the
     pre-encoding engine, kept as the recorded A/B benchmark baseline.
+
+    ``sorted_scan`` enables order-aware planning against a delta–main
+    replica: the planner tracks the scan's sort-key ordering through
+    VFilter/VProject (and the order-preserving probe side of VHashJoin)
+    and replaces Sort/TopN with ``SortedMerge`` when the ORDER BY is an
+    ascending prefix of the scanned table's sort key.  ``sort_keys`` maps
+    UPPER table names to sort-key column tuples overriding the default
+    (the primary key).
     """
 
     def __init__(self, catalog: Catalog, build_vectorized: bool = True,
-                 encoded_pushdown: bool = True):
+                 encoded_pushdown: bool = True,
+                 sorted_scan: bool = False,
+                 sort_keys: dict[str, tuple[str, ...]] | None = None):
         self.catalog = catalog
         self.build_vectorized = build_vectorized
         self.encoded_pushdown = encoded_pushdown
+        self.sorted_scan = sorted_scan
+        self.sort_keys = sort_keys or {}
+
+    def sort_key_of(self, table: Table) -> list[str] | None:
+        """Sort-key column names of ``table`` (None when order-awareness
+        is off): the configured override, or the primary key."""
+        if not self.sorted_scan:
+            return None
+        override = self.sort_keys.get(table.name.upper())
+        columns = override if override is not None else table.primary_key
+        return [self._column_key(table, c) for c in columns]
 
     # -- public entry points ------------------------------------------------
 
@@ -793,6 +866,7 @@ class Planner:
         aggs = self._collect_aggregates(select)
         vnode = None          # row-yielding vectorized pipeline (aggregated)
         vector_source = None  # batch-yielding source (batch projection)
+        base_scan = None      # the leftmost VColumnarScan (order tracking)
         vtables: tuple = ()
         if vsource is not None:
             vtables = tuple(vsource[1])
@@ -806,6 +880,7 @@ class Planner:
             raise PlanError("HAVING requires GROUP BY or aggregates")
         elif vsource is not None:
             vector_source = vsource[0]
+            base_scan = vsource[2]
 
         spec = self._presentation_spec(select, node.schema)
 
@@ -814,7 +889,8 @@ class Planner:
         if vnode is not None:
             vroot = self._finish_row(select, vnode, spec)
         elif vector_source is not None:
-            vroot = self._finish_vector(select, vector_source, spec)
+            vroot = self._finish_vector(select, vector_source, spec,
+                                        base_scan)
 
         for_update_path = None
         if select.for_update:
@@ -898,14 +974,72 @@ class Planner:
         return self._presentation_tail(select, node, spec)
 
     def _finish_vector(self, select: ast.Select, vnode,
-                       spec: "_Presentation") -> PlanNode:
+                       spec: "_Presentation",
+                       base_scan: VColumnarScan | None = None) -> PlanNode:
         """Presentation over a (non-aggregated) batch source: project
-        column-at-a-time, then bridge to the shared row tail."""
+        column-at-a-time, then bridge to the shared row tail.
+
+        Order awareness: when the ORDER BY keys are an ascending prefix of
+        the base scan's sort key, the scan is switched to ordered
+        merge-on-read and the Sort/TopN is elided (``SortedMerge``) — a
+        streaming pass that only canonical-sorts tie groups.
+        """
         sub = self._plan_subquery
         fns = [compile_batch_expr(e, vnode.schema, sub)
                for e in spec.all_exprs]
         node = BatchRows(VProject(vnode, fns, spec.all_names))
-        return self._presentation_tail(select, node, spec)
+        keys = self._elidable_key_positions(select, spec, base_scan)
+        if keys is None:
+            return self._presentation_tail(select, node, spec)
+        base_scan.ordered = True
+        node = SortedMerge(node, keys, select.limit)
+        if spec.hidden:
+            node = Project(
+                node,
+                [self._position_fn(i) for i in range(len(spec.names))],
+                spec.names,
+            )
+        return node
+
+    def _elidable_key_positions(self, select: ast.Select,
+                                spec: "_Presentation",
+                                base_scan: VColumnarScan | None):
+        """Output positions of the ORDER BY keys when the sort can ride the
+        scan's sort-key order; ``None`` when a Sort is required.
+
+        Requirements: order-aware planning on, an ORDER BY present, every
+        key ascending, no DISTINCT (Distinct re-orders first occurrences),
+        and the j-th key must be a plain reference to the j-th sort-key
+        column of the scanned base table (so the scan's ordering is the
+        query's ordering).  VFilter/VProject preserve row order and
+        VHashJoin preserves probe-side order, so the property survives the
+        whole vectorized pipeline.
+        """
+        if base_scan is None or not spec.key_positions or select.distinct:
+            return None
+        sort_columns = self.sort_key_of(base_scan.table)
+        if sort_columns is None or \
+                len(spec.key_positions) > len(sort_columns):
+            return None
+        table = base_scan.table
+        for j, (position, descending) in enumerate(spec.key_positions):
+            if descending:
+                return None
+            expr = spec.all_exprs[position]
+            if not isinstance(expr, ast.ColumnRef):
+                return None
+            if expr.table is not None:
+                if expr.table.upper() != base_scan.binding:
+                    return None
+            elif select.joins:
+                # an unqualified name could bind to a joined table; only
+                # trust it when the base table is the sole binding
+                return None
+            if not table.has_column(expr.name):
+                return None
+            if self._column_key(table, expr.name) != sort_columns[j]:
+                return None
+        return [position for position, _desc in spec.key_positions]
 
     def _presentation_tail(self, select: ast.Select, node: PlanNode,
                            spec: "_Presentation") -> PlanNode:
@@ -1218,10 +1352,11 @@ class Planner:
         pushed, exact = self._pushed_predicates(base_table, base_conjs)
         if not self.encoded_pushdown:
             exact = set()
-        node = VColumnarScan(base_table, binding, pushed,
-                             self._referenced_columns(select, base_table,
-                                                      binding),
-                             filter_in_scan=self.encoded_pushdown)
+        base_scan = VColumnarScan(base_table, binding, pushed,
+                                  self._referenced_columns(select, base_table,
+                                                           binding),
+                                  filter_in_scan=self.encoded_pushdown)
+        node = base_scan
         # the scan evaluates pushed predicates exactly (code space on
         # encoded segments), so only the residual conjuncts are re-applied
         residual_base = [c for c in base_conjs if id(c) not in exact]
@@ -1289,7 +1424,7 @@ class Planner:
         if remaining:
             node = VFilter(node, compile_batch_predicate(
                 _and_all(remaining), node.schema, sub))
-        return node, tables
+        return node, tables, base_scan
 
     def _plan_batch_aggregate(self, select: ast.Select, vnode,
                               aggs: list[ast.FuncCall]) -> BatchAggregate:
@@ -1297,6 +1432,13 @@ class Planner:
         input_schema = vnode.schema
         group_fns = [compile_batch_expr(g, input_schema, sub)
                      for g in select.group_by]
+        # batch-column positions of plain-column group keys: lets the
+        # aggregate group by DICT codes instead of decoded values
+        group_positions = [
+            input_schema.try_resolve(g.table, g.name)
+            if isinstance(g, ast.ColumnRef) else None
+            for g in select.group_by
+        ]
         specs = []
         for agg in aggs:
             if agg.args and not isinstance(agg.args[0], ast.Star):
@@ -1304,7 +1446,7 @@ class Planner:
             else:
                 arg_fn = None
             specs.append(AggSpec(agg.name, arg_fn, agg.distinct))
-        return BatchAggregate(vnode, group_fns, specs)
+        return BatchAggregate(vnode, group_fns, specs, group_positions)
 
     def _referenced_columns(self, select: ast.Select, table: Table,
                             binding: str) -> list[str] | None:

@@ -95,6 +95,15 @@ class ExecStats:
     runs_skipped: int = 0
     columns_decoded: int = 0
     values_decoded: int = 0
+    # delta–main counters: ORDER BYs satisfied by scan order (Sort/TopN
+    # elided), delta-overlay rows the merge-on-read scans had to consider,
+    # ordered-compaction merge output (the benchmark runner attributes the
+    # merges a request's engine tick triggered to that request's stats),
+    # and batches grouped in DICT-code space by the encoded group-by
+    sort_elided: int = 0
+    delta_rows_pending: int = 0
+    segments_merged: int = 0
+    groups_coded: int = 0
     # statement-plan LRU cache outcome for this statement
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
@@ -139,6 +148,10 @@ class ExecStats:
         self.runs_skipped += other.runs_skipped
         self.columns_decoded += other.columns_decoded
         self.values_decoded += other.values_decoded
+        self.sort_elided += other.sort_elided
+        self.delta_rows_pending += other.delta_rows_pending
+        self.segments_merged += other.segments_merged
+        self.groups_coded += other.groups_coded
         self.plan_cache_hits += other.plan_cache_hits
         self.plan_cache_misses += other.plan_cache_misses
         self.partitions_scanned += other.partitions_scanned

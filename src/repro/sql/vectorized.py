@@ -28,6 +28,7 @@ from repro.errors import ExecutionError
 from repro.sql import ast
 from repro.sql.expressions import Schema, _null_safe_binop, compile_expr
 from repro.sql.functions import SCALARS, like_to_predicate, make_accumulator
+from repro.sql.ordering import canonical_value_key
 from repro.sql.result import Batch
 from repro.storage.columnstore import DictColumn
 
@@ -419,6 +420,47 @@ class _LazyColumn:
             return None
         return column, start, stop
 
+    #: selections splitting into more dense ranges than this fold per-value
+    MAX_SUM_RANGES = 16
+
+    def contiguous_ranges(self):
+        """``(native_column, [(start, stop), ...])`` when the selection
+        decomposes into a few dense ranges of a typed-array column.
+
+        Sorted main segments make range/equality selections contiguous
+        (one run of matching rows per segment, or a handful of RLE runs),
+        so block-partial SUM/AVG folds apply to each span without
+        materialising the gather.  Returns ``None`` for fragmented
+        selections — the per-value fold is cheaper there.
+        """
+        column = self._column
+        if not hasattr(column, "fold_range_sum"):
+            return None
+        selection = self._selection
+        if not selection:
+            return None
+        ranges: list[tuple[int, int]] = []
+        start = previous = selection[0]
+        for offset in selection[1:]:
+            if offset != previous + 1:
+                ranges.append((start, previous + 1))
+                if len(ranges) >= self.MAX_SUM_RANGES:
+                    return None
+                start = offset
+            previous = offset
+        ranges.append((start, previous + 1))
+        return column, ranges
+
+    def dict_codes(self):
+        """``(codes, dictionary)`` of the selection when the source column
+        is dictionary-encoded — grouping happens in code space and only
+        surviving group keys ever decode.  ``None`` otherwise."""
+        column = self._column
+        if not isinstance(column, DictColumn):
+            return None
+        codes = column.codes
+        return [codes[i] for i in self._selection], column.values
+
     def __len__(self) -> int:
         return len(self._selection)
 
@@ -488,7 +530,8 @@ class VColumnarScan(VectorNode):
     def __init__(self, table, binding: str,
                  pushed: list[PushedPredicate] | None = None,
                  columns: list[str] | None = None,
-                 filter_in_scan: bool = True):
+                 filter_in_scan: bool = True,
+                 ordered: bool = False):
         self.table = table
         self.binding = binding
         self.pushed = pushed or []
@@ -497,6 +540,11 @@ class VColumnarScan(VectorNode):
         # engine: pushed predicates skip segments via zone maps but rows
         # are re-filtered above the scan (the A/B baseline mode)
         self.filter_in_scan = filter_in_scan
+        # True asks a delta–main table for merge-on-read in sort-key order
+        # (main segments interleaved with the delta overlay), so the
+        # planner can elide the Sort above — set by the planner when the
+        # ORDER BY is an ascending prefix of the table's sort key
+        self.ordered = ordered
         self.partition_position = table.pk_positions[0]
         names = table.column_names if columns is None else columns
         self.positions = [table.position(c) for c in names]
@@ -533,36 +581,224 @@ class VColumnarScan(VectorNode):
                 break
         return selection
 
+    def _span_keys(self, part, preds) -> tuple[tuple, tuple]:
+        """Canonical sort-key prefix bounds bindable from the pushed preds.
+
+        Walks the table's sort key: equality predicates extend both bounds
+        and continue to the next key column; the first range predicate
+        extends whichever sides it has and stops.  Returns ``((), ())``
+        when no prefix is bindable (the span then covers every segment).
+        """
+        lo: list = []
+        hi: list = []
+        for position in part.sort_positions:
+            pred = next((p for p in preds
+                         if p.position == position and p.in_values is None),
+                        None)
+            if pred is None:
+                break
+            if pred.is_eq:
+                key = canonical_value_key(pred.low)
+                lo.append(key)
+                hi.append(key)
+                continue
+            if pred.low is not None:
+                lo.append(canonical_value_key(pred.low))
+            if pred.high is not None:
+                hi.append(canonical_value_key(pred.high))
+            break
+        return tuple(lo), tuple(hi)
+
+    def _main_segment_span(self, part, preds, stats):
+        """``(main_segments, start, stop)`` after binary-search pruning.
+
+        Sorted main segments have disjoint, ordered key ranges, so a
+        predicate binding a sort-key prefix selects one contiguous span
+        via two bisects instead of a zone-map check per segment; segments
+        outside the span count as pruned.
+        """
+        main = part.main_segments()
+        if not main or not preds:
+            return main, 0, len(main)
+        lo, hi = self._span_keys(part, preds)
+        if not lo and not hi:
+            return main, 0, len(main)
+        start, stop = part.main_span(lo, hi)
+        stats.segments_pruned += sum(
+            1 for idx in range(len(main))
+            if (idx < start or idx >= stop) and main[idx].live_count)
+        return main, start, stop
+
+    def _partition_segments(self, part, preds, skip_segment, stats):
+        """Segments to scan, in physical order (span-pruned main + delta)."""
+        if not getattr(part, "sorted_mode", False):
+            yield from part.scan_segments(skip_segment)
+            return
+        main, start, stop = self._main_segment_span(part, preds, stats)
+        for segment in main[start:stop]:
+            if segment.live_count and not skip_segment(segment):
+                yield segment
+        for segment in part.delta_segments():
+            if segment.live_count and not skip_segment(segment):
+                yield segment
+
+    def _live_selection(self, segment, preds, stats):
+        """Surviving offsets after pushed predicates and the live bitmap.
+
+        ``None`` means *every row* (fully-live segment with no in-scan
+        filtering — the zero-copy case); otherwise a (possibly empty)
+        offset list in physical order.
+        """
+        selection = (self._segment_selection(segment, preds, stats)
+                     if self.filter_in_scan else None)
+        if selection is None:
+            if segment.live_count == segment.size:
+                return None
+            live = segment.live
+            return [i for i in range(segment.size) if live[i]]
+        if segment.live_count != segment.size:
+            live = segment.live
+            selection = [i for i in selection if live[i]]
+        return selection
+
+    def _segment_emit(self, segment, selection, stats):
+        """``(batch, rows)`` for one segment's surviving selection.
+
+        ``selection=None`` emits zero-copy column views; an empty
+        selection emits nothing (``(None, 0)``).  Shared by the ordered
+        and unordered scans so batch emission cannot diverge.
+        """
+        positions = self.positions
+        if selection is None:
+            # untouched segment: zero-copy column views
+            stats.batches_scanned += 1
+            return (Batch([segment.columns[p] for p in positions],
+                          segment.size), segment.size)
+        if not selection:
+            return None, 0
+        stats.batches_scanned += 1
+        return (Batch([_LazyColumn(segment.columns[p], selection, stats)
+                       for p in positions], len(selection)), len(selection))
+
     def _scan_partition(self, part, ctx, preds, skip_segment):
         name = self.table.name
         stats = ctx.stats
-        positions = self.positions
+        if getattr(part, "sorted_mode", False):
+            stats.delta_rows_pending += part.delta_live_rows()
+            if self.ordered:
+                yield from self._scan_partition_ordered(part, ctx, preds,
+                                                        skip_segment)
+                return
         scanned = 0
-        for segment in part.scan_segments(skip_segment):
+        for segment in self._partition_segments(part, preds, skip_segment,
+                                                stats):
             if segment.encoded:
                 stats.segments_encoded += 1
-            selection = (self._segment_selection(segment, preds, stats)
-                         if self.filter_in_scan else None)
+            batch, rows = self._segment_emit(
+                segment, self._live_selection(segment, preds, stats), stats)
+            if batch is not None:
+                scanned += rows
+                yield batch
+        stats.rows_columnar[name] += scanned
+
+    def _scan_partition_ordered(self, part, ctx, preds, skip_segment):
+        """Merge-on-read in sort-key order.
+
+        The surviving delta rows are sorted once and interleaved with the
+        (already sorted) main segments: rows keyed before a segment's
+        range are emitted ahead of it, rows keyed inside it are row-merged
+        into that segment's batch, and segments untouched by the overlay
+        stream through as zero-copy/lazy batches exactly like the
+        unordered scan.  The resulting batch stream is non-decreasing on
+        the canonical sort key end-to-end — the property the planner's
+        sort elision relies on.
+        """
+        stats = ctx.stats
+        positions = self.positions
+        key_positions = part.sort_positions
+        scanned = 0
+
+        delta_rows: list[tuple] = []        # (canonical key, projected row)
+        for segment in part.delta_segments():
+            if segment.live_count == 0 or skip_segment(segment):
+                continue
+            selection = self._live_selection(segment, preds, stats)
             if selection is None:
-                if segment.live_count == segment.size:
-                    # untouched segment: zero-copy column views
-                    stats.batches_scanned += 1
-                    scanned += segment.size
-                    yield Batch([segment.columns[p] for p in positions],
-                                segment.size)
-                    continue
-                live = segment.live
-                selection = [i for i in range(segment.size) if live[i]]
-            elif segment.live_count != segment.size:
-                live = segment.live
-                selection = [i for i in selection if live[i]]
+                selection = list(range(segment.size))
             if not selection:
                 continue
+            columns = segment.columns
+            for i in selection:
+                delta_rows.append((
+                    tuple(canonical_value_key(columns[p][i])
+                          for p in key_positions),
+                    tuple(columns[p][i] for p in positions),
+                ))
+        delta_rows.sort(key=lambda entry: entry[0])
+        total_delta = len(delta_rows)
+
+        def overlay_batch(entries):
+            nonlocal scanned
             stats.batches_scanned += 1
-            scanned += len(selection)
-            yield Batch([_LazyColumn(segment.columns[p], selection, stats)
-                         for p in positions], len(selection))
-        stats.rows_columnar[name] += scanned
+            scanned += len(entries)
+            rows = [entry[1] for entry in entries]
+            return Batch([list(col) for col in zip(*rows)], len(rows))
+
+        main, start, stop = self._main_segment_span(part, preds, stats)
+        lows = part.main_lo
+        highs = part.main_hi
+        cursor = 0
+        for idx in range(start, stop):
+            segment = main[idx]
+            if segment.live_count == 0 or skip_segment(segment):
+                continue
+            cut = cursor
+            while cut < total_delta and delta_rows[cut][0] < lows[idx]:
+                cut += 1
+            if cut > cursor:
+                yield overlay_batch(delta_rows[cursor:cut])
+                cursor = cut
+            overlap = cursor
+            segment_hi = highs[idx]
+            while overlap < total_delta and \
+                    delta_rows[overlap][0] <= segment_hi:
+                overlap += 1
+            if segment.encoded:
+                stats.segments_encoded += 1
+            selection = self._live_selection(segment, preds, stats)
+            if overlap == cursor:
+                # no overlay inside this segment: emit it exactly like the
+                # unordered scan (zero-copy / lazy gathers)
+                batch, rows = self._segment_emit(segment, selection, stats)
+                if batch is not None:
+                    scanned += rows
+                    yield batch
+                continue
+            # overlay rows key inside this segment: row-level merge
+            if selection is None:
+                selection = list(range(segment.size))
+            entries = delta_rows[cursor:overlap]
+            cursor = overlap
+            columns = segment.columns
+            merged: list[tuple] = []
+            pending = 0
+            n_entries = len(entries)
+            for offset in selection:
+                key = tuple(canonical_value_key(columns[p][offset])
+                            for p in key_positions)
+                while pending < n_entries and entries[pending][0] <= key:
+                    merged.append(entries[pending][1])
+                    pending += 1
+                merged.append(tuple(columns[p][offset] for p in positions))
+            while pending < n_entries:
+                merged.append(entries[pending][1])
+                pending += 1
+            stats.batches_scanned += 1
+            scanned += len(merged)
+            yield Batch([list(col) for col in zip(*merged)], len(merged))
+        if cursor < total_delta:
+            yield overlay_batch(delta_rows[cursor:])
+        stats.rows_columnar[self.table.name] += scanned
 
     def execute_partitions(self, ctx):
         name = self.table.name
@@ -741,6 +977,21 @@ class BatchRows:
         for batch in self.child.execute_batches(ctx):
             yield from batch.rows()
 
+    @staticmethod
+    def _rows_of(batches):
+        for batch in batches:
+            yield from batch.rows()
+
+    def execute_streams(self, ctx):
+        """Per-partition row streams (scatter shape preserved).
+
+        The sort-elision operator merges these by sort key: each partition
+        stream of an ordered scan is key-sorted on its own, so a k-way
+        merge reproduces one globally ordered stream without a sort.
+        """
+        for _pid, batches in self.child.execute_partitions(ctx):
+            yield self._rows_of(batches)
+
     def children(self):
         return [self.child]
 
@@ -758,12 +1009,23 @@ class BatchAggregate:
     and the partials are merged in partition order.  Accumulators are
     order-insensitive and mergeable, so the merged result is bit-identical
     to aggregating one concatenated stream — and to the row pipeline.
+
+    **Encoded group-by**: when the single grouping key is a plain column
+    of the scan (``group_positions``), batches whose key column is
+    dictionary-encoded group by the integer DICT *codes* — one accumulator
+    slot per dictionary code — and decode only the surviving group keys.
+    Group creation order is first-encounter scan order, identical to the
+    generic value path, so results (and emission order) do not change.
     """
 
-    def __init__(self, child: VectorNode, group_fns, agg_specs):
+    def __init__(self, child: VectorNode, group_fns, agg_specs,
+                 group_positions: list | None = None):
         self.child = child
         self.group_fns = group_fns
         self.agg_specs = agg_specs
+        # batch-column position of each group key when it is a direct
+        # column reference (None for computed keys)
+        self.group_positions = group_positions
         names = [f"__G{i}" for i in range(len(group_fns))]
         names += [f"__A{j}" for j in range(len(agg_specs))]
         self.schema = Schema([(None, name) for name in names])
@@ -772,10 +1034,45 @@ class BatchAggregate:
         return [make_accumulator(s.name, s.arg_fn is None, s.distinct)
                 for s in self.agg_specs]
 
+    def _fold_coded(self, batch, ctx, groups: dict, arg_cols,
+                    position: int) -> bool:
+        """Group one batch by dictionary codes (code-indexed slots).
+
+        Returns False when the key column carries no dictionary — the
+        caller falls back to the generic value path for this batch.
+        """
+        column = batch.columns[position]
+        source = getattr(column, "dict_codes", None)
+        if source is None:
+            return False
+        found = source()
+        if found is None:
+            return False
+        codes, dictionary = found
+        # one slot per dictionary code, plus slot [-1] for the NULL key
+        slots: list = [None] * (len(dictionary) + 1)
+        for i, code in enumerate(codes):
+            accs = slots[code]
+            if accs is None:
+                key = (None,) if code < 0 else (dictionary[code],)
+                accs = groups.get(key)
+                if accs is None:
+                    accs = self._make_accs()
+                    groups[key] = accs
+                slots[code] = accs
+            for acc, col in zip(accs, arg_cols):
+                acc.add(1 if col is None else col[i])
+        ctx.stats.groups_coded += 1
+        return True
+
     def _fold(self, batches, ctx, groups: dict):
         """Fold one batch stream into ``groups`` (a partial aggregate)."""
         group_fns = self.group_fns
         specs = self.agg_specs
+        positions = self.group_positions
+        coded_position = (positions[0]
+                          if positions is not None and len(positions) == 1
+                          and positions[0] is not None else None)
         rows = 0
         for batch in batches:
             n = len(batch)
@@ -792,6 +1089,10 @@ class BatchAggregate:
                         acc.add_many([1] * n)
                     else:
                         acc.add_many(col)
+                continue
+            if coded_position is not None and \
+                    self._fold_coded(batch, ctx, groups, arg_cols,
+                                     coded_position):
                 continue
             key_cols = [fn(batch, ctx) for fn in group_fns]
             for i, key in enumerate(zip(*key_cols)):

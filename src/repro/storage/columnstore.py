@@ -20,6 +20,24 @@ columnstore) organise it: fixed-size *segments* of column arrays, each with
   ``NATIVE`` (homogeneous ints/floats -> ``array('q')``/``array('d')``
   typed arrays with a null set), falling back to ``PLAIN`` object lists.
 
+Tables come in two physical organisations:
+
+* **arrival order** (``sorted_compaction=False``): segments fill in WAL
+  apply order, seal when full, and in-place overwrites demote a sealed
+  segment back to PLAIN until ``compact()`` re-encodes it — the PR 4
+  engine, kept byte-for-byte as the A/B baseline;
+* **delta–main** (``sorted_compaction=True``): WAL records apply into
+  unsorted *plain delta* tail segments (replication semantics unchanged),
+  while ``compact()`` merges delta rows with the existing main rows into
+  *main* segments kept globally ordered on the table's **sort key**
+  (default: the primary key) — TiFlash's delta-tree merge.  Ordering
+  lengthens RLE runs, makes zone maps disjoint, and lets range predicates
+  on a sort-key prefix bind a *contiguous segment span* located by binary
+  search (``main_span``) instead of checking every zone map.  Updates of
+  main rows kill the old slot and append the new version to the delta, so
+  main segments stay immutable (and encoded) between merges; scans are
+  merge-on-read over main plus the small delta overlay.
+
 WAL records always apply into *unencoded* tail segments (replication
 semantics are unchanged); an in-place overwrite of a sealed segment demotes
 it back to PLAIN, and ``compact()`` re-encodes demoted segments.  Encoded
@@ -39,11 +57,12 @@ from __future__ import annotations
 
 import heapq
 from array import array
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from collections.abc import Iterator
 
 from repro.catalog.schema import Table
 from repro.errors import CatalogError
+from repro.sql.ordering import canonical_key_of
 from repro.sql.result import Batch
 from repro.storage.partition import PartitionMap
 from repro.storage.wal import LogOp, WriteAheadLog
@@ -135,6 +154,11 @@ class DictColumn:
         values = self.values
         return [None if (c := codes[i]) < 0 else values[c]
                 for i in selection]
+
+    def dict_codes(self):
+        """``(codes, dictionary)`` for code-space grouping: one accumulator
+        slot per dictionary code, values decoded only for surviving keys."""
+        return self.codes, self.values
 
     def code_for(self, value):
         """Code of ``value`` in this segment's dictionary (None if absent)."""
@@ -675,22 +699,50 @@ class Segment:
 
 
 class ColumnarTable:
-    """Column-major storage for one table, in fixed-size segments."""
+    """Column-major storage for one table, in fixed-size segments.
+
+    ``sorted_compaction=True`` switches the table to the delta–main
+    organisation: ``_segments`` becomes the unsorted plain delta tail and
+    ``_main_segments`` holds the sort-key-ordered (encoded) segments
+    produced by ``compact()`` merges.  ``sort_key`` is a tuple of column
+    positions (defaults to the primary key).
+    """
 
     def __init__(self, table: Table, segment_rows: int = SEGMENT_ROWS,
-                 encode: bool = True):
+                 encode: bool = True,
+                 sort_key: tuple[int, ...] | None = None,
+                 sorted_compaction: bool = False,
+                 merge_totals: list | None = None):
         if segment_rows <= 0:
             raise ValueError("segment_rows must be positive")
         self.table = table
         self.segment_rows = segment_rows
         self.encode = encode
+        self.sorted_mode = sorted_compaction
+        self.sort_positions: tuple[int, ...] = (
+            tuple(sort_key) if sort_key is not None else table.pk_positions)
+        # arrival-order segments (unsorted mode) / plain delta tail (sorted)
         self._segments: list[Segment] = []
         self._pk_to_slot: dict[tuple, int] = {}
+        # sort-key-ordered merged segments (sorted mode only), with the
+        # canonical sort-key tuple of each segment's first and last
+        # physical row — the sorted zone-map index main_span() bisects
+        self._main_segments: list[Segment] = []
+        self._main_pk_to_slot: dict[tuple, int] = {}   # live main rows only
+        self.main_lo: list[tuple] = []
+        self.main_hi: list[tuple] = []
         self.row_count = 0
         # zone-map widening deferred until the end of the apply chunk:
         # (segment, values) pairs grouped and flushed by flush_zone_maps()
         self._zone_pending: list[tuple[Segment, tuple]] = []
         self.encode_events = 0      # seals + compaction re-encodes
+        # ordered-compaction accounting: per-table cumulative counters,
+        # plus the replica's shared [segments, rows] totals so replica-wide
+        # reads stay O(1) instead of sweeping tables x partitions
+        self.compactions = 0
+        self.segments_merged_total = 0
+        self.rows_merged_total = 0
+        self._merge_totals = merge_totals
 
     # -- write path (WAL application) ----------------------------------
 
@@ -698,7 +750,26 @@ class ColumnarTable:
         return (self._segments[slot // self.segment_rows],
                 slot % self.segment_rows)
 
+    def _locate_main(self, slot: int) -> tuple[Segment, int]:
+        return (self._main_segments[slot // self.segment_rows],
+                slot % self.segment_rows)
+
+    def _delta_append(self, pk: tuple, values: tuple) -> Segment:
+        """Append a new live row to the delta/arrival tail."""
+        if not self._segments or self._segments[-1].full:
+            self._segments.append(
+                Segment(len(self.table.columns), self.segment_rows))
+        segment = self._segments[-1]
+        offset = segment.append(values)
+        self._pk_to_slot[pk] = \
+            (len(self._segments) - 1) * self.segment_rows + offset
+        self.row_count += 1
+        return segment
+
     def apply(self, pk: tuple, values: tuple | None, op: LogOp):
+        if self.sorted_mode:
+            self._apply_sorted(pk, values, op)
+            return
         slot = self._pk_to_slot.get(pk)
         if op is LogOp.DELETE or values is None:
             if slot is not None:
@@ -708,18 +779,52 @@ class ColumnarTable:
                     self.row_count -= 1
             return
         if slot is None:
-            if not self._segments or self._segments[-1].full:
-                self._segments.append(
-                    Segment(len(self.table.columns), self.segment_rows))
-            segment = self._segments[-1]
-            offset = segment.append(values)
-            self._pk_to_slot[pk] = \
-                (len(self._segments) - 1) * self.segment_rows + offset
-            self.row_count += 1
+            segment = self._delta_append(pk, values)
             if segment.full and self.encode:
                 self.flush_zone_maps()
                 segment.seal()
                 self.encode_events += 1
+        else:
+            segment, offset = self._locate(slot)
+            if not segment.live[offset]:
+                segment.revive(offset)
+                self.row_count += 1
+            segment.write(offset, values)
+        self._zone_pending.append((segment, values))
+
+    def _apply_sorted(self, pk: tuple, values: tuple | None, op: LogOp):
+        """Delta–main apply: main segments are immutable between merges.
+
+        Deletes kill the row wherever it lives (delta slot or main live
+        bitmap); inserts/updates of a pk living in main kill the main slot
+        and append the new version to the delta tail, so the newest version
+        of every pk lives in exactly one place and merge-on-read needs no
+        per-row deduplication.  Delta segments never seal: they stay plain
+        until the next merge re-sorts them into main.
+        """
+        slot = self._pk_to_slot.get(pk)
+        if op is LogOp.DELETE or values is None:
+            if slot is not None:
+                segment, offset = self._locate(slot)
+                if segment.live[offset]:
+                    segment.kill(offset)
+                    self.row_count -= 1
+            else:
+                main_slot = self._main_pk_to_slot.pop(pk, None)
+                if main_slot is not None:
+                    segment, offset = self._locate_main(main_slot)
+                    segment.kill(offset)
+                    self.row_count -= 1
+            return
+        if slot is None:
+            main_slot = self._main_pk_to_slot.pop(pk, None)
+            if main_slot is not None:
+                # supersede the main version; the dead slot is reclaimed
+                # by the next merge
+                segment, offset = self._locate_main(main_slot)
+                segment.kill(offset)
+                self.row_count -= 1
+            segment = self._delta_append(pk, values)
         else:
             segment, offset = self._locate(slot)
             if not segment.live[offset]:
@@ -745,8 +850,23 @@ class ColumnarTable:
         for segment, rows in by_segment.values():
             segment.observe_batch(rows)
 
-    def compact(self) -> int:
-        """Re-encode demoted (dirty) sealed-size segments; returns count."""
+    def compact(self, force: bool = False) -> int:
+        """Background compaction; returns the number of segments produced.
+
+        Arrival-order tables re-encode demoted (dirty) sealed-size
+        segments.  Delta–main tables merge the delta tail into the sorted
+        main segments once the delta reaches a full segment's worth of
+        live rows (``force=True`` merges any non-empty delta) — the
+        threshold amortises the main rewrite over many applied chunks.
+        """
+        if self.sorted_mode:
+            self.flush_zone_maps()
+            pending = self.delta_live_rows()
+            if pending == 0:
+                return 0
+            if not force and pending < self.segment_rows:
+                return 0
+            return self._merge_delta()
         if not self.encode:
             return 0
         self.flush_zone_maps()
@@ -758,20 +878,135 @@ class ColumnarTable:
                 compacted += 1
         return compacted
 
+    def delta_live_rows(self) -> int:
+        """Live rows waiting in the delta tail (0 for arrival-order tables)."""
+        if not self.sorted_mode:
+            return 0
+        return sum(segment.live_count for segment in self._segments)
+
+    def _live_rows_of(self, segments: list[Segment]) -> list[tuple]:
+        """Materialise the live rows of ``segments`` as value tuples."""
+        rows: list[tuple] = []
+        for segment in segments:
+            if segment.live_count == 0:
+                continue
+            columns = [col if isinstance(col, list) else col.decode()
+                       for col in segment.columns]
+            live = segment.live
+            if segment.live_count == segment.size:
+                rows.extend(zip(*columns))
+            else:
+                rows.extend(tuple(col[i] for col in columns)
+                            for i in range(segment.size) if live[i])
+        return rows
+
+    def _merge_delta(self) -> int:
+        """Ordered compaction: merge delta + main into new sorted main.
+
+        Every live row (old main plus delta) is re-sorted on the canonical
+        sort key (ties broken by the canonical primary-key order, so the
+        rebuilt layout is deterministic for non-unique sort keys) and
+        re-sealed into fresh encoded segments; dead slots are dropped.
+        Sorting is what lengthens RLE runs and makes the per-segment key
+        ranges disjoint — the precondition for ``main_span`` binary search.
+        """
+        sort_positions = self.sort_positions
+        pk_positions = self.table.pk_positions
+
+        if sort_positions == pk_positions:
+            def merge_key(row):
+                return canonical_key_of(row, sort_positions)
+        else:
+            def merge_key(row):
+                return (canonical_key_of(row, sort_positions)
+                        + canonical_key_of(row, pk_positions))
+
+        rows = self._live_rows_of(self._main_segments)
+        rows.extend(self._live_rows_of(self._segments))
+        rows.sort(key=merge_key)
+
+        n_columns = len(self.table.columns)
+        width = self.segment_rows
+        pk_of = self.table.pk_of
+        segments: list[Segment] = []
+        lows: list[tuple] = []
+        highs: list[tuple] = []
+        pk_map: dict[tuple, int] = {}
+        for start in range(0, len(rows), width):
+            chunk = rows[start:start + width]
+            segment = Segment(n_columns, width)
+            for row in chunk:
+                segment.append(row)
+            segment.observe_batch(chunk)
+            if self.encode:
+                segment.seal()
+                self.encode_events += 1
+            segments.append(segment)
+            lows.append(canonical_key_of(chunk[0], sort_positions))
+            highs.append(canonical_key_of(chunk[-1], sort_positions))
+            for offset, row in enumerate(chunk):
+                pk_map[pk_of(row)] = start + offset
+        self._main_segments = segments
+        self.main_lo = lows
+        self.main_hi = highs
+        self._main_pk_to_slot = pk_map
+        self._segments = []
+        self._pk_to_slot = {}
+        self._zone_pending = []
+        self.row_count = len(rows)
+        self.compactions += 1
+        self.segments_merged_total += len(segments)
+        self.rows_merged_total += len(rows)
+        if self._merge_totals is not None:
+            self._merge_totals[0] += len(segments)
+            self._merge_totals[1] += len(rows)
+        return len(segments)
+
+    # -- sorted-index lookups ------------------------------------------
+
+    def main_span(self, lo_key: tuple, hi_key: tuple) -> tuple[int, int]:
+        """Contiguous ``[start, stop)`` span of main segments whose sort-key
+        range can intersect ``[lo_key, hi_key]``.
+
+        Keys are canonical sort-key *prefix* tuples (empty = unbounded on
+        that side).  Because main segments are globally ordered, one binary
+        search per bound replaces the per-segment zone-map checks: segments
+        outside the span are provably disjoint from the predicate.
+        """
+        main = self._main_segments
+        if not main:
+            return 0, 0
+        start, stop = 0, len(main)
+        if lo_key:
+            k = len(lo_key)
+            start = bisect_left(self.main_hi, lo_key,
+                                key=lambda key: key[:k])
+        if hi_key:
+            k = len(hi_key)
+            stop = bisect_right(self.main_lo, hi_key,
+                                key=lambda key: key[:k])
+        return start, max(start, stop)
+
     # -- encoding statistics -------------------------------------------
+
+    def _all_segments(self) -> list[Segment]:
+        """Every segment in physical scan order (main first, then delta)."""
+        if self.sorted_mode:
+            return self._main_segments + self._segments
+        return self._segments
 
     def encoding_stats(self) -> dict:
         """Segment/byte accounting of the encoding layer."""
         self.flush_zone_maps()
         stats = {
-            "segments_total": len(self._segments),
+            "segments_total": len(self._all_segments()),
             "segments_encoded": 0,
             "bytes_plain": 0,
             "bytes_encoded": 0,
             "encodings": {Encoding.PLAIN: 0, Encoding.DICT: 0,
                           Encoding.RLE: 0, Encoding.NATIVE: 0},
         }
-        for segment in self._segments:
+        for segment in self._all_segments():
             if not segment.encoded:
                 continue
             stats["segments_encoded"] += 1
@@ -785,8 +1020,25 @@ class ColumnarTable:
     # -- read path ------------------------------------------------------
 
     def scan(self) -> Iterator[tuple[tuple, tuple]]:
-        """Yield ``(pk, values)`` for live rows as of the applied watermark."""
+        """Yield ``(pk, values)`` for live rows as of the applied watermark.
+
+        Sorted tables scan in physical order (sorted main, then the delta
+        overlay) so the row pipeline sees the same row sequence as the
+        vectorized scan; arrival-order tables keep pk-insertion order.
+        """
         self.flush_zone_maps()
+        if self.sorted_mode:
+            pk_of = self.table.pk_of
+            for segment in self._all_segments():
+                if segment.live_count == 0:
+                    continue
+                live = segment.live
+                columns = segment.columns
+                for offset in range(segment.size):
+                    if live[offset]:
+                        values = tuple(col[offset] for col in columns)
+                        yield pk_of(values), values
+            return
         segments = self._segments
         width = self.segment_rows
         for pk, slot in self._pk_to_slot.items():
@@ -799,6 +1051,19 @@ class ColumnarTable:
         """Materialise one live column (used by columnar aggregate fast paths)."""
         self.flush_zone_maps()
         pos = self.table.position(column)
+        if self.sorted_mode:
+            values: list = []
+            for segment in self._all_segments():
+                if segment.live_count == 0:
+                    continue
+                column_data = segment.columns[pos]
+                if segment.live_count == segment.size:
+                    values.extend(column_data)
+                else:
+                    live = segment.live
+                    values.extend(column_data[i] for i in range(segment.size)
+                                  if live[i])
+            return values
         segments = self._segments
         width = self.segment_rows
         return [
@@ -809,10 +1074,20 @@ class ColumnarTable:
 
     def segments(self) -> list[Segment]:
         self.flush_zone_maps()
-        return list(self._segments)
+        return list(self._all_segments())
+
+    def main_segments(self) -> list[Segment]:
+        """The sort-key-ordered merged segments (sorted mode)."""
+        self.flush_zone_maps()
+        return self._main_segments
+
+    def delta_segments(self) -> list[Segment]:
+        """The unsorted plain delta tail (sorted mode)."""
+        self.flush_zone_maps()
+        return self._segments
 
     def segment_count(self) -> int:
-        return len(self._segments)
+        return len(self._all_segments())
 
     def segment_batch(self, segment: Segment,
                       positions: list[int] | None = None) -> Batch:
@@ -848,7 +1123,7 @@ class ColumnarTable:
         positions = None
         if columns is not None:
             positions = [self.table.position(c) for c in columns]
-        for segment in self._segments:
+        for segment in self._all_segments():
             if segment.live_count == 0:
                 continue
             if skip_segment is not None and skip_segment(segment):
@@ -859,7 +1134,7 @@ class ColumnarTable:
         """Yield non-empty segments (zone maps flushed), applying
         ``skip_segment`` pruning — the encoded-execution scan entry point."""
         self.flush_zone_maps()
-        for segment in self._segments:
+        for segment in self._all_segments():
             if segment.live_count == 0:
                 continue
             if skip_segment is not None and skip_segment(segment):
@@ -935,11 +1210,15 @@ class ColumnarReplica:
 
     ``encode=False`` forces every segment to stay PLAIN — the parity
     baseline the encoding tests and benchmarks compare against.
+    ``sorted_compaction=True`` switches every table to the delta–main
+    organisation (sort-key-ordered main segments + plain delta tails);
+    False preserves the arrival-order engine byte-for-byte.
     """
 
     def __init__(self, segment_rows: int = SEGMENT_ROWS,
                  partition_map: PartitionMap | None = None,
-                 encode: bool = True):
+                 encode: bool = True,
+                 sorted_compaction: bool = False):
         if segment_rows <= 0:
             raise ValueError("segment_rows must be positive")
         self.pmap = partition_map or PartitionMap(1)
@@ -947,11 +1226,18 @@ class ColumnarReplica:
         self._tables: dict[str, list[ColumnarTable]] = {}
         self.segment_rows = segment_rows
         self.encode = encode
+        self.sorted_compaction = sorted_compaction
         self.applied_lsns = [0] * self.pmap.partitions
         self.applied_ts = 0
         # scan_cost_factor cache, invalidated whenever a seal/compact
         # changes the encoded byte accounting (keyed on total encode events)
         self._scan_factor_cache: tuple[int, float] = (-1, 1.0)
+        # replica-wide [segments, rows] merge totals, incremented by each
+        # table's _merge_delta (O(1) reads on the simulator's hot loop),
+        # plus the watermarks already handed to the simulator
+        self._merge_totals: list = [0, 0]
+        self._drained_segments_merged = 0
+        self._drained_rows_merged = 0
 
     @property
     def partitions(self) -> int:
@@ -967,12 +1253,16 @@ class ColumnarReplica:
             )
         return self.applied_lsns[0]
 
-    def register_table(self, table: Table):
+    def register_table(self, table: Table,
+                       sort_key: tuple[int, ...] | None = None):
         key = table.name.upper()
         if key in self._tables:
             raise CatalogError(f"columnar table {table.name!r} already exists")
         self._tables[key] = [
-            ColumnarTable(table, self.segment_rows, encode=self.encode)
+            ColumnarTable(table, self.segment_rows, encode=self.encode,
+                          sort_key=sort_key,
+                          sorted_compaction=self.sorted_compaction,
+                          merge_totals=self._merge_totals)
             for _ in self.pmap.all_partitions()
         ]
 
@@ -1005,10 +1295,38 @@ class ColumnarReplica:
             for part in parts:
                 part.flush_zone_maps()
 
-    def compact(self) -> int:
-        """Re-encode segments demoted by in-place overwrites."""
-        return sum(part.compact()
+    def compact(self, force: bool = False) -> int:
+        """Background compaction across tables and partitions.
+
+        Arrival-order replicas re-encode segments demoted by in-place
+        overwrites; delta–main replicas additionally merge delta tails
+        into the sorted main segments (``force=True`` merges every
+        non-empty delta regardless of the amortisation threshold).
+        """
+        return sum(part.compact(force)
                    for parts in self._tables.values() for part in parts)
+
+    def delta_rows_pending(self) -> int:
+        """Live rows waiting in delta tails across tables and partitions."""
+        return sum(part.delta_live_rows()
+                   for parts in self._tables.values() for part in parts)
+
+    def drain_compaction_stats(self) -> tuple[int, int]:
+        """``(segments_merged, rows_merged)`` since the last drain.
+
+        The simulator charges ordered-compaction work to the columnar node
+        group; draining keeps the charge incremental per engine tick.
+        """
+        segments, rows = self._merge_totals
+        delta = (segments - self._drained_segments_merged,
+                 rows - self._drained_rows_merged)
+        self._drained_segments_merged = segments
+        self._drained_rows_merged = rows
+        return delta
+
+    def segments_merged_total(self) -> int:
+        """Cumulative segments produced by ordered compactions (O(1))."""
+        return self._merge_totals[0]
 
     def encoding_stats(self) -> dict:
         """Aggregate encoding accounting across tables and partitions."""

@@ -191,8 +191,13 @@ def _fill_encoded(db, n=512):
 
 
 def _make_encoded_db(segment_rows=64, encoding=True, partitions=1):
+    # pinned to the arrival-order engine: this suite regression-tests the
+    # PR 4 encoding layer (seal-on-fill, demote-on-overwrite, re-encode on
+    # compact), which sorted_compaction=False keeps as the A/B baseline;
+    # the delta–main engine has its own suite (test_sorted_compaction.py)
     db = Database(with_columnar=True, columnar_segment_rows=segment_rows,
-                  columnar_encoding=encoding, partitions=partitions)
+                  columnar_encoding=encoding, partitions=partitions,
+                  sorted_compaction=False)
     db.execute_ddl(
         "CREATE TABLE e (id INT PRIMARY KEY, grp INT, tag VARCHAR(8), "
         "v DOUBLE, q INT)")
@@ -357,9 +362,11 @@ class TestZoneMapBatching:
 
 def _build_workload_db(name, scale, seed, encoding, partitions):
     # 64-row segments so sealing (and therefore encoding) engages even on
-    # the per-partition shards of the smallest 0.05-scale tables
+    # the per-partition shards of the smallest 0.05-scale tables; pinned
+    # to the arrival-order engine (see _make_encoded_db)
     db = Database(with_columnar=True, columnar_segment_rows=64,
-                  columnar_encoding=encoding, partitions=partitions)
+                  columnar_encoding=encoding, partitions=partitions,
+                  sorted_compaction=False)
     workload = make_workload(name)
     workload.install(db, Random(seed), scale, with_foreign_keys=False)
     return db, workload

@@ -220,7 +220,15 @@ class TestZoneMapPruning:
         assert applied_rows == 100
 
     def test_delete_reinsert_reuses_slot(self):
-        db = _make_db(segment_rows=16)
+        # slot reuse is an arrival-order behaviour: the delta–main engine
+        # instead appends the reinsert to the delta tail and reclaims the
+        # dead main slot at the next merge (covered in
+        # tests/test_sorted_compaction.py)
+        db = Database(with_columnar=True, columnar_segment_rows=16,
+                      sorted_compaction=False)
+        db.execute_ddl(
+            "CREATE TABLE m (id INT PRIMARY KEY, grp INT, v DOUBLE, "
+            "note VARCHAR(16))")
         _fill(db, 40)
         ctable = db.columnar.table("m")
         assert ctable.segment_count() == 3
