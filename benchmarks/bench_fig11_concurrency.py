@@ -1,0 +1,160 @@
+"""Fig. 11 (repo extension): commit latency under a live CH-benCHmark load.
+
+The session server drives a mixed-tenant CH-benCHmark population — N
+transactional clients running the TPC-C mix next to M analytical clients
+cycling full-scan queries — against one shared-everything OceanBase-like
+cluster, where analytical scans and commits contend for the same cores and
+the same buffer pool.  Three arms per client count:
+
+* ``baseline`` — the transactional clients alone (no flood);
+* ``admission_off`` — the analytical flood with the admission controller
+  disabled: scans saturate the shared cores and churn the buffer pool, and
+  the commit tail explodes;
+* ``admission_on`` — the same flood behind one analytical slot and one
+  full-scan slot: deferred scans back off while commits keep flowing.
+
+Headline (recorded in ``BENCH_fig11.json``, floor-checked in CI): at >= 16
+mixed clients, p99 commit latency with admission control on is at least 2x
+lower than with it off, and stays within a small factor of the no-flood
+baseline.  A parity section proves the server returns byte-identical query
+results to the sequential runner's connection across partition counts
+{1, 2, 8}.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.core.session import Session
+from repro.db import Database
+from repro.engines import make_engine
+from repro.server import (
+    AdmissionPolicy,
+    ClientSession,
+    Server,
+    mixed_population,
+    query_results,
+)
+from repro.workloads import make_workload
+
+from record import record_bench
+
+ENGINE = "oceanbase"
+WORKLOAD = "chbenchmark"
+SCALE = 0.3
+DURATION_MS = 4000.0
+WARMUP_MS = 1000.0
+SEED = 11
+# the flood mix: the order_line full scans (Q1's aggregation and Q6's
+# selective sum) — big enough to displace half the buffer pool
+FLOOD_QUERIES = ("Q1", "Q6")
+CLIENT_COUNTS = (16, 24)
+PARITY_PARTITIONS = (1, 2, 8)
+PARITY_SCALE = 0.15
+
+
+def _arm(policy: AdmissionPolicy, oltp_clients: int, olap_clients: int):
+    engine = make_engine(ENGINE, nodes=2, cores_per_node=2)
+    workload = make_workload(WORKLOAD, scale=SCALE)
+    workload.install(engine.db, Random(7), SCALE)
+    weights = {q.name: (1.0 if q.name in FLOOD_QUERIES else 0.0)
+               for q in workload.analytical_queries()}
+    clients = mixed_population(workload, oltp_clients, olap_clients,
+                               olap_weights=weights)
+    server = Server(engine, policy)
+    report = server.run(clients, duration_ms=DURATION_MS,
+                        warmup_ms=WARMUP_MS, seed=SEED,
+                        workload_name=WORKLOAD)
+    oltp = report.latency("oltp")
+    olap = report.latency("olap")
+    return {
+        "oltp_p50_ms": oltp.median,
+        "oltp_p99_ms": oltp.p99,
+        "oltp_throughput": report.throughput("oltp"),
+        "olap_p50_ms": olap.median if olap.count else None,
+        "olap_p99_ms": olap.p99 if olap.count else None,
+        "olap_completed": report.metrics("olap").completed
+        if "olap" in report.classes else 0,
+        "deferred": report.admission["deferred"],
+        "rejected": report.admission["rejected"],
+        "admission_enabled": report.admission_enabled,
+    }
+
+
+def _parity_point(partitions: int) -> bool:
+    db = Database(with_columnar=True, partitions=partitions)
+    workload = make_workload(WORKLOAD, scale=PARITY_SCALE)
+    workload.install(db, Random(7), PARITY_SCALE)
+    queries = workload.analytical_queries()
+    sequential = query_results(Session(db.connect()), queries)
+    via_server = query_results(ClientSession(db, 1, kind="olap"), queries)
+    return sequential == via_server
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_concurrency(benchmark, series):
+    points = []
+
+    def run():
+        points.clear()
+        for total in CLIENT_COUNTS:
+            oltp_clients = (total * 3) // 4
+            olap_clients = total - oltp_clients
+            baseline = _arm(AdmissionPolicy(), oltp_clients, 0)
+            off = _arm(AdmissionPolicy.disabled(), oltp_clients,
+                       olap_clients)
+            on = _arm(AdmissionPolicy(olap_slots=1, max_scan_slots=1),
+                      oltp_clients, olap_clients)
+            points.append({
+                "clients": total,
+                "oltp_clients": oltp_clients,
+                "olap_clients": olap_clients,
+                "baseline": baseline,
+                "admission_off": off,
+                "admission_on": on,
+                "p99_off_over_on": off["oltp_p99_ms"] / on["oltp_p99_ms"],
+                "p99_on_over_baseline":
+                    on["oltp_p99_ms"] / baseline["oltp_p99_ms"],
+            })
+        return points
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    parity = {
+        "partitions": list(PARITY_PARTITIONS),
+        "queries": len(make_workload(WORKLOAD,
+                                     scale=PARITY_SCALE).analytical_queries()),
+        "identical": all(_parity_point(p) for p in PARITY_PARTITIONS),
+    }
+
+    for point in points:
+        series.add(f"{point['clients']} clients p99 off/on (x)",
+                   ">=2", round(point["p99_off_over_on"], 2))
+        series.add(f"{point['clients']} clients p99 on/baseline (x)",
+                   "~1", round(point["p99_on_over_baseline"], 2))
+    series.add("parity across partitions", True, parity["identical"])
+    series.emit(benchmark)
+
+    record_bench("fig11", {
+        "engine": ENGINE,
+        "workload": WORKLOAD,
+        "scale": SCALE,
+        "duration_ms": DURATION_MS,
+        "warmup_ms": WARMUP_MS,
+        "seed": SEED,
+        "flood_queries": list(FLOOD_QUERIES),
+        "points": points,
+        "parity": parity,
+    })
+
+    # shape criteria: the admission controller must cut the commit tail at
+    # least 2x under the flood at every client count >= 16, and the server
+    # must agree byte-for-byte with the sequential runner
+    for point in points:
+        assert point["clients"] >= 16
+        assert point["p99_off_over_on"] >= 2.0, point
+        assert point["admission_on"]["deferred"]["olap"] > 0, point
+        assert point["admission_off"]["deferred"]["olap"] == 0, point
+    assert parity["identical"]

@@ -86,8 +86,59 @@ def check_fig05(path: str, min_speedup: float,
     return 0
 
 
+def check_fig11(path: str, min_ab_ratio: float = 2.0,
+                max_on_over_baseline: float = 1.5) -> int:
+    """CI floors for the concurrency record: with the analytical flood
+    active at >= 16 mixed clients, admission-control-on p99 commit latency
+    must be >= ``min_ab_ratio`` lower than admission-control-off AND stay
+    within ``max_on_over_baseline`` of the no-flood baseline; the server
+    must agree byte-for-byte with the sequential runner across partition
+    counts."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    points = payload.get("points", [])
+    if not points or all(p["clients"] < 16 for p in points):
+        print("FAIL: no measurement point at >= 16 clients — regenerate "
+              "with benchmarks/bench_fig11_concurrency.py")
+        return 1
+    for point in points:
+        ab = point["p99_off_over_on"]
+        vs_base = point["p99_on_over_baseline"]
+        print(f"{point['clients']} clients: p99 off/on {ab:.2f}x "
+              f"(floor {min_ab_ratio:g}x), on/baseline {vs_base:.2f}x "
+              f"(ceiling {max_on_over_baseline:g}x)")
+        if ab < min_ab_ratio:
+            print("FAIL: admission control no longer cuts the commit tail "
+                  "by the recorded floor")
+            return 1
+        if vs_base > max_on_over_baseline:
+            print("FAIL: admission-on commit tail drifted past the "
+                  "recorded ceiling over the no-flood baseline")
+            return 1
+        if not point["admission_on"]["deferred"]["olap"]:
+            print("FAIL: the controller deferred nothing — the flood "
+                  "never hit the admission path")
+            return 1
+    parity = payload.get("parity", {})
+    if not parity.get("identical"):
+        print("FAIL: server results no longer byte-identical to the "
+              "sequential runner")
+        return 1
+    print(f"parity: identical across partitions {parity['partitions']}")
+    print("OK")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     if len(argv) >= 2 and argv[0] == "check":
+        if "fig11" in Path(argv[1]).name:
+            min_ab_ratio = 2.0
+            max_on_over_baseline = 1.5
+            if "--min-ab-ratio" in argv:
+                min_ab_ratio = float(argv[argv.index("--min-ab-ratio") + 1])
+            if "--max-on-over-baseline" in argv:
+                max_on_over_baseline = float(
+                    argv[argv.index("--max-on-over-baseline") + 1])
+            return check_fig11(argv[1], min_ab_ratio, max_on_over_baseline)
         min_speedup = 5.0
         min_range_speedup = 2.0
         if "--min-speedup" in argv:

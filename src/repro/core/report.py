@@ -77,7 +77,9 @@ def render_text(report: RunReport, per_transaction: bool = False) -> str:
     if report.plan_cache_hits or report.plan_cache_misses:
         lines.append(
             f"  plan cache: hits={report.plan_cache_hits} "
-            f"misses={report.plan_cache_misses}"
+            f"misses={report.plan_cache_misses} "
+            f"evictions={report.plan_cache_evictions} "
+            f"contention={report.plan_cache_contention}"
         )
     return "\n".join(lines)
 
@@ -109,6 +111,7 @@ def render_csv(reports: list[RunReport]) -> str:
         "segments_merged", "delta_rows_pending", "sort_elided",
         "groups_coded",
         "plan_cache_hits", "plan_cache_misses",
+        "plan_cache_evictions", "plan_cache_contention",
         "partitions_scanned", "partitions_pruned",
         "multi_partition_commits",
     ])
@@ -127,6 +130,7 @@ def render_csv(reports: list[RunReport]) -> str:
                 report.segments_merged, report.delta_rows_pending,
                 report.sort_elided, report.groups_coded,
                 report.plan_cache_hits, report.plan_cache_misses,
+                report.plan_cache_evictions, report.plan_cache_contention,
                 report.partitions_scanned, report.partitions_pruned,
                 report.multi_partition_commits,
             ])

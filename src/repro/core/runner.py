@@ -74,6 +74,8 @@ class RunReport:
     # engine has no columnar replica)
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    plan_cache_evictions: int = 0
+    plan_cache_contention: int = 0
     encoding: dict | None = None
     # partition counters (aggregated over every request)
     partitions_scanned: int = 0
@@ -153,7 +155,9 @@ class RunReport:
         if self.plan_cache_hits or self.plan_cache_misses:
             lines.append(
                 f"  plan cache: hits={self.plan_cache_hits} "
-                f"misses={self.plan_cache_misses}"
+                f"misses={self.plan_cache_misses} "
+                f"evictions={self.plan_cache_evictions} "
+                f"contention={self.plan_cache_contention}"
             )
         commits = self.single_partition_commits + self.multi_partition_commits
         if commits:
@@ -375,6 +379,8 @@ class OLxPBench:
         report.segments_merged += exec_stats.segments_merged
         report.plan_cache_hits += exec_stats.plan_cache_hits
         report.plan_cache_misses += exec_stats.plan_cache_misses
+        report.plan_cache_evictions += exec_stats.plan_cache_evictions
+        report.plan_cache_contention += exec_stats.plan_cache_contention
         report.partitions_scanned += exec_stats.partitions_scanned
         report.partitions_pruned += exec_stats.partitions_pruned
         report.partial_aggregates += exec_stats.partial_aggregates

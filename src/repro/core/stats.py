@@ -134,6 +134,9 @@ class ClassMetrics:
     lock_wait_ms: float = 0.0
     service_ms: float = 0.0
     io_ms: float = 0.0
+    # time spent deferred by the front-end admission controller (zero when
+    # requests run without one, e.g. the sequential runner)
+    admission_wait_ms: float = 0.0
 
     def throughput(self, window_ms: float) -> float:
         """Completions per second over the measurement window."""

@@ -18,6 +18,7 @@ workload statements; hits/misses surface in each statement's ``ExecStats``.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.catalog.schema import Catalog, Column, ForeignKey, IndexDef, Table
@@ -117,9 +118,16 @@ class Database:
         # evict the least-recently-prepared plan instead of growing the
         # cache for the database's lifetime
         self._plan_cache: OrderedDict[str, object] = OrderedDict()
+        # one mutex guards every LRU mutation (lookup move_to_end, insert,
+        # eviction): OrderedDict reordering is not atomic, so interleaved
+        # sessions on a real worker pool would otherwise corrupt the
+        # recency chain.  Planning itself happens outside the lock.
+        self._plan_cache_lock = threading.Lock()
         self.plan_cache_size = plan_cache_size
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        self.plan_cache_evictions = 0
+        self.plan_cache_contention = 0
 
     @property
     def partitions(self) -> int:
@@ -255,7 +263,7 @@ class Database:
     # -- statement preparation -----------------------------------------------------
 
     def prepare(self, sql: str):
-        plan, _hit = self._prepare(sql)
+        plan, _hit, _evicted, _contended = self._prepare(sql)
         return plan
 
     def _cache_key(self, sql: str) -> tuple:
@@ -268,22 +276,56 @@ class Database:
         """
         return (sql, self.planner.encoded_pushdown, self.planner.sorted_scan)
 
-    def _prepare(self, sql: str) -> tuple[object, bool]:
-        """Plan lookup through the LRU; returns ``(plan, cache_hit)``."""
+    def _lock_plan_cache(self) -> bool:
+        """Take the plan-cache mutex; True when another session held it."""
+        if self._plan_cache_lock.acquire(blocking=False):
+            return False
+        self.plan_cache_contention += 1
+        self._plan_cache_lock.acquire()
+        return True
+
+    def _prepare(self, sql: str) -> tuple[object, bool, int, int]:
+        """Plan lookup through the LRU.
+
+        Returns ``(plan, cache_hit, evictions, contention)`` — the entries
+        this statement's insert displaced and the lock-held-by-another-
+        session encounters, both attributed to the statement's ExecStats.
+        """
         cache = self._plan_cache
         key = self._cache_key(sql)
-        plan = cache.get(key)
-        if plan is not None:
-            cache.move_to_end(key)
-            self.plan_cache_hits += 1
-            return plan, True
+        contended = 1 if self._lock_plan_cache() else 0
+        try:
+            plan = cache.get(key)
+            if plan is not None:
+                cache.move_to_end(key)
+                self.plan_cache_hits += 1
+                return plan, True, 0, contended
+        finally:
+            self._plan_cache_lock.release()
+        # parse + plan outside the lock: planning is the expensive part and
+        # needs no cache state
         statement = parse_sql(sql)
         plan = self.planner.plan(statement)
-        self.plan_cache_misses += 1
-        cache[key] = plan
-        if len(cache) > self.plan_cache_size:
-            cache.popitem(last=False)
-        return plan, False
+        evicted = 0
+        if self._lock_plan_cache():
+            contended += 1
+        try:
+            racer = cache.get(key)
+            if racer is not None:
+                # another session planned the same statement while we were
+                # outside the lock: keep the installed plan
+                cache.move_to_end(key)
+                self.plan_cache_hits += 1
+                return racer, True, 0, contended
+            self.plan_cache_misses += 1
+            cache[key] = plan
+            while len(cache) > self.plan_cache_size:
+                cache.popitem(last=False)
+                evicted += 1
+                self.plan_cache_evictions += 1
+        finally:
+            self._plan_cache_lock.release()
+        return plan, False, evicted, contended
 
     # -- connections ------------------------------------------------------------------
 
@@ -359,7 +401,7 @@ class Connection:
         transaction."""
         if self._closed:
             raise ConnectionStateError("connection is closed")
-        plan, cache_hit = self.db._prepare(sql)
+        plan, cache_hit, evicted, contended = self.db._prepare(sql)
         autocommit = self._txn is None
         if autocommit:
             self.begin()
@@ -375,6 +417,8 @@ class Connection:
             result.stats.plan_cache_hits += 1
         else:
             result.stats.plan_cache_misses += 1
+        result.stats.plan_cache_evictions += evicted
+        result.stats.plan_cache_contention += contended
         if autocommit:
             self.commit()
         return result

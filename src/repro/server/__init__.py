@@ -1,0 +1,39 @@
+"""Concurrent front end: sessions, admission control, the session server.
+
+Turns the harness from "benchmark runner" into "system under load": many
+long-lived ``ClientSession``s (each with its own MVCC snapshot lifecycle
+and statistics) are multiplexed over one shared ``Database`` by a
+``Server`` whose cooperative scheduler interleaves them deterministically
+in simulated time, behind an ``AdmissionController`` that bounds how much
+of each request class — and how many full scans — may be in flight at
+once.
+"""
+
+from repro.server.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionStats,
+    Ticket,
+)
+from repro.server.server import (
+    ClientSpec,
+    Server,
+    ServerReport,
+    mixed_population,
+    query_results,
+)
+from repro.server.session import ClientSession, SessionStats
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AdmissionStats",
+    "Ticket",
+    "ClientSession",
+    "SessionStats",
+    "ClientSpec",
+    "Server",
+    "ServerReport",
+    "mixed_population",
+    "query_results",
+]

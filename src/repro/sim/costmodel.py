@@ -63,6 +63,10 @@ class CostParams:
     columnar_stmt_overhead: float = 0.0
     # retry penalty for aborted transactions
     abort_penalty: float = 0.5
+    # admission-queue dispatch: checking slots, enqueueing and waking a
+    # session costs a little on every admitted request (the front-end
+    # server charges it on top of the engine's service demand)
+    admission_overhead: float = 0.02
 
     def scaled(self, factor: float) -> "CostParams":
         """A uniformly scaled copy (used for per-node-count penalties)."""

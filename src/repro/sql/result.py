@@ -104,9 +104,14 @@ class ExecStats:
     delta_rows_pending: int = 0
     segments_merged: int = 0
     groups_coded: int = 0
-    # statement-plan LRU cache outcome for this statement
+    # statement-plan LRU cache outcome for this statement: lookup result,
+    # LRU entries this statement's insert displaced, and how many times the
+    # cache mutex was found held by another session (contention is zero in
+    # the cooperative scheduler; it becomes live under a real worker pool)
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    plan_cache_evictions: int = 0
+    plan_cache_contention: int = 0
     # partition counters: how many hash partitions each access touched and
     # how many it proved irrelevant (PK routing / partition-key pruning)
     partitions_scanned: int = 0
@@ -154,6 +159,8 @@ class ExecStats:
         self.groups_coded += other.groups_coded
         self.plan_cache_hits += other.plan_cache_hits
         self.plan_cache_misses += other.plan_cache_misses
+        self.plan_cache_evictions += other.plan_cache_evictions
+        self.plan_cache_contention += other.plan_cache_contention
         self.partitions_scanned += other.partitions_scanned
         self.partitions_pruned += other.partitions_pruned
         self.scatter_partitions = max(self.scatter_partitions,

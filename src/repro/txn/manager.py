@@ -19,6 +19,7 @@ precede it.
 from __future__ import annotations
 
 import itertools
+import threading
 from collections.abc import Iterator
 from enum import Enum
 
@@ -240,6 +241,13 @@ class TransactionManager:
         self.locks = lock_manager or LockManager()
         self._ts = itertools.count(1)
         self._latest_ts = 0
+        # single-allocator invariant: every timestamp comes from _next_ts
+        # under this lock.  Sessions multiplexed by the cooperative server
+        # never overlap inside it (contention stays 0 there); a real worker
+        # pool serialises here, and the monotonicity assertion below would
+        # catch any unlocked allocation path racing past it.
+        self._ts_lock = threading.Lock()
+        self.ts_lock_contention = 0
         self._txn_ids = itertools.count(1)
         self._active: dict[int, Transaction] = {}
         self.commits = 0
@@ -253,8 +261,20 @@ class TransactionManager:
         return self._latest_ts
 
     def _next_ts(self) -> int:
-        self._latest_ts = next(self._ts)
-        return self._latest_ts
+        if not self._ts_lock.acquire(blocking=False):
+            self.ts_lock_contention += 1
+            self._ts_lock.acquire()
+        try:
+            ts = next(self._ts)
+            if ts <= self._latest_ts:
+                raise AssertionError(
+                    f"timestamp allocation went backwards: {ts} <= "
+                    f"{self._latest_ts} (second allocator in play?)"
+                )
+            self._latest_ts = ts
+            return ts
+        finally:
+            self._ts_lock.release()
 
     def allocate_commit_ts(self) -> int:
         """Allocate a fresh commit timestamp for out-of-band committed

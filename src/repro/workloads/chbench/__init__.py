@@ -13,9 +13,10 @@ from random import Random
 from repro.db import Database
 from repro.workloads.base import TransactionProfile, Workload
 from repro.workloads.chbench import loader, schema
+from repro.workloads.chbench.hybrid import make_hybrids
 from repro.workloads.chbench.queries import QUERY_TABLES, make_queries
+from repro.workloads.chbench.transactions import TpccContext, make_transactions
 from repro.workloads.subench.loader import warehouse_count
-from repro.workloads.subench.transactions import TpccContext, make_transactions
 
 
 class CHBenchmark(Workload):
@@ -48,7 +49,7 @@ class CHBenchmark(Workload):
         return make_queries()
 
     def hybrid_transactions(self) -> list[TransactionProfile]:
-        return []  # CH-benCHmark has no hybrid transactions (Table I)
+        return make_hybrids(self._ctx)  # [] — no hybrids (Table I)
 
     @staticmethod
     def query_table_footprint() -> dict:

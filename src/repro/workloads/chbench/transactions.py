@@ -1,0 +1,25 @@
+"""CH-benCHmark online transactions.
+
+CH-benCHmark keeps TPC-C's five online transactions verbatim (the stitch
+design changes only the analytical side), so the programs are the shared
+TPC-C bodies, re-exported under this module so chbench has the same
+``transactions.py`` shape as the other three workloads.  The transactional
+mix never writes SUPPLIER / NATION / REGION — the defining stitch-schema
+flaw the paper measures (§III-B2).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import TransactionProfile
+from repro.workloads.subench.transactions import (
+    TpccContext,
+    make_transactions as _make_tpcc_transactions,
+)
+
+
+def make_transactions(ctx: TpccContext) -> list[TransactionProfile]:
+    """TPC-C's NewOrder/Payment/OrderStatus/Delivery/StockLevel mix."""
+    return _make_tpcc_transactions(ctx)
+
+
+__all__ = ["TpccContext", "make_transactions"]

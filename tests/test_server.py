@@ -1,0 +1,354 @@
+"""Concurrent front end: sessions, admission control, server parity."""
+
+import threading
+
+import pytest
+
+from repro.db import Database
+from repro.engines import make_engine
+from repro.errors import WriteConflictError
+from repro.server import (
+    AdmissionController,
+    AdmissionPolicy,
+    ClientSession,
+    Server,
+    mixed_population,
+    query_results,
+)
+from repro.core.session import Session
+from repro.txn.manager import IsolationLevel
+from repro.workloads import make_workload
+from random import Random
+
+
+def _kv_db(**kwargs) -> Database:
+    db = Database(**kwargs)
+    db.execute_ddl("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+    with db.connect() as conn:
+        for k in range(1, 6):
+            conn.execute("INSERT INTO kv (k, v) VALUES (?, ?)", (k, k * 10))
+        conn.commit()
+    return db
+
+
+class TestSessionSnapshots:
+    def test_snapshot_session_ignores_interleaved_commit(self):
+        db = _kv_db()
+        a = ClientSession(db, 1, isolation=IsolationLevel.SNAPSHOT)
+        b = ClientSession(db, 2)
+        a.begin()
+        assert a.query_scalar("SELECT v FROM kv WHERE k = 1") == 10
+        b.begin()
+        b.execute("UPDATE kv SET v = ? WHERE k = ?", (99, 1))
+        b.commit()
+        # A's snapshot predates B's commit: repeatable read
+        assert a.query_scalar("SELECT v FROM kv WHERE k = 1") == 10
+        a.commit()
+        assert a.query_scalar("SELECT v FROM kv WHERE k = 1") == 99
+
+    def test_read_committed_session_refreshes_per_statement(self):
+        db = _kv_db()
+        a = ClientSession(db, 1, isolation=IsolationLevel.READ_COMMITTED)
+        b = ClientSession(db, 2)
+        a.begin()
+        assert a.query_scalar("SELECT v FROM kv WHERE k = 2") == 20
+        b.execute("UPDATE kv SET v = ? WHERE k = ?", (77, 2))
+        # RC refreshes the snapshot at the next statement, same transaction
+        assert a.query_scalar("SELECT v FROM kv WHERE k = 2") == 77
+        a.commit()
+
+    def test_no_dirty_reads_between_sessions(self):
+        db = _kv_db()
+        writer = ClientSession(db, 1)
+        readers = [
+            ClientSession(db, 2, isolation=IsolationLevel.SNAPSHOT),
+            ClientSession(db, 3, isolation=IsolationLevel.READ_COMMITTED),
+        ]
+        writer.begin()
+        writer.execute("UPDATE kv SET v = ? WHERE k = ?", (500, 3))
+        # uncommitted write is invisible at every isolation level
+        for reader in readers:
+            assert reader.query_scalar(
+                "SELECT v FROM kv WHERE k = 3") == 30
+        writer.rollback()
+        for reader in readers:
+            assert reader.query_scalar(
+                "SELECT v FROM kv WHERE k = 3") == 30
+
+    def test_first_committer_wins_across_sessions(self):
+        db = _kv_db()
+        a = ClientSession(db, 1, isolation=IsolationLevel.SNAPSHOT)
+        b = ClientSession(db, 2, isolation=IsolationLevel.SNAPSHOT)
+        a.begin()
+        b.begin()
+        a.execute("UPDATE kv SET v = ? WHERE k = ?", (1, 4))
+        b.execute("UPDATE kv SET v = ? WHERE k = ?", (2, 4))
+        a.commit()
+        with pytest.raises(WriteConflictError):
+            b.conn.commit()
+
+    def test_snapshot_ts_tracks_transaction_lifecycle(self):
+        db = _kv_db()
+        session = ClientSession(db, 1, isolation=IsolationLevel.SNAPSHOT)
+        assert session.snapshot_ts is None
+        session.begin()
+        first = session.snapshot_ts
+        assert first is not None
+        other = ClientSession(db, 2)
+        other.execute("UPDATE kv SET v = ? WHERE k = ?", (0, 5))
+        assert session.snapshot_ts == first  # pinned for the transaction
+        session.commit()
+        assert session.snapshot_ts is None
+
+    def test_session_stats_accumulate(self):
+        db = _kv_db()
+        session = ClientSession(db, 1)
+        session.execute("SELECT v FROM kv WHERE k = 1")
+        session.begin()
+        session.execute("UPDATE kv SET v = ? WHERE k = ?", (11, 1))
+        session.commit()
+        assert session.stats.statements == 2
+        assert session.stats.commits == 1
+        assert session.stats.exec.total_writes == 1
+
+
+class TestTimestampAllocation:
+    def test_commit_timestamps_strictly_increase(self):
+        db = _kv_db()
+        seen = [db.txn_manager.allocate_commit_ts() for _ in range(50)]
+        assert seen == sorted(seen)
+        assert len(set(seen)) == len(seen)
+
+    def test_ts_lock_contention_counted(self):
+        db = _kv_db()
+        manager = db.txn_manager
+        held = threading.Event()
+        manager._ts_lock.acquire()
+
+        def contend():
+            held.set()
+            manager.allocate_commit_ts()
+
+        worker = threading.Thread(target=contend)
+        worker.start()
+        held.wait()
+        # give the worker time to fail the non-blocking acquire
+        worker.join(timeout=0.05)
+        manager._ts_lock.release()
+        worker.join()
+        assert manager.ts_lock_contention == 1
+
+
+class TestPlanCacheCounters:
+    def test_eviction_counter_flows_to_stats(self):
+        db = _kv_db(plan_cache_size=2)
+        db.query("SELECT v FROM kv WHERE k = 1")
+        db.query("SELECT k FROM kv WHERE v = 10")
+        result = db.query("SELECT k, v FROM kv WHERE k = 2")
+        # the loader's INSERT plan was the first eviction, this the second
+        assert db.plan_cache_evictions == 2
+        assert result.stats.plan_cache_evictions == 1
+        assert result.stats.plan_cache_misses == 1
+
+    def test_contention_counter_under_held_lock(self):
+        db = _kv_db()
+        held = threading.Event()
+        db._plan_cache_lock.acquire()
+
+        def contend():
+            held.set()
+            db.prepare("SELECT v FROM kv WHERE k = 3")
+
+        worker = threading.Thread(target=contend)
+        worker.start()
+        held.wait()
+        worker.join(timeout=0.05)
+        db._plan_cache_lock.release()
+        worker.join()
+        assert db.plan_cache_contention >= 1
+
+    def test_no_contention_under_cooperative_interleaving(self):
+        db = _kv_db()
+        for _ in range(20):
+            db.query("SELECT v FROM kv WHERE k = 1")
+        assert db.plan_cache_contention == 0
+
+
+class TestAdmissionController:
+    def test_full_olap_queue_still_admits_commits(self):
+        controller = AdmissionController(
+            AdmissionPolicy(olap_slots=2, max_scan_slots=2))
+        for _ in range(2):
+            ticket = controller.request("olap", 0.0, scan=True)
+            assert ticket is not None
+            controller.occupy(ticket, completion=1000.0)
+        assert controller.request("olap", 1.0, scan=True) is None
+        # the transactional queue is independent: commits keep flowing
+        oltp = controller.request("oltp", 1.0)
+        assert oltp is not None
+        assert controller.stats.deferred == {"oltp": 0, "olap": 1}
+
+    def test_scan_bound_tighter_than_class_slots(self):
+        controller = AdmissionController(
+            AdmissionPolicy(olap_slots=4, max_scan_slots=1))
+        first = controller.request("olap", 0.0, scan=True)
+        controller.occupy(first, completion=500.0)
+        assert controller.request("olap", 1.0, scan=True) is None
+        # non-scan analytical requests still fit in the class slots
+        assert controller.request("olap", 1.0, scan=False) is not None
+        assert controller.stats.scans_deferred == 1
+
+    def test_slots_free_at_completion_time(self):
+        controller = AdmissionController(AdmissionPolicy(olap_slots=1))
+        ticket = controller.request("olap", 0.0)
+        controller.occupy(ticket, completion=100.0)
+        assert controller.request("olap", 50.0) is None
+        assert controller.request("olap", 100.0) is not None
+
+    def test_backoff_grows_and_caps(self):
+        controller = AdmissionController(
+            AdmissionPolicy(backoff_ms=4.0, backoff_multiplier=2.0,
+                            backoff_cap_ms=16.0))
+        rng = Random(1)
+        waits = [controller.backoff_for(n, rng) for n in (1, 2, 3, 10)]
+        assert waits[0] <= 4.0 * 1.25
+        assert all(w <= 16.0 * 1.25 for w in waits)
+
+    def test_disabled_policy_admits_everything(self):
+        controller = AdmissionController(AdmissionPolicy.disabled())
+        for i in range(50):
+            ticket = controller.request("olap", 0.0, scan=True)
+            assert ticket is not None
+            controller.occupy(ticket, completion=1e9)
+        assert controller.stats.admitted["olap"] == 50
+
+
+class TestServerRuns:
+    @staticmethod
+    def _server(policy=None, **engine_kwargs):
+        engine = make_engine("oceanbase", nodes=2, cores_per_node=2,
+                             **engine_kwargs)
+        workload = make_workload("chbenchmark", scale=0.1)
+        workload.install(engine.db, Random(7), 0.1)
+        return Server(engine, policy), workload
+
+    def test_deterministic_given_seed(self):
+        reports = []
+        for _ in range(2):
+            server, workload = self._server()
+            clients = mixed_population(workload, 4, 0)
+            reports.append(server.run(clients, duration_ms=400, seed=5,
+                                      workload_name=workload.name))
+        first, second = reports
+        assert (first.metrics("oltp").latency.samples
+                == second.metrics("oltp").latency.samples)
+        assert first.sessions == second.sessions
+
+    def test_flood_defers_and_counts_backoff(self):
+        server, workload = self._server(
+            AdmissionPolicy(olap_slots=1, max_scan_slots=1))
+        weights = {q.name: 1.0 if q.name in ("Q1", "Q6") else 0.0
+                   for q in workload.analytical_queries()}
+        clients = mixed_population(workload, 4, 4, olap_weights=weights)
+        report = server.run(clients, duration_ms=1500, seed=3,
+                            workload_name=workload.name)
+        assert report.admission["deferred"]["olap"] > 0
+        # OLTP commits keep flowing while the analytical queue is full
+        assert report.metrics("oltp").completed > 0
+        olap_sessions = [s for s in report.sessions if s["kind"] == "olap"]
+        assert sum(s["deferrals"] for s in olap_sessions) \
+            == report.admission["deferred"]["olap"]
+        assert sum(s["backoff_ms"] for s in olap_sessions) > 0
+
+    def test_rejection_after_max_defers(self):
+        server, workload = self._server(
+            AdmissionPolicy(olap_slots=1, max_scan_slots=1, max_defers=2))
+        weights = {q.name: 1.0 if q.name in ("Q1", "Q6") else 0.0
+                   for q in workload.analytical_queries()}
+        clients = mixed_population(workload, 2, 6, olap_weights=weights)
+        report = server.run(clients, duration_ms=1500, seed=3,
+                            workload_name=workload.name)
+        assert report.admission["rejected"]["olap"] > 0
+        olap_sessions = [s for s in report.sessions if s["kind"] == "olap"]
+        assert sum(s["rejections"] for s in olap_sessions) \
+            == report.admission["rejected"]["olap"]
+
+    def test_admission_cuts_tail_under_flood(self):
+        results = {}
+        for label, policy in [
+            ("off", AdmissionPolicy.disabled()),
+            ("on", AdmissionPolicy(olap_slots=1, max_scan_slots=1)),
+        ]:
+            server, workload = self._server(policy)
+            weights = {q.name: 1.0 if q.name in ("Q1", "Q6") else 0.0
+                       for q in workload.analytical_queries()}
+            clients = mixed_population(workload, 8, 4, olap_weights=weights)
+            report = server.run(clients, duration_ms=2000, warmup_ms=500,
+                                seed=11, workload_name=workload.name)
+            results[label] = report.latency("oltp").p99
+        assert results["off"] > results["on"]
+
+
+class TestSequentialParity:
+    """The session server must return byte-identical query results to the
+    sequential runner's connection on every original workload."""
+
+    @pytest.mark.parametrize("workload_name,scale", [
+        ("subenchmark", 0.2),
+        ("fibenchmark", 0.2),
+        ("tabenchmark", 0.2),
+    ])
+    def test_server_matches_sequential_runner(self, workload_name, scale):
+        db = Database(with_columnar=True, partitions=2)
+        workload = make_workload(workload_name, scale=scale)
+        workload.install(db, Random(7), scale)
+        queries = workload.analytical_queries()
+        sequential = query_results(Session(db.connect()), queries)
+        via_server = query_results(ClientSession(db, 1, kind="olap"),
+                                   queries)
+        assert sequential == via_server
+
+
+class TestStreamedExecution:
+    @staticmethod
+    def _orders_db(partitions: int) -> Database:
+        db = Database(with_columnar=True, partitions=partitions)
+        db.execute_ddl(
+            "CREATE TABLE orders (o_id INT PRIMARY KEY, amount INT, "
+            "region VARCHAR(8))")
+        with db.connect() as conn:
+            for i in range(1, 401):
+                conn.execute(
+                    "INSERT INTO orders (o_id, amount, region) "
+                    "VALUES (?, ?, ?)",
+                    (i, i % 97, f"r{i % 4}"))
+            conn.commit()
+        db.replicate()
+        return db
+
+    @pytest.mark.parametrize("partitions", [1, 2, 8])
+    def test_streamed_rows_match_row_pipeline(self, partitions):
+        db = self._orders_db(partitions)
+        session = ClientSession(db, 1, kind="olap")
+        sql = "SELECT region, amount FROM orders WHERE amount > 50"
+        plain = session.execute(sql, route_columnar=True)
+        streamed = session.execute_streamed(sql)
+        assert sorted(plain.rows) == sorted(streamed.rows)
+        assert streamed.stats.vectorized
+
+    def test_streamed_drains_one_quantum_per_partition(self):
+        db = self._orders_db(4)
+        session = ClientSession(db, 1, kind="olap")
+        session.execute_streamed("SELECT amount FROM orders")
+        assert session.stats.stream_quanta == 4
+
+    def test_ineligible_statement_falls_back(self):
+        db = self._orders_db(2)
+        session = ClientSession(db, 1)
+        result = session.execute_streamed(
+            "SELECT amount FROM orders WHERE o_id = 7")
+        assert len(result.rows) == 1
+        # DML always takes the normal path
+        dml = session.execute_streamed(
+            "UPDATE orders SET amount = 1 WHERE o_id = 7")
+        assert dml.rowcount == 1
