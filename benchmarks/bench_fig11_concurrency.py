@@ -16,9 +16,10 @@ the same buffer pool.  Three arms per client count:
 Headline (recorded in ``BENCH_fig11.json``, floor-checked in CI): at >= 16
 mixed clients, p99 commit latency with admission control on is at least 2x
 lower than with it off, and stays within a small factor of the no-flood
-baseline.  A parity section proves the server returns byte-identical query
-results to the sequential runner's connection across partition counts
-{1, 2, 8}.
+baseline.  A parity section proves the server — running on a *pooled*
+database (``workers=2``: scatter-gather folds plus background ordered
+compaction) — returns byte-identical query results to the sequential
+``workers=0`` runner's connection across partition counts {1, 2, 8}.
 """
 
 from __future__ import annotations
@@ -83,13 +84,26 @@ def _arm(policy: AdmissionPolicy, oltp_clients: int, olap_clients: int):
     }
 
 
+PARITY_WORKERS = 2
+
+
 def _parity_point(partitions: int) -> bool:
-    db = Database(with_columnar=True, partitions=partitions)
-    workload = make_workload(WORKLOAD, scale=PARITY_SCALE)
-    workload.install(db, Random(7), PARITY_SCALE)
-    queries = workload.analytical_queries()
-    sequential = query_results(Session(db.connect()), queries)
-    via_server = query_results(ClientSession(db, 1, kind="olap"), queries)
+    """Server session on a *pooled* database vs the sequential runner on a
+    ``workers=0`` database: the worker pool (scatter-gather fold plus
+    background ordered compaction) must not change a single byte."""
+    def installed(workers: int) -> Database:
+        db = Database(with_columnar=True, partitions=partitions,
+                      workers=workers)
+        workload = make_workload(WORKLOAD, scale=PARITY_SCALE)
+        workload.install(db, Random(7), PARITY_SCALE)
+        db.quiesce()
+        return db
+
+    queries = make_workload(WORKLOAD,
+                            scale=PARITY_SCALE).analytical_queries()
+    sequential = query_results(Session(installed(0).connect()), queries)
+    via_server = query_results(
+        ClientSession(installed(PARITY_WORKERS), 1, kind="olap"), queries)
     return sequential == via_server
 
 
@@ -124,6 +138,7 @@ def test_fig11_concurrency(benchmark, series):
 
     parity = {
         "partitions": list(PARITY_PARTITIONS),
+        "workers": PARITY_WORKERS,
         "queries": len(make_workload(WORKLOAD,
                                      scale=PARITY_SCALE).analytical_queries()),
         "identical": all(_parity_point(p) for p in PARITY_PARTITIONS),

@@ -81,6 +81,12 @@ def render_text(report: RunReport, per_transaction: bool = False) -> str:
             f"evictions={report.plan_cache_evictions} "
             f"contention={report.plan_cache_contention}"
         )
+    if report.pool_workers or report.bg_compactions:
+        lines.append(
+            f"  pool: workers={report.pool_workers} "
+            f"gather_wait_ms={report.gather_wait_ms:.1f} "
+            f"bg_compactions={report.bg_compactions}"
+        )
     return "\n".join(lines)
 
 
@@ -114,6 +120,7 @@ def render_csv(reports: list[RunReport]) -> str:
         "plan_cache_evictions", "plan_cache_contention",
         "partitions_scanned", "partitions_pruned",
         "multi_partition_commits",
+        "pool_workers", "gather_wait_ms", "bg_compactions",
     ])
     for report in reports:
         config = report.config
@@ -133,6 +140,8 @@ def render_csv(reports: list[RunReport]) -> str:
                 report.plan_cache_evictions, report.plan_cache_contention,
                 report.partitions_scanned, report.partitions_pruned,
                 report.multi_partition_commits,
+                report.pool_workers, report.gather_wait_ms,
+                report.bg_compactions,
             ])
     return buffer.getvalue()
 

@@ -81,6 +81,12 @@ class RunReport:
     partitions_scanned: int = 0
     partitions_pruned: int = 0
     partial_aggregates: int = 0
+    # worker-pool counters: pool width requests ran under (max over the
+    # run; 0 = sequential), ordered-gather blocking time, and background
+    # compactions scheduled off the query path
+    pool_workers: int = 0
+    gather_wait_ms: float = 0.0
+    bg_compactions: int = 0
     # commit-path split over the run (fast path vs two-phase)
     single_partition_commits: int = 0
     multi_partition_commits: int = 0
@@ -158,6 +164,12 @@ class RunReport:
                 f"misses={self.plan_cache_misses} "
                 f"evictions={self.plan_cache_evictions} "
                 f"contention={self.plan_cache_contention}"
+            )
+        if self.pool_workers or self.bg_compactions:
+            lines.append(
+                f"  pool: workers={self.pool_workers} "
+                f"gather_wait_ms={self.gather_wait_ms:.1f} "
+                f"bg_compactions={self.bg_compactions}"
             )
         commits = self.single_partition_commits + self.multi_partition_commits
         if commits:
@@ -345,6 +357,7 @@ class OLxPBench:
         replica = self.engine.db.columnar
         merges_before = (replica.segments_merged_total()
                          if replica is not None else 0)
+        bg_before = self.engine.db.bg_compactions_total
         columnar = False
         if kind == "olap":
             columnar = self.engine.route_analytical(now)
@@ -366,6 +379,10 @@ class OLxPBench:
             # them to the statement window that caused them
             exec_stats.segments_merged += \
                 replica.segments_merged_total() - merges_before
+        # background compactions the engine scheduled while serving this
+        # request, attributed the same way as the merges above
+        exec_stats.bg_compactions += \
+            self.engine.db.bg_compactions_total - bg_before
         report.batches_scanned += exec_stats.batches_scanned
         report.segments_pruned += exec_stats.segments_pruned
         report.vectorized_statements += exec_stats.vectorized_statements
@@ -384,6 +401,10 @@ class OLxPBench:
         report.partitions_scanned += exec_stats.partitions_scanned
         report.partitions_pruned += exec_stats.partitions_pruned
         report.partial_aggregates += exec_stats.partial_aggregates
+        report.pool_workers = max(report.pool_workers,
+                                  exec_stats.pool_workers)
+        report.gather_wait_ms += exec_stats.gather_wait_ms
+        report.bg_compactions += exec_stats.bg_compactions
 
         measured = now >= config.warmup_ms
         if measured:

@@ -64,7 +64,8 @@ class Database:
                  sort_keys: dict[str, tuple[str, ...]] | None = None,
                  default_isolation: IsolationLevel = IsolationLevel.SNAPSHOT,
                  partitions: int = 1,
-                 plan_cache_size: int = 256):
+                 plan_cache_size: int = 256,
+                 workers: int | None = 0):
         if plan_cache_size <= 0:
             raise ValueError("plan_cache_size must be positive")
         self.catalog = Catalog()
@@ -109,10 +110,23 @@ class Database:
         self.supports_foreign_keys = supports_foreign_keys
         self.enforce_foreign_keys = enforce_foreign_keys and supports_foreign_keys
         self.default_isolation = default_isolation
+        # workers=0 (default) keeps the exact sequential engine — the
+        # recorded A/B baseline.  workers=N (or None = CPU count) creates
+        # the shared pool: partition scans scatter onto it with ordered
+        # gather, and ordered compaction moves off the query path as a
+        # background pool task.
+        if workers == 0:
+            self.pool = None
+        else:
+            from repro.exec import WorkerPool
+
+            self.pool = WorkerPool(workers)
+        self.bg_compactions_total = 0
         self.executor = Executor(
             self.catalog, self.columnar,
             enforce_foreign_keys=self.enforce_foreign_keys,
             partition_map=self.partition_map,
+            pool=self.pool,
         )
         # bounded LRU keyed on SQL text: statements beyond the capacity
         # evict the least-recently-prepared plan instead of growing the
@@ -251,14 +265,32 @@ class Database:
             return 0
         for pid, wal in enumerate(self.storage.wals):
             wal.truncate_upto(self.columnar.applied_lsns[pid])
-        # re-encode segments demoted by in-place overwrites this chunk
-        self.columnar.compact()
+        if self.pool is not None and self.sorted_compaction:
+            # ordered compaction moves off the query path: merge the fresh
+            # delta eagerly (segment-granular, so cost is bounded by the
+            # delta's key-range overlap) on a pool worker while queries
+            # keep scanning their pre-swap segment snapshot
+            self.bg_compactions_total += 1
+            self.pool.submit_background(
+                lambda: self.columnar.compact(force=True))
+        else:
+            # re-encode segments demoted by in-place overwrites this chunk
+            self.columnar.compact()
         return applied
 
     def replication_lag(self) -> int:
         if self.columnar is None:
             return 0
         return self.columnar.total_lag(self.storage.wals)
+
+    def quiesce(self):
+        """Block until scheduled background work (compaction) finishes.
+
+        Tests and benchmarks call this to compare engine states at a
+        deterministic point; a no-op for the sequential baseline.
+        """
+        if self.pool is not None:
+            self.pool.drain_background()
 
     # -- statement preparation -----------------------------------------------------
 

@@ -1,0 +1,127 @@
+"""Shared worker pool for partition-parallel execution.
+
+One ``WorkerPool`` per ``Database(workers=N)`` runs per-partition work —
+columnar partition scans, per-partition partial aggregates, the row
+streams behind ``execute_streams`` — concurrently, plus background
+ordered compaction off the query path.
+
+Two invariants make the pool safe and deterministic:
+
+* **Ordered gather.** ``scatter_ordered`` submits one task per partition
+  in partition-id order and consumes results in the same order, so
+  pooled output is byte-identical to the sequential engine (and to
+  ``SortedMerge``'s k-way merge contract, which assumes streams arrive
+  in partition order).  The wall time the gatherer spends blocked on an
+  out-of-order completion is charged to ``ExecStats.gather_wait_ms``.
+* **Per-worker statistics.** Each task binds a private ``ExecStats`` to
+  the execution context through a thread-local (``ExecContext.stats``),
+  so operators running on worker threads never race the statement's
+  main accumulator; the gatherer merges the locals back in partition
+  order, which keeps even dict-ordering-sensitive counters
+  deterministic.
+
+Sealed segments are immutable and shared read-only across workers; the
+mutable replica touch points (delta tails, zone-map widening, segment
+swap) are serialised by the replica lock in ``storage.columnstore``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+
+
+def default_workers() -> int:
+    """Pool size when the caller asks for ``workers=None``: the CPU count."""
+    return os.cpu_count() or 1
+
+
+class WorkerPool:
+    """A thread pool with ordered scatter-gather and background tasks.
+
+    Threads (not processes) are the default: segments are shared
+    in-memory structures, and the per-partition work is dominated by
+    interpreter bytecode that releases the GIL at allocation points —
+    the architectural win this pool buys is overlap (scans against
+    compacted main while compaction of the next delta runs behind the
+    query path), not core-parallel bytecode.
+    """
+
+    def __init__(self, workers: int | None = None):
+        self.workers = max(1, int(workers if workers is not None
+                                  else default_workers()))
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-exec")
+        self._background: list[Future] = []
+        self._bg_lock = threading.Lock()
+
+    # -- foreground: ordered scatter-gather --------------------------------
+
+    def scatter_ordered(self, ctx, tasks):
+        """Run ``(pid, thunk)`` pairs concurrently; yield ``(pid, result)``
+        in submission (partition-id) order.
+
+        Each thunk executes with a worker-local ``ExecStats`` bound to
+        ``ctx``; the locals are merged into the statement's stats in
+        partition order at gather time, and blocked gather time is
+        charged to ``gather_wait_ms``.
+        """
+        from repro.sql.result import ExecStats
+
+        def run(thunk):
+            local = ExecStats()
+            ctx.bind_worker_stats(local)
+            try:
+                return thunk(), local
+            finally:
+                ctx.unbind_worker_stats()
+
+        futures = [(pid, self._executor.submit(run, thunk))
+                   for pid, thunk in tasks]
+        stats = ctx.stats
+        stats.pool_workers = max(stats.pool_workers, self.workers)
+        for pid, future in futures:
+            began = time.perf_counter()
+            result, local = future.result()
+            stats.gather_wait_ms += (time.perf_counter() - began) * 1000.0
+            stats.merge(local)
+            yield pid, result
+
+    def map_ordered(self, ctx, thunks) -> list:
+        """``scatter_ordered`` over anonymous thunks; returns results in
+        submission order."""
+        return [result for _i, result in
+                self.scatter_ordered(ctx, list(enumerate(thunks)))]
+
+    # -- background: compaction off the query path -------------------------
+
+    def submit_background(self, fn) -> Future:
+        """Schedule ``fn`` on the pool without a waiting consumer."""
+        future = self._executor.submit(fn)
+        with self._bg_lock:
+            self._background = [f for f in self._background
+                                if not f.done()]
+            self._background.append(future)
+        return future
+
+    def drain_background(self):
+        """Block until every submitted background task has finished.
+
+        Re-raises the first background exception (a compaction failure
+        must not be silently swallowed).  Tests and benchmarks use this
+        to quiesce the pool at a known point.
+        """
+        while True:
+            with self._bg_lock:
+                pending = list(self._background)
+                self._background = []
+            if not pending:
+                return
+            for future in pending:
+                future.result()
+
+    def shutdown(self):
+        self.drain_background()
+        self._executor.shutdown(wait=True)

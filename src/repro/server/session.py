@@ -148,9 +148,20 @@ class ClientSession:
         rows: list = []
         quanta = 0
         try:
-            for stream in root.execute_streams(ctx):
-                rows.extend(stream)
-                quanta += 1
+            if ctx.pool is not None:
+                # real scatter-gather: drain every partition stream on the
+                # worker pool, gather row lists in partition order (same
+                # rows, same order as the quantum-at-a-time loop)
+                streams = list(root.execute_streams(ctx))
+                quanta = len(streams)
+                tasks = [(pid, lambda s=stream: list(s))
+                         for pid, stream in enumerate(streams)]
+                for _pid, drained in ctx.pool.scatter_ordered(ctx, tasks):
+                    rows.extend(drained)
+            else:
+                for stream in root.execute_streams(ctx):
+                    rows.extend(stream)
+                    quanta += 1
         except Exception:
             if autocommit:
                 self.conn.rollback()

@@ -9,6 +9,8 @@ buffered-write API, so MVCC and validation semantics come for free.
 
 from __future__ import annotations
 
+import threading
+
 from repro.errors import ExecutionError, IntegrityError, PlanError
 from repro.sql.planner import (
     AccessPath,
@@ -27,16 +29,42 @@ class ExecContext:
     def __init__(self, txn: Transaction, params: tuple = (),
                  columnar=None, route_columnar: bool = False,
                  enforce_foreign_keys: bool = False, catalog=None,
-                 partition_map=None):
+                 partition_map=None, pool=None):
         self.txn = txn
         self.params = params
-        self.stats = ExecStats()
+        self._stats = ExecStats()
         self.columnar = columnar
         self.route_columnar = route_columnar
         self.enforce_foreign_keys = enforce_foreign_keys
         self.catalog = catalog
         self.partition_map = partition_map
+        # shared worker pool (None = sequential execution); operators that
+        # scatter per-partition work check this before going parallel
+        self.pool = pool
         self._subquery_cache: dict[int, list] = {}
+        # reentrant: executing one subplan can reach a *nested* uncorrelated
+        # subquery on the same thread (a plain Lock would self-deadlock)
+        self._subquery_lock = threading.RLock()
+        # worker threads draining one partition bind a private ExecStats
+        # here so operator accumulation never races the statement's main
+        # collector; the pool merges the locals back at ordered gather
+        self._tls = threading.local()
+
+    @property
+    def stats(self) -> ExecStats:
+        local = getattr(self._tls, "stats", None)
+        return self._stats if local is None else local
+
+    @stats.setter
+    def stats(self, value: ExecStats):
+        self._stats = value
+
+    def bind_worker_stats(self, stats: ExecStats):
+        """Route this thread's operator accumulation into ``stats``."""
+        self._tls.stats = stats
+
+    def unbind_worker_stats(self):
+        self._tls.stats = None
 
     @property
     def partition_count(self) -> int:
@@ -57,12 +85,15 @@ class ExecContext:
     # -- uncorrelated subquery execution with per-statement caching ---------
 
     def _run_subplan(self, subplan: SelectPlan) -> list:
+        # serialised: worker threads can reach this through row-pipeline
+        # expressions, and one cached execution per subplan is the contract
         key = id(subplan)
-        cached = self._subquery_cache.get(key)
-        if cached is None:
-            self.stats.subqueries += 1
-            cached = list(subplan.root.execute(self))
-            self._subquery_cache[key] = cached
+        with self._subquery_lock:
+            cached = self._subquery_cache.get(key)
+            if cached is None:
+                self.stats.subqueries += 1
+                cached = list(subplan.root.execute(self))
+                self._subquery_cache[key] = cached
         return cached
 
     def subquery_values(self, subplan: SelectPlan) -> set:
@@ -84,7 +115,7 @@ class Executor:
     def __init__(self, catalog, columnar=None,
                  enforce_foreign_keys: bool = False,
                  use_vectorized: bool = True,
-                 partition_map=None):
+                 partition_map=None, pool=None):
         self.catalog = catalog
         self.columnar = columnar
         self.enforce_foreign_keys = enforce_foreign_keys
@@ -92,6 +123,7 @@ class Executor:
         # pipeline only when False (benchmark A/B comparisons flip this)
         self.use_vectorized = use_vectorized
         self.partition_map = partition_map
+        self.pool = pool
 
     def _context(self, txn: Transaction, params: tuple,
                  route_columnar: bool) -> ExecContext:
@@ -102,6 +134,7 @@ class Executor:
             enforce_foreign_keys=self.enforce_foreign_keys,
             catalog=self.catalog,
             partition_map=self.partition_map,
+            pool=self.pool,
         )
 
     # -- SELECT ---------------------------------------------------------------

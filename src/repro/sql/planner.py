@@ -568,13 +568,21 @@ class SortedMerge(PlanNode):
     ``limit`` this degrades to a streaming limit: the scan stops being
     consumed as soon as enough rows (plus the tail of the last tie group)
     have been seen.
+
+    ``reverse=True`` handles a uniformly-DESC ordering prefix: partition
+    streams arrive non-increasing on the key (the scan walks segments
+    last-to-first) and are merged descending.  Tie groups are still
+    emitted in ascending canonical whole-row order — exactly what
+    ``Sort``'s stable descending passes over an ascending-tiebroken list
+    produce.
     """
 
     def __init__(self, child: PlanNode, key_positions: list[int],
-                 limit: int | None = None):
+                 limit: int | None = None, reverse: bool = False):
         self.child = child
         self.key_positions = key_positions
         self.limit = limit
+        self.reverse = reverse
         self.schema = child.schema
 
     def _key_of(self, row: tuple) -> tuple:
@@ -591,6 +599,14 @@ class SortedMerge(PlanNode):
             streams = list(streams_fn(ctx))
         else:
             streams = [self.child.execute(ctx)]
+        pool = ctx.pool
+        if pool is not None and remaining is None and len(streams) > 1:
+            # no limit means every stream is fully consumed anyway:
+            # drain the partition streams on the pool, then merge the
+            # materialised runs (gather order keeps determinism)
+            tasks = [(pid, lambda s=stream: list(s))
+                     for pid, stream in enumerate(streams)]
+            streams = [rows for _pid, rows in pool.scatter_ordered(ctx, tasks)]
         # decorate each row with its key once: the k-way merge and the tie
         # grouping both read the precomputed key instead of rebuilding the
         # canonical tuple per comparison stage
@@ -599,7 +615,8 @@ class SortedMerge(PlanNode):
         if len(decorated) == 1:
             merged = decorated[0]
         else:
-            merged = heapq.merge(*decorated, key=lambda entry: entry[0])
+            merged = heapq.merge(*decorated, key=lambda entry: entry[0],
+                                 reverse=self.reverse)
         for _key, group in groupby(merged, key=lambda entry: entry[0]):
             rows = (entry[1] for entry in group)
             if remaining is None:
@@ -988,11 +1005,13 @@ class Planner:
         fns = [compile_batch_expr(e, vnode.schema, sub)
                for e in spec.all_exprs]
         node = BatchRows(VProject(vnode, fns, spec.all_names))
-        keys = self._elidable_key_positions(select, spec, base_scan)
-        if keys is None:
+        elided = self._elidable_key_positions(select, spec, base_scan)
+        if elided is None:
             return self._presentation_tail(select, node, spec)
+        keys, reverse = elided
         base_scan.ordered = True
-        node = SortedMerge(node, keys, select.limit)
+        base_scan.descending = reverse
+        node = SortedMerge(node, keys, select.limit, reverse=reverse)
         if spec.hidden:
             node = Project(
                 node,
@@ -1004,11 +1023,13 @@ class Planner:
     def _elidable_key_positions(self, select: ast.Select,
                                 spec: "_Presentation",
                                 base_scan: VColumnarScan | None):
-        """Output positions of the ORDER BY keys when the sort can ride the
-        scan's sort-key order; ``None`` when a Sort is required.
+        """``(key positions, reverse)`` when the sort can ride the scan's
+        sort-key order; ``None`` when a Sort is required.
 
-        Requirements: order-aware planning on, an ORDER BY present, every
-        key ascending, no DISTINCT (Distinct re-orders first occurrences),
+        Requirements: order-aware planning on, an ORDER BY present, all
+        keys in the *same* direction (uniformly ASC rides the forward
+        scan, uniformly DESC the reverse scan; a mixed ordering matches
+        neither walk), no DISTINCT (Distinct re-orders first occurrences),
         and the j-th key must be a plain reference to the j-th sort-key
         column of the scanned base table (so the scan's ordering is the
         query's ordering).  VFilter/VProject preserve row order and
@@ -1022,8 +1043,9 @@ class Planner:
                 len(spec.key_positions) > len(sort_columns):
             return None
         table = base_scan.table
+        reverse = spec.key_positions[0][1]
         for j, (position, descending) in enumerate(spec.key_positions):
-            if descending:
+            if descending != reverse:
                 return None
             expr = spec.all_exprs[position]
             if not isinstance(expr, ast.ColumnRef):
@@ -1039,7 +1061,7 @@ class Planner:
                 return None
             if self._column_key(table, expr.name) != sort_columns[j]:
                 return None
-        return [position for position, _desc in spec.key_positions]
+        return [position for position, _desc in spec.key_positions], reverse
 
     def _presentation_tail(self, select: ast.Select, node: PlanNode,
                            spec: "_Presentation") -> PlanNode:

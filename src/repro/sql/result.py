@@ -121,6 +121,13 @@ class ExecStats:
     # per-partition partial aggregates that were merged
     scatter_partitions: int = 0
     partial_aggregates: int = 0
+    # worker-pool counters: pool size the statement ran under (maxed on
+    # merge; 0 = sequential baseline), wall time the ordered gather spent
+    # blocked on out-of-order partition completions, and background
+    # compactions the engine scheduled off the query path
+    pool_workers: int = 0
+    gather_wait_ms: float = 0.0
+    bg_compactions: int = 0
 
     def merge(self, other: "ExecStats"):
         """Accumulate ``other`` into this object (used per transaction)."""
@@ -166,6 +173,9 @@ class ExecStats:
         self.scatter_partitions = max(self.scatter_partitions,
                                       other.scatter_partitions)
         self.partial_aggregates += other.partial_aggregates
+        self.pool_workers = max(self.pool_workers, other.pool_workers)
+        self.gather_wait_ms += other.gather_wait_ms
+        self.bg_compactions += other.bg_compactions
 
     @property
     def total_rows_scanned(self) -> int:

@@ -24,13 +24,15 @@ and fold order of ``repro.sql.expressions``.
 
 from __future__ import annotations
 
+from bisect import bisect_right
+
 from repro.errors import ExecutionError
 from repro.sql import ast
 from repro.sql.expressions import Schema, _null_safe_binop, compile_expr
 from repro.sql.functions import SCALARS, like_to_predicate, make_accumulator
 from repro.sql.ordering import canonical_value_key
 from repro.sql.result import Batch
-from repro.storage.columnstore import DictColumn
+from repro.storage.columnstore import DictColumn, RLEColumn
 
 
 # ---------------------------------------------------------------------------
@@ -478,6 +480,87 @@ class _LazyColumn:
         return [data[i] for i in selection]
 
 
+class _ColumnSpan:
+    """A zero-copy view of rows ``[start, stop)`` of one batch column.
+
+    Run-grouped aggregation (``BatchAggregate._fold_runs``) folds every
+    RLE run of the group-key column as one bulk ``add_many`` over this
+    view of each aggregate-argument column.  The view forwards the
+    accumulator fast-path hooks — ``contiguous_source`` exposes the
+    underlying typed array's dense range, so SUM/AVG fold precomputed
+    block partials or one builtin ``sum`` — and falls back to per-value
+    iteration otherwise, keeping the arithmetic bit-identical to the
+    per-row path.
+    """
+
+    __slots__ = ("_column", "_start", "_stop")
+
+    def __init__(self, column, start: int, stop: int):
+        self._column = column
+        self._start = start
+        self._stop = stop
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def __iter__(self):
+        column = self._column
+        data = getattr(column, "data", None)
+        if data is not None:                      # NATIVE: slice the array
+            nulls = column.nulls
+            if not nulls:
+                return iter(data[self._start:self._stop])
+            return iter([None if i in nulls else data[i]
+                         for i in range(self._start, self._stop)])
+        return (column[i] for i in range(self._start, self._stop))
+
+    def count(self, value) -> int:
+        column = self._column
+        nulls = getattr(column, "nulls", None)
+        if value is None and nulls is not None:
+            start, stop = self._start, self._stop
+            return sum(1 for i in nulls if start <= i < stop)
+        if value is None:
+            return sum(1 for v in self if v is None)
+        return sum(1 for v in self if v is not None and v == value)
+
+    def contiguous_source(self):
+        """The span's dense range of the underlying typed-array column
+        (``None`` when the source column is not NATIVE-encoded)."""
+        source = getattr(self._column, "contiguous_source", None)
+        if source is None or (found := source()) is None:
+            return None
+        column, base, _stop = found
+        return column, base + self._start, base + self._stop
+
+
+class _RunSpan(_ColumnSpan):
+    """``_ColumnSpan`` over an RLE column: re-exposes the runs that fall
+    inside the span so accumulators keep their run-at-a-time fold."""
+
+    __slots__ = ()
+
+    def iter_runs(self):
+        column = self._column
+        starts = column.starts
+        values = column.run_values
+        run = bisect_right(starts, self._start) - 1
+        position = self._start
+        stop = self._stop
+        while position < stop:
+            run_stop = starts[run] + column.run_lengths[run]
+            end = run_stop if run_stop < stop else stop
+            yield values[run], end - position
+            position = end
+            run += 1
+
+    def count(self, value) -> int:
+        if value is None:
+            return sum(n for v, n in self.iter_runs() if v is None)
+        return sum(n for v, n in self.iter_runs()
+                   if v is not None and v == value)
+
+
 # ---------------------------------------------------------------------------
 # batch operators
 # ---------------------------------------------------------------------------
@@ -531,7 +614,8 @@ class VColumnarScan(VectorNode):
                  pushed: list[PushedPredicate] | None = None,
                  columns: list[str] | None = None,
                  filter_in_scan: bool = True,
-                 ordered: bool = False):
+                 ordered: bool = False,
+                 descending: bool = False):
         self.table = table
         self.binding = binding
         self.pushed = pushed or []
@@ -543,8 +627,11 @@ class VColumnarScan(VectorNode):
         # True asks a delta–main table for merge-on-read in sort-key order
         # (main segments interleaved with the delta overlay), so the
         # planner can elide the Sort above — set by the planner when the
-        # ORDER BY is an ascending prefix of the table's sort key
+        # ORDER BY is a (uniformly ascending or uniformly descending)
+        # prefix of the table's sort key; ``descending`` flips the walk to
+        # reverse sort-key order
         self.ordered = ordered
+        self.descending = descending
         self.partition_position = table.pk_positions[0]
         names = table.column_names if columns is None else columns
         self.positions = [table.position(c) for c in names]
@@ -609,36 +696,38 @@ class VColumnarScan(VectorNode):
             break
         return tuple(lo), tuple(hi)
 
-    def _main_segment_span(self, part, preds, stats):
+    def _main_segment_span(self, part, snap, preds, stats):
         """``(main_segments, start, stop)`` after binary-search pruning.
 
         Sorted main segments have disjoint, ordered key ranges, so a
         predicate binding a sort-key prefix selects one contiguous span
         via two bisects instead of a zone-map check per segment; segments
-        outside the span count as pruned.
+        outside the span count as pruned.  ``snap`` is the partition's
+        consistent ``read_snapshot()`` — segments and bounds come from one
+        locked view so a concurrent compaction swap cannot misalign them.
         """
-        main = part.main_segments()
+        main, main_lo, main_hi, _delta = snap
         if not main or not preds:
             return main, 0, len(main)
         lo, hi = self._span_keys(part, preds)
         if not lo and not hi:
             return main, 0, len(main)
-        start, stop = part.main_span(lo, hi)
+        start, stop = part.span_of(main_lo, main_hi, lo, hi)
         stats.segments_pruned += sum(
             1 for idx in range(len(main))
             if (idx < start or idx >= stop) and main[idx].live_count)
         return main, start, stop
 
-    def _partition_segments(self, part, preds, skip_segment, stats):
+    def _partition_segments(self, part, snap, preds, skip_segment, stats):
         """Segments to scan, in physical order (span-pruned main + delta)."""
-        if not getattr(part, "sorted_mode", False):
+        if snap is None:
             yield from part.scan_segments(skip_segment)
             return
-        main, start, stop = self._main_segment_span(part, preds, stats)
+        main, start, stop = self._main_segment_span(part, snap, preds, stats)
         for segment in main[start:stop]:
             if segment.live_count and not skip_segment(segment):
                 yield segment
-        for segment in part.delta_segments():
+        for segment in snap[3]:
             if segment.live_count and not skip_segment(segment):
                 yield segment
 
@@ -683,15 +772,22 @@ class VColumnarScan(VectorNode):
     def _scan_partition(self, part, ctx, preds, skip_segment):
         name = self.table.name
         stats = ctx.stats
+        snap = None
         if getattr(part, "sorted_mode", False):
-            stats.delta_rows_pending += part.delta_live_rows()
+            # one consistent view of (main segments, bounds, delta tail):
+            # a background compaction swapping the main mid-scan cannot
+            # change what this scan reads
+            snap = part.read_snapshot()
+            stats.delta_rows_pending += sum(
+                segment.live_count for segment in snap[3])
             if self.ordered:
-                yield from self._scan_partition_ordered(part, ctx, preds,
-                                                        skip_segment)
+                scan = (self._scan_partition_ordered_reverse
+                        if self.descending else self._scan_partition_ordered)
+                yield from scan(part, ctx, preds, skip_segment, snap)
                 return
         scanned = 0
-        for segment in self._partition_segments(part, preds, skip_segment,
-                                                stats):
+        for segment in self._partition_segments(part, snap, preds,
+                                                skip_segment, stats):
             if segment.encoded:
                 stats.segments_encoded += 1
             batch, rows = self._segment_emit(
@@ -701,7 +797,31 @@ class VColumnarScan(VectorNode):
                 yield batch
         stats.rows_columnar[name] += scanned
 
-    def _scan_partition_ordered(self, part, ctx, preds, skip_segment):
+    def _delta_overlay_rows(self, part, preds, skip_segment, stats,
+                            delta_segments) -> list[tuple]:
+        """Surviving delta rows as sorted ``(canonical key, projected row)``."""
+        positions = self.positions
+        key_positions = part.sort_positions
+        delta_rows: list[tuple] = []
+        for segment in delta_segments:
+            if segment.live_count == 0 or skip_segment(segment):
+                continue
+            selection = self._live_selection(segment, preds, stats)
+            if selection is None:
+                selection = list(range(segment.size))
+            if not selection:
+                continue
+            columns = segment.columns
+            for i in selection:
+                delta_rows.append((
+                    tuple(canonical_value_key(columns[p][i])
+                          for p in key_positions),
+                    tuple(columns[p][i] for p in positions),
+                ))
+        delta_rows.sort(key=lambda entry: entry[0])
+        return delta_rows
+
+    def _scan_partition_ordered(self, part, ctx, preds, skip_segment, snap):
         """Merge-on-read in sort-key order.
 
         The surviving delta rows are sorted once and interleaved with the
@@ -718,23 +838,8 @@ class VColumnarScan(VectorNode):
         key_positions = part.sort_positions
         scanned = 0
 
-        delta_rows: list[tuple] = []        # (canonical key, projected row)
-        for segment in part.delta_segments():
-            if segment.live_count == 0 or skip_segment(segment):
-                continue
-            selection = self._live_selection(segment, preds, stats)
-            if selection is None:
-                selection = list(range(segment.size))
-            if not selection:
-                continue
-            columns = segment.columns
-            for i in selection:
-                delta_rows.append((
-                    tuple(canonical_value_key(columns[p][i])
-                          for p in key_positions),
-                    tuple(columns[p][i] for p in positions),
-                ))
-        delta_rows.sort(key=lambda entry: entry[0])
+        delta_rows = self._delta_overlay_rows(part, preds, skip_segment,
+                                              stats, snap[3])
         total_delta = len(delta_rows)
 
         def overlay_batch(entries):
@@ -744,9 +849,8 @@ class VColumnarScan(VectorNode):
             rows = [entry[1] for entry in entries]
             return Batch([list(col) for col in zip(*rows)], len(rows))
 
-        main, start, stop = self._main_segment_span(part, preds, stats)
-        lows = part.main_lo
-        highs = part.main_hi
+        main, start, stop = self._main_segment_span(part, snap, preds, stats)
+        _main, lows, highs, _delta = snap
         cursor = 0
         for idx in range(start, stop):
             segment = main[idx]
@@ -800,6 +904,98 @@ class VColumnarScan(VectorNode):
             yield overlay_batch(delta_rows[cursor:])
         stats.rows_columnar[self.table.name] += scanned
 
+    def _scan_partition_ordered_reverse(self, part, ctx, preds, skip_segment,
+                                        snap):
+        """Merge-on-read in *reverse* sort-key order.
+
+        The mirror of ``_scan_partition_ordered``: main segments are
+        walked last-to-first, each segment's rows are gathered ascending
+        (RLE gathers require ascending selections) and then reversed, and
+        the sorted delta overlay is consumed from its high end.  The batch
+        stream is non-increasing on the canonical sort key, which is what
+        the planner's DESC sort elision relies on; rows with equal keys
+        may appear in either order — the ``SortedMerge`` above re-sorts
+        tie groups canonically.
+        """
+        stats = ctx.stats
+        positions = self.positions
+        key_positions = part.sort_positions
+        scanned = 0
+
+        delta_rows = self._delta_overlay_rows(part, preds, skip_segment,
+                                              stats, snap[3])
+
+        def overlay_batch(entries):
+            nonlocal scanned
+            stats.batches_scanned += 1
+            scanned += len(entries)
+            rows = [entry[1] for entry in reversed(entries)]
+            return Batch([list(col) for col in zip(*rows)], len(rows))
+
+        main, start, stop = self._main_segment_span(part, snap, preds, stats)
+        _main, lows, highs, _delta = snap
+        hi_cursor = len(delta_rows)
+        for idx in range(stop - 1, start - 1, -1):
+            segment = main[idx]
+            if segment.live_count == 0 or skip_segment(segment):
+                continue
+            # overlay rows keyed above this segment stream first
+            cut = hi_cursor
+            segment_hi = highs[idx]
+            while cut > 0 and delta_rows[cut - 1][0] > segment_hi:
+                cut -= 1
+            if cut < hi_cursor:
+                yield overlay_batch(delta_rows[cut:hi_cursor])
+                hi_cursor = cut
+            overlap = hi_cursor
+            segment_lo = lows[idx]
+            while overlap > 0 and delta_rows[overlap - 1][0] >= segment_lo:
+                overlap -= 1
+            if segment.encoded:
+                stats.segments_encoded += 1
+            selection = self._live_selection(segment, preds, stats)
+            if selection is None:
+                selection = list(range(segment.size))
+            if overlap == hi_cursor:
+                if not selection:
+                    continue
+                # untouched segment: gather ascending, emit reversed
+                columns = [segment.columns[p].gather(selection)
+                           if hasattr(segment.columns[p], "gather")
+                           else [segment.columns[p][i] for i in selection]
+                           for p in positions]
+                for column in columns:
+                    column.reverse()
+                stats.batches_scanned += 1
+                scanned += len(selection)
+                yield Batch(columns, len(selection))
+                continue
+            # overlay rows key inside this segment: ascending row-level
+            # merge (same interleave rule as the forward scan), reversed
+            entries = delta_rows[overlap:hi_cursor]
+            hi_cursor = overlap
+            columns = segment.columns
+            merged: list[tuple] = []
+            pending = 0
+            n_entries = len(entries)
+            for offset in selection:
+                key = tuple(canonical_value_key(columns[p][offset])
+                            for p in key_positions)
+                while pending < n_entries and entries[pending][0] <= key:
+                    merged.append(entries[pending][1])
+                    pending += 1
+                merged.append(tuple(columns[p][offset] for p in positions))
+            while pending < n_entries:
+                merged.append(entries[pending][1])
+                pending += 1
+            merged.reverse()
+            stats.batches_scanned += 1
+            scanned += len(merged)
+            yield Batch([list(col) for col in zip(*merged)], len(merged))
+        if hi_cursor > 0:
+            yield overlay_batch(delta_rows[:hi_cursor])
+        stats.rows_columnar[self.table.name] += scanned
+
     def execute_partitions(self, ctx):
         name = self.table.name
         stats = ctx.stats
@@ -822,7 +1018,10 @@ class VColumnarScan(VectorNode):
 
         def skip_segment(segment):
             if any(not pred.zone_allows(segment) for pred in preds):
-                stats.segments_pruned += 1
+                # read ctx.stats here, not the closed-over collector: the
+                # check runs on whichever thread drains the partition and
+                # must hit that worker's local stats
+                ctx.stats.segments_pruned += 1
                 return True
             return False
 
@@ -974,8 +1173,23 @@ class BatchRows:
         self.schema = child.schema
 
     def execute(self, ctx):
-        for batch in self.child.execute_batches(ctx):
-            yield from batch.rows()
+        pool = ctx.pool
+        if pool is None:
+            for batch in self.child.execute_batches(ctx):
+                yield from batch.rows()
+            return
+        # scatter: each partition stream drains to rows on a worker;
+        # gather in partition order keeps the output byte-identical to
+        # the sequential walk
+        streams = list(self.child.execute_partitions(ctx))
+        if len(streams) <= 1:
+            for _pid, batches in streams:
+                yield from self._rows_of(batches)
+            return
+        tasks = [(pid, lambda b=batches: list(self._rows_of(b)))
+                 for pid, batches in streams]
+        for _pid, rows in pool.scatter_ordered(ctx, tasks):
+            yield from rows
 
     @staticmethod
     def _rows_of(batches):
@@ -1012,10 +1226,13 @@ class BatchAggregate:
 
     **Encoded group-by**: when the single grouping key is a plain column
     of the scan (``group_positions``), batches whose key column is
-    dictionary-encoded group by the integer DICT *codes* — one accumulator
-    slot per dictionary code — and decode only the surviving group keys.
-    Group creation order is first-encounter scan order, identical to the
-    generic value path, so results (and emission order) do not change.
+    run-length encoded group run-at-a-time — one group lookup per run,
+    bulk ``add_many`` folds over each argument's run span — and batches
+    whose key column is dictionary-encoded group by the integer DICT
+    *codes* (one accumulator slot per dictionary code, decoding only the
+    surviving group keys).  Group creation order is first-encounter scan
+    order, identical to the generic value path, so results (and emission
+    order) do not change.
     """
 
     def __init__(self, child: VectorNode, group_fns, agg_specs,
@@ -1033,6 +1250,52 @@ class BatchAggregate:
     def _make_accs(self):
         return [make_accumulator(s.name, s.arg_fn is None, s.distinct)
                 for s in self.agg_specs]
+
+    def _fold_runs(self, batch, ctx, groups: dict, arg_cols,
+                   position: int) -> bool:
+        """Group one batch by the RLE runs of its key column.
+
+        Whole-segment batches whose grouping key is run-length encoded
+        fold run-at-a-time: one group lookup per run, then each
+        aggregate argument folds the run's span in one bulk ``add_many``
+        (typed-array spans hit the accumulators' C-speed exact folds)
+        instead of a per-row ``add``.  Group creation order is run order
+        = scan order, and the accumulators' batch folds are exact, so
+        results are bit-identical to the generic value path.  Returns
+        False when the key column carries no runs — the caller tries
+        dictionary codes, then the generic path.
+        """
+        column = batch.columns[position]
+        runs_source = getattr(column, "iter_runs", None)
+        if runs_source is None or len(column) != len(batch):
+            return False
+        # pick each argument's span shape once per batch
+        span_types = []
+        for col in arg_cols:
+            if col is None or isinstance(col, list):
+                span_types.append(None)
+            elif isinstance(col, RLEColumn):
+                span_types.append(_RunSpan)
+            else:
+                span_types.append(_ColumnSpan)
+        offset = 0
+        for value, length in runs_source():
+            key = (value,)
+            accs = groups.get(key)
+            if accs is None:
+                accs = self._make_accs()
+                groups[key] = accs
+            stop = offset + length
+            for acc, col, span_type in zip(accs, arg_cols, span_types):
+                if span_type is not None:
+                    acc.add_many(span_type(col, offset, stop))
+                elif col is None:                 # COUNT(*): length suffices
+                    acc.add_many(range(length))
+                else:                             # computed argument: a list
+                    acc.add_many(col[offset:stop])
+            offset = stop
+        ctx.stats.groups_coded += 1
+        return True
 
     def _fold_coded(self, batch, ctx, groups: dict, arg_cols,
                     position: int) -> bool:
@@ -1090,9 +1353,11 @@ class BatchAggregate:
                     else:
                         acc.add_many(col)
                 continue
-            if coded_position is not None and \
-                    self._fold_coded(batch, ctx, groups, arg_cols,
-                                     coded_position):
+            if coded_position is not None and (
+                    self._fold_runs(batch, ctx, groups, arg_cols,
+                                    coded_position)
+                    or self._fold_coded(batch, ctx, groups, arg_cols,
+                                        coded_position)):
                 continue
             key_cols = [fn(batch, ctx) for fn in group_fns]
             for i, key in enumerate(zip(*key_cols)):
@@ -1104,24 +1369,50 @@ class BatchAggregate:
                     acc.add(1 if col is None else col[i])
         ctx.stats.agg_input_rows += rows
 
+    def _merge_partial(self, groups: dict, partial: dict):
+        for key, accs in partial.items():
+            merged = groups.get(key)
+            if merged is None:
+                groups[key] = accs
+            else:
+                for acc, sub in zip(merged, accs):
+                    acc.merge(sub)
+
     def execute(self, ctx):
         groups: dict = {}
         partials = 0
-        for _pid, batches in self.child.execute_partitions(ctx):
-            partials += 1
-            if not groups:
-                # first (or only) stream folds straight into the result
-                self._fold(batches, ctx, groups)
-                continue
-            partial: dict = {}
-            self._fold(batches, ctx, partial)
-            for key, accs in partial.items():
-                merged = groups.get(key)
-                if merged is None:
-                    groups[key] = accs
-                else:
-                    for acc, sub in zip(merged, accs):
-                        acc.merge(sub)
+        pool = ctx.pool
+        if pool is not None:
+            # scatter: fold each partition stream into a private partial
+            # on a worker; gather merges the partials in partition order,
+            # reproducing the sequential group-insertion order exactly
+            streams = list(self.child.execute_partitions(ctx))
+            partials = len(streams)
+            if partials > 1:
+                tasks = []
+                for pid, batches in streams:
+                    def fold(b=batches):
+                        partial: dict = {}
+                        self._fold(b, ctx, partial)
+                        return partial
+                    tasks.append((pid, fold))
+                for _pid, partial in pool.scatter_ordered(ctx, tasks):
+                    if not groups:
+                        groups = partial
+                        continue
+                    self._merge_partial(groups, partial)
+            elif partials == 1:
+                self._fold(streams[0][1], ctx, groups)
+        else:
+            for _pid, batches in self.child.execute_partitions(ctx):
+                partials += 1
+                if not groups:
+                    # first (or only) stream folds straight into the result
+                    self._fold(batches, ctx, groups)
+                    continue
+                partial: dict = {}
+                self._fold(batches, ctx, partial)
+                self._merge_partial(groups, partial)
         if partials > 1:
             ctx.stats.partial_aggregates += partials
         if not groups and not self.group_fns:

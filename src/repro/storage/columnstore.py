@@ -56,6 +56,7 @@ lookups stay on the row store, as in TiDB.
 from __future__ import annotations
 
 import heapq
+import threading
 from array import array
 from bisect import bisect_left, bisect_right
 from collections.abc import Iterator
@@ -712,9 +713,16 @@ class ColumnarTable:
                  encode: bool = True,
                  sort_key: tuple[int, ...] | None = None,
                  sorted_compaction: bool = False,
-                 merge_totals: list | None = None):
+                 merge_totals: list | None = None,
+                 lock: threading.RLock | None = None):
         if segment_rows <= 0:
             raise ValueError("segment_rows must be positive")
+        # serialises the mutable touch points (WAL apply, zone-map
+        # widening, compaction swap) against concurrent pool workers; a
+        # replica shares one lock across its tables so a chunk apply is
+        # atomic with respect to background compaction.  Re-entrant
+        # because compact() nests flush_zone_maps().
+        self._lock = lock if lock is not None else threading.RLock()
         self.table = table
         self.segment_rows = segment_rows
         self.encode = encode
@@ -767,6 +775,10 @@ class ColumnarTable:
         return segment
 
     def apply(self, pk: tuple, values: tuple | None, op: LogOp):
+        with self._lock:
+            self._apply_locked(pk, values, op)
+
+    def _apply_locked(self, pk: tuple, values: tuple | None, op: LogOp):
         if self.sorted_mode:
             self._apply_sorted(pk, values, op)
             return
@@ -835,7 +847,16 @@ class ColumnarTable:
 
     def flush_zone_maps(self):
         """Batch-widen zone maps for everything applied since the last
-        flush (one ``observe_batch`` per touched segment)."""
+        flush (one ``observe_batch`` per touched segment).
+
+        Locked: two concurrent flushes racing on the swap could each widen
+        from half the pending rows — zone maps would end up *narrower*
+        than the written values, breaking prune safety.
+        """
+        with self._lock:
+            self._flush_zone_maps_locked()
+
+    def _flush_zone_maps_locked(self):
         pending = self._zone_pending
         if not pending:
             return
@@ -859,24 +880,25 @@ class ColumnarTable:
         live rows (``force=True`` merges any non-empty delta) — the
         threshold amortises the main rewrite over many applied chunks.
         """
-        if self.sorted_mode:
+        with self._lock:
+            if self.sorted_mode:
+                self.flush_zone_maps()
+                pending = self.delta_live_rows()
+                if pending == 0:
+                    return 0
+                if not force and pending < self.segment_rows:
+                    return 0
+                return self._merge_delta()
+            if not self.encode:
+                return 0
             self.flush_zone_maps()
-            pending = self.delta_live_rows()
-            if pending == 0:
-                return 0
-            if not force and pending < self.segment_rows:
-                return 0
-            return self._merge_delta()
-        if not self.encode:
-            return 0
-        self.flush_zone_maps()
-        compacted = 0
-        for segment in self._segments:
-            if segment.dirty and segment.full:
-                segment.seal()
-                self.encode_events += 1
-                compacted += 1
-        return compacted
+            compacted = 0
+            for segment in self._segments:
+                if segment.dirty and segment.full:
+                    segment.seal()
+                    self.encode_events += 1
+                    compacted += 1
+            return compacted
 
     def delta_live_rows(self) -> int:
         """Live rows waiting in the delta tail (0 for arrival-order tables)."""
@@ -901,14 +923,26 @@ class ColumnarTable:
         return rows
 
     def _merge_delta(self) -> int:
-        """Ordered compaction: merge delta + main into new sorted main.
+        """Ordered compaction: merge the delta into the sorted main.
 
-        Every live row (old main plus delta) is re-sorted on the canonical
-        sort key (ties broken by the canonical primary-key order, so the
-        rebuilt layout is deterministic for non-unique sort keys) and
-        re-sealed into fresh encoded segments; dead slots are dropped.
-        Sorting is what lengthens RLE runs and makes the per-segment key
-        ranges disjoint — the precondition for ``main_span`` binary search.
+        **Segment-granular**: only the contiguous span of main segments
+        whose sort-key range overlaps the delta's key envelope (located by
+        ``main_span`` binary search) is rewritten; main segments outside
+        the span — and their slot numbering prefix — are reused as-is, so
+        merge cost is bounded by overlay locality instead of table size.
+        The rewrite region's live rows plus the delta rows are re-sorted
+        on the canonical sort key (ties broken by the canonical
+        primary-key order, so the rebuilt layout is deterministic for
+        non-unique sort keys) and re-sealed into fresh encoded segments;
+        dead slots inside the region are dropped.  Sorting is what
+        lengthens RLE runs and keeps the per-segment key ranges disjoint —
+        the precondition for ``main_span`` binary search.
+
+        **Swap, don't mutate**: the new segment/bound lists are built
+        aside and installed with single assignments, and untouched
+        ``Segment`` objects are shared between the old and new lists — an
+        in-flight scan holding a pre-swap ``read_snapshot`` keeps a
+        consistent view for its whole lifetime.
         """
         sort_positions = self.sort_positions
         pk_positions = self.table.pk_positions
@@ -921,8 +955,19 @@ class ColumnarTable:
                 return (canonical_key_of(row, sort_positions)
                         + canonical_key_of(row, pk_positions))
 
-        rows = self._live_rows_of(self._main_segments)
-        rows.extend(self._live_rows_of(self._segments))
+        delta_rows = self._live_rows_of(self._segments)
+        if not delta_rows:
+            return 0
+        main = self._main_segments
+        if main:
+            delta_keys = [canonical_key_of(row, sort_positions)
+                          for row in delta_rows]
+            start, stop = self.main_span(min(delta_keys), max(delta_keys))
+        else:
+            start, stop = 0, 0
+
+        rows = self._live_rows_of(main[start:stop])
+        rows.extend(delta_rows)
         rows.sort(key=merge_key)
 
         n_columns = len(self.table.columns)
@@ -931,9 +976,8 @@ class ColumnarTable:
         segments: list[Segment] = []
         lows: list[tuple] = []
         highs: list[tuple] = []
-        pk_map: dict[tuple, int] = {}
-        for start in range(0, len(rows), width):
-            chunk = rows[start:start + width]
+        for begin in range(0, len(rows), width):
+            chunk = rows[begin:begin + width]
             segment = Segment(n_columns, width)
             for row in chunk:
                 segment.append(row)
@@ -944,16 +988,27 @@ class ColumnarTable:
             segments.append(segment)
             lows.append(canonical_key_of(chunk[0], sort_positions))
             highs.append(canonical_key_of(chunk[-1], sort_positions))
-            for offset, row in enumerate(chunk):
-                pk_map[pk_of(row)] = start + offset
-        self._main_segments = segments
-        self.main_lo = lows
-        self.main_hi = highs
+        # remap live main slots: the prefix keeps its numbering, the
+        # suffix shifts by the region's segment-count change, the region
+        # itself is renumbered from the merged row order — no decoding
+        region_lo = start * width
+        region_hi = stop * width
+        shift = (len(segments) - (stop - start)) * width
+        pk_map: dict[tuple, int] = {}
+        for pk, slot in self._main_pk_to_slot.items():
+            if slot < region_lo:
+                pk_map[pk] = slot
+            elif slot >= region_hi:
+                pk_map[pk] = slot + shift
+        for offset, row in enumerate(rows):
+            pk_map[pk_of(row)] = region_lo + offset
+        self._main_segments = main[:start] + segments + main[stop:]
+        self.main_lo = self.main_lo[:start] + lows + self.main_lo[stop:]
+        self.main_hi = self.main_hi[:start] + highs + self.main_hi[stop:]
         self._main_pk_to_slot = pk_map
         self._segments = []
         self._pk_to_slot = {}
         self._zone_pending = []
-        self.row_count = len(rows)
         self.compactions += 1
         self.segments_merged_total += len(segments)
         self.rows_merged_total += len(rows)
@@ -961,6 +1016,40 @@ class ColumnarTable:
             self._merge_totals[0] += len(segments)
             self._merge_totals[1] += len(rows)
         return len(segments)
+
+    # -- consistent read snapshots -------------------------------------
+
+    def read_snapshot(self) -> tuple[list[Segment], list[tuple],
+                                     list[tuple], list[Segment]]:
+        """Atomic ``(main_segments, main_lo, main_hi, delta_segments)``.
+
+        Scans must take main list + bound lists + delta in one locked
+        read: a background merge swap between two separate reads would
+        pair pre-swap segments with post-swap bounds.  The returned lists
+        stay internally consistent forever — compaction swaps in fresh
+        lists instead of mutating these (sealed segments are immutable;
+        delta tail segments may still grow, which only adds rows past the
+        snapshot-time size).
+        """
+        with self._lock:
+            self.flush_zone_maps()
+            return (self._main_segments, self.main_lo, self.main_hi,
+                    self._segments)
+
+    @staticmethod
+    def span_of(main_lo: list[tuple], main_hi: list[tuple],
+                lo_key: tuple, hi_key: tuple) -> tuple[int, int]:
+        """``main_span`` over snapshot bound lists (see ``read_snapshot``)."""
+        if not main_lo:
+            return 0, 0
+        start, stop = 0, len(main_lo)
+        if lo_key:
+            k = len(lo_key)
+            start = bisect_left(main_hi, lo_key, key=lambda key: key[:k])
+        if hi_key:
+            k = len(hi_key)
+            stop = bisect_right(main_lo, hi_key, key=lambda key: key[:k])
+        return start, max(start, stop)
 
     # -- sorted-index lookups ------------------------------------------
 
@@ -973,27 +1062,20 @@ class ColumnarTable:
         search per bound replaces the per-segment zone-map checks: segments
         outside the span are provably disjoint from the predicate.
         """
-        main = self._main_segments
-        if not main:
-            return 0, 0
-        start, stop = 0, len(main)
-        if lo_key:
-            k = len(lo_key)
-            start = bisect_left(self.main_hi, lo_key,
-                                key=lambda key: key[:k])
-        if hi_key:
-            k = len(hi_key)
-            stop = bisect_right(self.main_lo, hi_key,
-                                key=lambda key: key[:k])
-        return start, max(start, stop)
+        return self.span_of(self.main_lo, self.main_hi, lo_key, hi_key)
 
     # -- encoding statistics -------------------------------------------
 
     def _all_segments(self) -> list[Segment]:
-        """Every segment in physical scan order (main first, then delta)."""
-        if self.sorted_mode:
-            return self._main_segments + self._segments
-        return self._segments
+        """Every segment in physical scan order (main first, then delta).
+
+        Locked so the main + delta concatenation is one consistent
+        snapshot even while a background merge swaps the lists.
+        """
+        with self._lock:
+            if self.sorted_mode:
+                return self._main_segments + self._segments
+            return list(self._segments)
 
     def encoding_stats(self) -> dict:
         """Segment/byte accounting of the encoding layer."""
@@ -1222,6 +1304,10 @@ class ColumnarReplica:
         if segment_rows <= 0:
             raise ValueError("segment_rows must be positive")
         self.pmap = partition_map or PartitionMap(1)
+        # one re-entrant lock shared by every table of the replica: a WAL
+        # apply chunk, a zone-map flush and a background compaction swap
+        # are mutually atomic, while sealed-segment reads stay lock-free
+        self._lock = threading.RLock()
         # table -> one ColumnarTable per partition
         self._tables: dict[str, list[ColumnarTable]] = {}
         self.segment_rows = segment_rows
@@ -1262,7 +1348,8 @@ class ColumnarReplica:
             ColumnarTable(table, self.segment_rows, encode=self.encode,
                           sort_key=sort_key,
                           sorted_compaction=self.sorted_compaction,
-                          merge_totals=self._merge_totals)
+                          merge_totals=self._merge_totals,
+                          lock=self._lock)
             for _ in self.pmap.all_partitions()
         ]
 
@@ -1362,9 +1449,10 @@ class ColumnarReplica:
     def apply_from(self, wal: WriteAheadLog, limit: int | None = None) -> int:
         """Apply pending records from the single stream (unpartitioned)."""
         records = wal.read_from(self.applied_lsn, limit)
-        for record in records:
-            self._apply_record(0, record)
-        self._flush_zone_maps()
+        with self._lock:
+            for record in records:
+                self._apply_record(0, record)
+            self._flush_zone_maps()
         return len(records)
 
     def apply_from_partitions(self, wals: list[WriteAheadLog],
@@ -1390,15 +1478,18 @@ class ColumnarReplica:
                 for pid, records in enumerate(pending) if records]
         heapq.heapify(heap)
         applied = 0
-        while heap and (limit is None or applied < limit):
-            _seq, pid, cursor = heapq.heappop(heap)
-            records = pending[pid]
-            self._apply_record(pid, records[cursor])
-            applied += 1
-            cursor += 1
-            if cursor < len(records):
-                heapq.heappush(heap, (records[cursor].seq, pid, cursor))
-        self._flush_zone_maps()
+        # one lock span per chunk: concurrent scans see the replica either
+        # before or after the whole apply, never mid-record
+        with self._lock:
+            while heap and (limit is None or applied < limit):
+                _seq, pid, cursor = heapq.heappop(heap)
+                records = pending[pid]
+                self._apply_record(pid, records[cursor])
+                applied += 1
+                cursor += 1
+                if cursor < len(records):
+                    heapq.heappush(heap, (records[cursor].seq, pid, cursor))
+            self._flush_zone_maps()
         return applied
 
     def lag(self, wal: WriteAheadLog) -> int:

@@ -237,9 +237,11 @@ class TestMergeOnRead:
         elided = _routed(db, "SELECT id FROM t ORDER BY id LIMIT 9")
         assert elided.stats.sort_elided == 1
         assert elided.stats.sort_rows == 0
-        # DESC cannot ride an ascending scan
+        # DESC rides the reverse scan (sort elided since the worker-pool
+        # PR); parity with the sorting engine is asserted above
         desc = _routed(db, "SELECT id FROM t ORDER BY id DESC LIMIT 4")
-        assert desc.stats.sort_elided == 0
+        assert desc.stats.sort_elided == 1
+        assert desc.stats.sort_rows == 0
 
 
 # ---------------------------------------------------------------------------
@@ -261,9 +263,15 @@ class TestSortElisionPlanning:
         root = _vectorized_root(db, "SELECT id FROM t ORDER BY id LIMIT 5")
         assert isinstance(root, SortedMerge) and root.limit == 5
 
-    def test_descending_keeps_sort(self):
+    def test_descending_elides_via_reverse_scan(self):
         db = _make_db()
         root = _vectorized_root(db, "SELECT id FROM t ORDER BY id DESC")
+        assert isinstance(root, SortedMerge) and root.reverse
+
+    def test_mixed_directions_keep_sort(self):
+        db = _make_db(sort_keys={"t": ("b", "id")})
+        root = _vectorized_root(db,
+                                "SELECT b, id FROM t ORDER BY b DESC, id")
         assert not isinstance(root, SortedMerge)
 
     def test_non_prefix_keeps_sort(self):
@@ -356,6 +364,79 @@ class TestEncodedGroupBy:
         assert coded.stats.groups_coded > 0
         enc.planner.encoded_pushdown = False  # new plan; generic fold
         generic = _routed(enc, "SELECT tag, COUNT(*) FROM t GROUP BY tag")
+        assert coded.rows == generic.rows
+
+
+class TestRunGroupedFold:
+    """Grouping by an RLE sort-key column folds run-at-a-time: one group
+    lookup per run, bulk ``add_many`` over each argument's span.  INT keys
+    never dictionary-encode, so ``groups_coded > 0`` on these queries can
+    only come from the run fold."""
+
+    def _filled(self, **kwargs):
+        db = _make_db(segment_rows=64, sort_keys={"t": ("a", "id")},
+                      **kwargs)
+        _fill_shuffled(db, 256)
+        db.columnar.compact(force=True)
+        return db
+
+    def test_rle_group_by_matches_plain(self):
+        enc = self._filled()
+        plain = self._filled(encoding=False)
+        table = enc.columnar.table("t")
+        assert any(type(s.columns[0]).__name__ == "RLEColumn"
+                   for s in table.main_segments())
+        sql = ("SELECT a, COUNT(*), COUNT(v), SUM(v), AVG(v), MIN(v), "
+               "MAX(b), MIN(tag) FROM t GROUP BY a ORDER BY a")
+        a = _routed(enc, sql)
+        b = _routed(plain, sql)
+        assert a.rows == b.rows
+        assert a.stats.groups_coded > 0
+        assert b.stats.groups_coded == 0
+
+    def test_rle_group_by_with_null_keys_and_args(self):
+        dbs = []
+        for encoding in (True, False):
+            db = _make_db(segment_rows=64, encoding=encoding,
+                          sort_keys={"t": ("a", "id")})
+            with db.connect() as conn:
+                for i in range(256):
+                    conn.execute(
+                        "INSERT INTO t (a, b, tag, v, id) "
+                        "VALUES (?, ?, ?, ?, ?)",
+                        (None if i < 64 else i // 64, i % 7, f"g{i % 3}",
+                         None if i % 13 == 0 else float(i) * 0.5, i))
+                conn.commit()
+            db.replicate()
+            db.columnar.compact(force=True)
+            dbs.append(db)
+        enc, plain = dbs
+        sql = ("SELECT a, COUNT(*), COUNT(v), SUM(v), AVG(v), "
+               "COUNT(DISTINCT b), SUM(DISTINCT b) FROM t "
+               "GROUP BY a ORDER BY a")
+        a = _routed(enc, sql)
+        b = _routed(plain, sql)
+        assert a.rows == b.rows
+        assert a.rows[0][0] is None and a.rows[0][1] == 64
+        assert a.stats.groups_coded > 0
+
+    def test_run_grouped_computed_args(self):
+        enc = self._filled()
+        plain = self._filled(encoding=False)
+        sql = ("SELECT a, SUM(v * 2.0), AVG(b + 1), COUNT(v + b) FROM t "
+               "GROUP BY a ORDER BY a")
+        a = _routed(enc, sql)
+        assert a.stats.groups_coded > 0
+        assert a.rows == _routed(plain, sql).rows
+
+    def test_run_grouped_emission_order_unchanged(self):
+        """Without ORDER BY, groups emit in first-encounter scan order —
+        identical between the run fold and the generic value path."""
+        enc = self._filled()
+        coded = _routed(enc, "SELECT a, COUNT(*), SUM(v) FROM t GROUP BY a")
+        assert coded.stats.groups_coded > 0
+        enc.planner.encoded_pushdown = False  # new plan; generic fold
+        generic = _routed(enc, "SELECT a, COUNT(*), SUM(v) FROM t GROUP BY a")
         assert coded.rows == generic.rows
 
 
