@@ -41,11 +41,16 @@ def load_bench(name: str) -> dict:
 
 
 def check_fig05(path: str, min_speedup: float,
-                min_range_speedup: float = 2.0) -> int:
+                min_range_speedup: float = 2.0,
+                min_shared_dict_speedup: float = 1.5) -> int:
     """CI floors: encoded-vectorized over row-pipeline speedup on the
-    selective district query must stay above ``min_speedup``, and the
+    selective district query must stay above ``min_speedup``, the
     delta–main engine's contiguous-span range scan must beat the
-    arrival-order encoded engine by ``min_range_speedup``."""
+    arrival-order encoded engine by ``min_range_speedup``, and the
+    shared-dictionary engine must beat the per-segment-dictionary engine
+    by ``min_shared_dict_speedup`` on the grouped report and the
+    code-space join — both semantically validated (non-empty result,
+    checksum parity with the per-segment engine)."""
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
     selective = next(q for q in payload["queries"]
                      if q["query"] == "selective_district")
@@ -82,6 +87,33 @@ def check_fig05(path: str, min_speedup: float,
     if not topn["sort_elided"]:
         print("FAIL: the ordered TopN did not elide its sort")
         return 1
+    for name, counter in (("grouped_report", "groups_global_coded"),
+                          ("code_space_join", "join_code_probes")):
+        entry = next((q for q in payload["queries"] if q["query"] == name),
+                     None)
+        if entry is None:
+            print(f"FAIL: no {name} row — regenerate the record")
+            return 1
+        shared = entry["speedup_shared_vs_per_segment"]
+        print(f"{name} shared-vs-per-segment speedup: {shared:.2f}x "
+              f"(floor {min_shared_dict_speedup:g}x)")
+        if shared < min_shared_dict_speedup:
+            print("FAIL: shared-dictionary speedup below the floor")
+            return 1
+        if not entry[counter]:
+            print(f"FAIL: {counter} is zero — code-space execution did "
+                  "not engage")
+            return 1
+        # semantic validation (row count + checksum, TPC-DS style): the
+        # shared-dictionary result must be non-empty and byte-identical
+        # to the per-segment engine's
+        if not entry["rows"]:
+            print(f"FAIL: {name} returned no rows")
+            return 1
+        if entry["checksum"] != entry["checksum_per_segment"]:
+            print(f"FAIL: {name} checksum mismatch — shared-dictionary "
+                  "result diverged from the per-segment engine")
+            return 1
     print("OK")
     return 0
 
@@ -180,12 +212,17 @@ def main(argv: list[str]) -> int:
             return check_fig10(argv[1], min_pool_speedup)
         min_speedup = 5.0
         min_range_speedup = 2.0
+        min_shared_dict_speedup = 1.5
         if "--min-speedup" in argv:
             min_speedup = float(argv[argv.index("--min-speedup") + 1])
         if "--min-range-speedup" in argv:
             min_range_speedup = float(
                 argv[argv.index("--min-range-speedup") + 1])
-        return check_fig05(argv[1], min_speedup, min_range_speedup)
+        if "--min-shared-dict-speedup" in argv:
+            min_shared_dict_speedup = float(
+                argv[argv.index("--min-shared-dict-speedup") + 1])
+        return check_fig05(argv[1], min_speedup, min_range_speedup,
+                           min_shared_dict_speedup)
     print(__doc__)
     return 2
 

@@ -74,6 +74,13 @@ def render_text(report: RunReport, per_transaction: bool = False) -> str:
             f"sort_elided={report.sort_elided} "
             f"groups_coded={report.groups_coded}"
         )
+    if report.join_code_probes or report.groups_global_coded \
+            or report.dict_remaps:
+        lines.append(
+            f"  shared dicts: join_code_probes={report.join_code_probes} "
+            f"groups_global_coded={report.groups_global_coded} "
+            f"dict_remaps={report.dict_remaps}"
+        )
     if report.plan_cache_hits or report.plan_cache_misses:
         lines.append(
             f"  plan cache: hits={report.plan_cache_hits} "
@@ -116,6 +123,7 @@ def render_csv(reports: list[RunReport]) -> str:
         "segments_encoded", "runs_skipped",
         "segments_merged", "delta_rows_pending", "sort_elided",
         "groups_coded",
+        "join_code_probes", "groups_global_coded", "dict_remaps",
         "plan_cache_hits", "plan_cache_misses",
         "plan_cache_evictions", "plan_cache_contention",
         "partitions_scanned", "partitions_pruned",
@@ -136,6 +144,8 @@ def render_csv(reports: list[RunReport]) -> str:
                 report.segments_encoded, report.runs_skipped,
                 report.segments_merged, report.delta_rows_pending,
                 report.sort_elided, report.groups_coded,
+                report.join_code_probes, report.groups_global_coded,
+                report.dict_remaps,
                 report.plan_cache_hits, report.plan_cache_misses,
                 report.plan_cache_evictions, report.plan_cache_contention,
                 report.partitions_scanned, report.partitions_pruned,

@@ -61,6 +61,8 @@ class Database:
                  columnar_segment_rows: int | None = None,
                  columnar_encoding: bool = True,
                  sorted_compaction: bool = True,
+                 shared_dicts: bool = True,
+                 shared_dict_cardinality: int | None = None,
                  sort_keys: dict[str, tuple[str, ...]] | None = None,
                  default_isolation: IsolationLevel = IsolationLevel.SNAPSHOT,
                  partitions: int = 1,
@@ -80,6 +82,13 @@ class Database:
         # Database(sort_keys={"ORDER_LINE": ("OL_I_ID",)}).
         self.columnar_encoding = columnar_encoding
         self.sorted_compaction = sorted_compaction
+        # shared_dicts=True (default) installs one table-level dictionary
+        # per string column domain (FK columns alias the referenced
+        # column's), built during compaction seals; joins, group-bys and
+        # pushed predicates then run on global integer codes across
+        # segments.  False preserves the per-segment-dictionary engine
+        # byte-for-byte (the recorded A/B baseline).
+        self.shared_dicts = shared_dicts and columnar_encoding
         self.sort_keys = {name.upper(): tuple(columns)
                           for name, columns in (sort_keys or {}).items()}
         # sort_keys names not yet matched by a created table: checked at
@@ -94,6 +103,9 @@ class Database:
                 partition_map=self.partition_map,
                 encode=columnar_encoding,
                 sorted_compaction=sorted_compaction,
+                shared_dicts=self.shared_dicts,
+                **({} if shared_dict_cardinality is None
+                   else {"shared_dict_cardinality": shared_dict_cardinality}),
             )
         else:
             self.columnar = None
@@ -106,7 +118,9 @@ class Database:
                                encoded_pushdown=columnar_encoding,
                                sorted_scan=(self.columnar is not None
                                             and sorted_compaction),
-                               sort_keys=self.sort_keys)
+                               sort_keys=self.sort_keys,
+                               shared_dicts=(self.columnar is not None
+                                             and self.shared_dicts))
         self.supports_foreign_keys = supports_foreign_keys
         self.enforce_foreign_keys = enforce_foreign_keys and supports_foreign_keys
         self.default_isolation = default_isolation
@@ -302,11 +316,13 @@ class Database:
         """Plan-cache key: the SQL text plus every engine-affecting flag.
 
         The planner compiles different physical plans depending on the
-        encoding pushdown and order-awareness toggles, so an A/B flip of
-        ``planner.encoded_pushdown`` / ``planner.sorted_scan`` on a shared
+        encoding pushdown, order-awareness and shared-dictionary toggles,
+        so an A/B flip of ``planner.encoded_pushdown`` /
+        ``planner.sorted_scan`` / ``planner.shared_dicts`` on a shared
         Database must never serve a plan built under the other setting.
         """
-        return (sql, self.planner.encoded_pushdown, self.planner.sorted_scan)
+        return (sql, self.planner.encoded_pushdown, self.planner.sorted_scan,
+                self.planner.shared_dicts)
 
     def _lock_plan_cache(self) -> bool:
         """Take the plan-cache mutex; True when another session held it."""

@@ -830,12 +830,17 @@ class Planner:
     def __init__(self, catalog: Catalog, build_vectorized: bool = True,
                  encoded_pushdown: bool = True,
                  sorted_scan: bool = False,
-                 sort_keys: dict[str, tuple[str, ...]] | None = None):
+                 sort_keys: dict[str, tuple[str, ...]] | None = None,
+                 shared_dicts: bool = False):
         self.catalog = catalog
         self.build_vectorized = build_vectorized
         self.encoded_pushdown = encoded_pushdown
         self.sorted_scan = sorted_scan
         self.sort_keys = sort_keys or {}
+        # shared table-level dictionaries: when on, single-column equi-
+        # joins on plain column refs carry code-key lineage so VHashJoin
+        # can build/probe on global integer codes
+        self.shared_dicts = shared_dicts
 
     def sort_key_of(self, table: Table) -> list[str] | None:
         """Sort-key column names of ``table`` (None when order-awareness
@@ -1379,6 +1384,11 @@ class Planner:
                                                            binding),
                                   filter_in_scan=self.encoded_pushdown)
         node = base_scan
+        # column lineage of the pipeline schema: batch position ->
+        # (table name, table column position) for columns that flow
+        # straight from a scan (join code-keys resolve through this)
+        lineage: list[tuple[str, int] | None] = [
+            (base_table.name, p) for p in base_scan.positions]
         # the scan evaluates pushed predicates exactly (code space on
         # encoded segments), so only the residual conjuncts are re-applied
         residual_base = [c for c in base_conjs if id(c) not in exact]
@@ -1423,18 +1433,34 @@ class Planner:
             # the scan's schema may be a projected subset of the table —
             # compile filters and keys against it, not the full layout
             scan_schema = right_node.schema
+            right_positions = right_node.positions
             residual_right = [c for c in right_conjs
                               if id(c) not in right_exact]
             if residual_right:
                 right_node = VFilter(right_node, compile_batch_predicate(
                     _and_all(residual_right), scan_schema, sub))
+            code_key = None
+            if (self.shared_dicts and len(left_keys) == 1
+                    and isinstance(left_keys[0], ast.ColumnRef)
+                    and isinstance(right_keys[0], ast.ColumnRef)):
+                lref, rref = left_keys[0], right_keys[0]
+                lpos = node.schema.try_resolve(lref.table, lref.name)
+                rpos = scan_schema.try_resolve(rref.table, rref.name)
+                if (lpos is not None and rpos is not None
+                        and lineage[lpos] is not None):
+                    code_key = (lpos, rpos,
+                                lineage[lpos][0], lineage[lpos][1],
+                                right_table.name, right_positions[rpos])
             node = VHashJoin(
                 node, right_node,
                 [compile_batch_expr(e, node.schema, sub) for e in left_keys],
                 [compile_batch_expr(e, scan_schema, sub)
                  for e in right_keys],
                 join.kind,
+                code_key=code_key,
             )
+            lineage = lineage + [(right_table.name, p)
+                                 for p in right_positions]
             tables.append(right_table.name)
             if residual_on:
                 node = VFilter(node, compile_batch_predicate(

@@ -32,7 +32,11 @@ from repro.sql.expressions import Schema, _null_safe_binop, compile_expr
 from repro.sql.functions import SCALARS, like_to_predicate, make_accumulator
 from repro.sql.ordering import canonical_value_key
 from repro.sql.result import Batch
-from repro.storage.columnstore import DictColumn, RLEColumn
+from repro.storage.columnstore import (
+    DictColumn,
+    RLEColumn,
+    SharedDictColumn,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -296,7 +300,8 @@ class _EvalPred:
     """One pushed predicate with its constants bound for this execution."""
 
     __slots__ = ("position", "low", "high", "low_inclusive",
-                 "high_inclusive", "is_eq", "in_values", "in_set", "test")
+                 "high_inclusive", "is_eq", "in_values", "in_set", "test",
+                 "shared_dict", "shared_code", "shared_in_codes")
 
     def __init__(self, position: int, low=None, high=None,
                  low_inclusive: bool = True, high_inclusive: bool = True,
@@ -321,6 +326,25 @@ class _EvalPred:
         else:
             self.in_set = None
             self.test = _range_test(low, high, low_inclusive, high_inclusive)
+        self.shared_dict = None
+        self.shared_code = None
+        self.shared_in_codes = None
+
+    def bind_shared(self, shared):
+        """Translate equality/IN literals to global codes *once per
+        statement* against the column's table-level dictionary — segments
+        sealed through it then filter on pre-translated integer codes with
+        no per-segment dictionary hash at all."""
+        if shared is None:
+            return
+        if self.in_values is not None:
+            self.shared_dict = shared
+            self.shared_in_codes = {
+                code for v in self.in_values
+                if (code := shared.lookup(v)) is not None}
+        elif self.is_eq:
+            self.shared_dict = shared
+            self.shared_code = shared.lookup(self.low)
 
     def zone_allows(self, segment) -> bool:
         """Could any row of ``segment`` satisfy this predicate?
@@ -338,7 +362,15 @@ class _EvalPred:
                                      self.high_inclusive):
             return False
         column = segment.columns[self.position]
-        if isinstance(column, DictColumn):
+        if isinstance(column, SharedDictColumn) \
+                and column.shared is self.shared_dict:
+            # statement-level translation: integer code-set membership,
+            # no per-segment string hashing
+            if self.in_values is not None:
+                return bool(self.shared_in_codes & column.code_set)
+            if self.is_eq:
+                return self.shared_code in column.code_set
+        elif isinstance(column, DictColumn):
             if self.in_values is not None:
                 return any(column.code_for(v) is not None
                            for v in self.in_values)
@@ -352,6 +384,12 @@ class _EvalPred:
         Encoded columns filter in code/run space; plain lists (and open
         tail segments) fall back to a value-space sweep.
         """
+        if isinstance(column, SharedDictColumn) \
+                and column.shared is self.shared_dict:
+            if self.in_values is not None:
+                return column.select_in_codes(self.shared_in_codes)
+            if self.is_eq:
+                return column.select_eq_code(self.shared_code)
         if self.in_values is not None:
             if hasattr(column, "select_in"):
                 return column.select_in(self.in_values)
@@ -462,6 +500,21 @@ class _LazyColumn:
             return None
         codes = column.codes
         return [codes[i] for i in self._selection], column.values
+
+    def shared_codes(self, stats=None):
+        """The selection's codes in the source column's (local) code space,
+        with the global bridge passed through — see
+        ``DictColumn.shared_codes``.  ``None`` when the source column has
+        no table-level dictionary."""
+        source = getattr(self._column, "shared_codes", None)
+        if source is None:
+            return None
+        found = source(stats if stats is not None else self._stats)
+        if found is None:
+            return None
+        codes, to_global, shared, values = found
+        return ([codes[i] for i in self._selection], to_global,
+                shared, values)
 
     def __len__(self) -> int:
         return len(self._selection)
@@ -1016,6 +1069,11 @@ class VColumnarScan(VectorNode):
                 return
             preds.append(pred)
 
+        shared_of = getattr(ctx.columnar, "shared_dict", None)
+        if shared_of is not None:
+            for pred in preds:
+                pred.bind_shared(shared_of(name, pred.position))
+
         def skip_segment(segment):
             if any(not pred.zone_allows(segment) for pred in preds):
                 # read ctx.stats here, not the closed-over collector: the
@@ -1103,13 +1161,177 @@ class VHashJoin(VectorNode):
     """
 
     def __init__(self, left: VectorNode, right: VectorNode,
-                 left_fns, right_fns, kind: str = "INNER"):
+                 left_fns, right_fns, kind: str = "INNER",
+                 code_key: tuple | None = None):
         self.left = left
         self.right = right
         self.left_fns = left_fns
         self.right_fns = right_fns
         self.kind = kind
+        # single-key equi-join on two plain string columns: the planner
+        # records (left batch pos, right batch pos, left table, left table
+        # col pos, right table, right table col pos) so execution can try
+        # the shared-dictionary code space (see _probe_dict)
+        self.code_key = code_key
         self.schema = left.schema + right.schema
+
+    def _probe_dict(self, ctx):
+        """The probe (left) column's table-level dictionary, when the join
+        can run in code space.  The build side is keyed in this dictionary's
+        code space: build rows whose key column *shares the same dictionary
+        object* (same column lineage, e.g. a PK/FK pair) contribute their
+        codes directly — the key never materialises to a string on either
+        side — while other build rows translate through one dictionary
+        lookup per row."""
+        key = self.code_key
+        if key is None or ctx.columnar is None:
+            return None
+        shared_of = getattr(ctx.columnar, "shared_dict", None)
+        if shared_of is None:
+            return None
+        return shared_of(key[2], key[3])
+
+    @staticmethod
+    def _batch_codes(batch, position, probe_dict, stats):
+        """Global codes of one batch's key column in ``probe_dict``'s code
+        space, or None when the column doesn't share that dictionary."""
+        if position >= len(batch.columns):
+            return None
+        column = batch.columns[position]
+        source = getattr(column, "shared_codes", None)
+        if source is None:
+            return None
+        found = source(stats)
+        if found is None or found[2] is not probe_dict:
+            return None
+        codes, to_global = found[0], found[1]
+        if to_global is None:
+            return codes
+        return [to_global[c] if c >= 0 else -1 for c in codes]
+
+    def _build_coded(self, ctx, probe_dict) -> tuple[dict, dict]:
+        """Build keyed on global codes: ``code_table`` maps a code (-1 for
+        the NULL key, matching the value path's (None,) key semantics) to
+        its rows; ``value_table`` holds build rows whose key is absent from
+        the dictionary (plain delta rows, post-demotion segments) — probed
+        by value only when the probe row itself is dictionary-absent, so
+        no match can be missed or duplicated."""
+        code_table: dict = {}
+        value_table: dict = {}
+        position = self.code_key[1]
+        lookup = probe_dict.lookup
+        for batch in self.right.execute_batches(ctx):
+            rows = list(batch.rows())
+            codes = self._batch_codes(batch, position, probe_dict,
+                                      ctx.stats)
+            if codes is not None:
+                for row, code in zip(rows, codes):
+                    bucket = code_table.get(code)
+                    if bucket is None:
+                        code_table[code] = [row]
+                    else:
+                        bucket.append(row)
+                continue
+            column = batch.columns[position]
+            for row, value in zip(rows, column):
+                if value is None:
+                    code = -1
+                else:
+                    code = lookup(value)
+                    if code is None:
+                        value_table.setdefault(value, []).append(row)
+                        continue
+                bucket = code_table.get(code)
+                if bucket is None:
+                    code_table[code] = [row]
+                else:
+                    bucket.append(row)
+        return code_table, value_table
+
+    def _probe_coded(self, batches, code_table: dict, value_table: dict,
+                     probe_dict, ctx):
+        right_width = len(self.right.schema)
+        null_row = (None,) * right_width
+        position = self.code_key[0]
+        left_join = self.kind == "LEFT"
+        lookup = probe_dict.lookup
+        for batch in batches:
+            codes = self._batch_codes(batch, position, probe_dict,
+                                      ctx.stats)
+            out_left: list[int] = []
+            out_right: list[tuple] = []
+            if codes is not None:
+                # pure code-space probe: integer hash per row, strings
+                # never materialise on either side.  value_table is only
+                # consulted (by decoded value) while it is non-empty: the
+                # dictionary may have grown since the build, so a value
+                # that was dictionary-absent at build time can carry a
+                # code now — its build rows still live in value_table.
+                ctx.stats.join_code_probes += len(codes)
+                get = code_table.get
+                dict_values = probe_dict.values
+                if not value_table and not left_join:
+                    # inner join, build fully in code space: collect the
+                    # hits in one C-level pass — misses (the common case
+                    # of a selective join) never reach the Python loop
+                    for i, matches in [(i, m) for i, c in enumerate(codes)
+                                       if (m := get(c))]:
+                        for match in matches:
+                            out_left.append(i)
+                            out_right.append(match)
+                else:
+                    for i, code in enumerate(codes):
+                        matches = get(code)
+                        if value_table and code >= 0:
+                            extra = value_table.get(dict_values[code])
+                            if extra:
+                                matches = (extra + matches if matches
+                                           else extra)
+                        if matches:
+                            for match in matches:
+                                out_left.append(i)
+                                out_right.append(match)
+                        elif left_join:
+                            out_left.append(i)
+                            out_right.append(null_row)
+            else:
+                # un-coded probe batch (delta overlay, demoted segment):
+                # translate each value once; both tables can hold rows for
+                # one value (the dictionary grew mid-build), build order is
+                # value_table rows first
+                column = batch.columns[position]
+                for i, value in enumerate(column):
+                    if value is None:
+                        matches = code_table.get(-1)
+                    else:
+                        code = lookup(value)
+                        if code is not None:
+                            matches = code_table.get(code)
+                            if value_table:
+                                extra = value_table.get(value)
+                                if extra:
+                                    matches = (extra + matches if matches
+                                               else extra)
+                        else:
+                            matches = value_table.get(value)
+                    if matches:
+                        for match in matches:
+                            out_left.append(i)
+                            out_right.append(match)
+                    elif left_join:
+                        out_left.append(i)
+                        out_right.append(null_row)
+            if not out_left:
+                continue
+            ctx.stats.rows_joined += len(out_left)
+            columns = [col.gather(out_left) if hasattr(col, "gather")
+                       else [col[i] for i in out_left]
+                       for col in batch.columns]
+            if out_right and right_width:
+                columns.extend(list(col) for col in zip(*out_right))
+            else:
+                columns.extend([] for _ in range(right_width))
+            yield Batch(columns, len(out_left))
 
     def _build(self, ctx) -> dict:
         build: dict = {}
@@ -1148,11 +1370,25 @@ class VHashJoin(VectorNode):
 
     def execute_batches(self, ctx):
         ctx.stats.join_ops += 1
+        probe_dict = self._probe_dict(ctx)
+        if probe_dict is not None:
+            code_table, value_table = self._build_coded(ctx, probe_dict)
+            yield from self._probe_coded(self.left.execute_batches(ctx),
+                                         code_table, value_table,
+                                         probe_dict, ctx)
+            return
         build = self._build(ctx)
         yield from self._probe(self.left.execute_batches(ctx), build, ctx)
 
     def execute_partitions(self, ctx):
         ctx.stats.join_ops += 1
+        probe_dict = self._probe_dict(ctx)
+        if probe_dict is not None:
+            code_table, value_table = self._build_coded(ctx, probe_dict)
+            for pid, batches in self.left.execute_partitions(ctx):
+                yield pid, self._probe_coded(batches, code_table,
+                                             value_table, probe_dict, ctx)
+            return
         build = self._build(ctx)
         for pid, batches in self.left.execute_partitions(ctx):
             yield pid, self._probe(batches, build, ctx)
@@ -1297,6 +1533,87 @@ class BatchAggregate:
         ctx.stats.groups_coded += 1
         return True
 
+    #: distinct-code bound below which per-code C-speed comprehensions
+    #: beat a single-pass python bucket build
+    BULK_DISTINCT = 24
+
+    def _fold_global_coded(self, batch, ctx, groups: dict, arg_cols,
+                           position: int, slot_state: dict) -> bool:
+        """Group one batch against the table-level accumulator array.
+
+        Batches whose key column lives in a shared (table-level)
+        dictionary fold into ONE code-indexed slot array persisted across
+        every batch of this partial — no per-segment slot rebuild, no
+        per-segment group lookup.  Rows bucket by *local* code (per-code
+        C-speed selections for few distincts, one insertion-ordered pass
+        otherwise) and each bucket folds its aggregate arguments in bulk
+        ``add_many`` calls; only the distinct codes translate through the
+        segment's remap.  Group creation order is first-encounter scan
+        order and the accumulators are exact/order-insensitive, so results
+        are bit-identical to the generic value path.  Returns False when
+        the key column has no shared dictionary.
+        """
+        column = batch.columns[position]
+        source = getattr(column, "shared_codes", None)
+        if source is None:
+            return False
+        found = source(ctx.stats)
+        if found is None or len(column) != len(batch):
+            return False
+        codes, to_global, shared, values = found
+        slots = slot_state.get(id(shared))
+        if slots is None:
+            slots = slot_state[id(shared)] = []
+        n = len(codes)
+        # distinct codes actually present (includes -1 when NULLs exist);
+        # one C-level pass, bounding all per-code work below
+        distinct = set(codes)
+        if len(distinct) <= self.BULK_DISTINCT:
+            # per-code C-speed selections, replayed in first-encounter
+            # order so group creation matches the generic value path
+            buckets = sorted(
+                (sel[0], code, sel) for code in distinct
+                if (sel := [i for i, c in enumerate(codes) if c == code]))
+            ordered = [(code, sel) for _first, code, sel in buckets]
+        else:
+            # many distincts: one insertion-ordered bucket pass
+            grouped: dict = {}
+            for i, code in enumerate(codes):
+                bucket = grouped.get(code)
+                if bucket is None:
+                    grouped[code] = [i]
+                else:
+                    bucket.append(i)
+            ordered = list(grouped.items())
+        for code, sel in ordered:
+            if code < 0:
+                slot = 0                              # the NULL key slot
+            else:
+                gcode = code if to_global is None else to_global[code]
+                slot = gcode + 1
+            if slot >= len(slots):
+                slots.extend([None] * (slot + 1 - len(slots)))
+            accs = slots[slot]
+            if accs is None:
+                key = (None,) if code < 0 else (values[code],)
+                accs = groups.get(key)
+                if accs is None:
+                    accs = self._make_accs()
+                    groups[key] = accs
+                slots[slot] = accs
+            full = len(sel) == n
+            for acc, col in zip(accs, arg_cols):
+                if col is None:                       # COUNT(*)
+                    acc.add_many(range(len(sel)))
+                elif full:
+                    acc.add_many(col)
+                elif hasattr(col, "gather"):
+                    acc.add_many(col.gather(sel))
+                else:
+                    acc.add_many([col[i] for i in sel])
+        ctx.stats.groups_global_coded += 1
+        return True
+
     def _fold_coded(self, batch, ctx, groups: dict, arg_cols,
                     position: int) -> bool:
         """Group one batch by dictionary codes (code-indexed slots).
@@ -1336,6 +1653,9 @@ class BatchAggregate:
         coded_position = (positions[0]
                           if positions is not None and len(positions) == 1
                           and positions[0] is not None else None)
+        # shared-dictionary slot arrays persisted across every batch of
+        # this partial (one per table dictionary encountered)
+        slot_state: dict = {}
         rows = 0
         for batch in batches:
             n = len(batch)
@@ -1356,6 +1676,8 @@ class BatchAggregate:
             if coded_position is not None and (
                     self._fold_runs(batch, ctx, groups, arg_cols,
                                     coded_position)
+                    or self._fold_global_coded(batch, ctx, groups, arg_cols,
+                                               coded_position, slot_state)
                     or self._fold_coded(batch, ctx, groups, arg_cols,
                                         coded_position)):
                 continue

@@ -62,6 +62,7 @@ from bisect import bisect_left, bisect_right
 from collections.abc import Iterator
 
 from repro.catalog.schema import Table
+from repro.catalog.types import VarcharType
 from repro.errors import CatalogError
 from repro.sql.ordering import canonical_key_of
 from repro.sql.result import Batch
@@ -79,6 +80,10 @@ RLE_FALLBACK_AVG_RUN = 8
 # dictionary encoding only pays while the dictionary stays small relative
 # to the segment
 DICT_MAX_CARDINALITY = 256
+# table-level shared dictionaries cover whole columns, so their cap is
+# proportionally larger; a column that exceeds it is *demoted* back to
+# per-segment encoding choices
+SHARED_DICT_MAX_CARDINALITY = 4096
 
 _INT64_MIN = -(1 << 63)
 _INT64_MAX = (1 << 63) - 1
@@ -111,6 +116,109 @@ def _plain_bytes(values) -> int:
     return 56 + 8 * len(values) + sum(_approx_value_bytes(v) for v in values)
 
 
+class TableDictionary:
+    """One shared value<->code map covering a whole column *domain*.
+
+    Installed per DICT-eligible (string) column when the replica runs with
+    ``shared_dicts=True``; FK columns alias the referenced column's
+    dictionary so both sides of a PK/FK join live in one code space.
+    Append-only: codes, once handed out, never change — sealed segments
+    referencing the dictionary stay valid forever.  When the domain's
+    cardinality exceeds ``cap`` the dictionary *demotes* (``active`` goes
+    False): future seals fall back to per-segment encoding choices while
+    already-sealed shared columns keep decoding through the (frozen-enough)
+    value list.
+    """
+
+    __slots__ = ("values", "code_of", "cap", "active", "referenced",
+                 "_lock")
+
+    def __init__(self, cap: int = SHARED_DICT_MAX_CARDINALITY):
+        self.values: list = []
+        self.code_of: dict = {}
+        self.cap = cap
+        self.active = True
+        # True once any sealed column/remap references the value list; a
+        # dictionary demoted before that can free its dead values
+        self.referenced = False
+        # protects value/code appends only; reads (lookup) ride on the
+        # atomicity of dict.get against an append-only dict
+        self._lock = threading.Lock()
+
+    def _demote_locked(self):
+        self.active = False
+        if not self.referenced:
+            # nothing ever sealed against this dictionary (the very first
+            # column slice blew the cap): drop the dead values
+            self.values.clear()
+            self.code_of.clear()
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def lookup(self, value):
+        """Global code of ``value`` (None when absent or unhashable)."""
+        try:
+            return self.code_of.get(value)
+        except TypeError:
+            return None
+
+    def encode(self, values: list) -> array | None:
+        """Encode a sealed column slice into global codes.
+
+        Unseen values are appended to the dictionary; ``None`` means the
+        table-level cap was exceeded — the dictionary demotes and the
+        caller falls back to per-segment encoding.
+        """
+        with self._lock:
+            if not self.active:
+                return None
+            code_of = self.code_of
+            dictionary = self.values
+            codes = array("i")
+            append = codes.append
+            for value in values:
+                if value is None:
+                    append(-1)
+                    continue
+                code = code_of.get(value)
+                if code is None:
+                    if len(dictionary) >= self.cap:
+                        self._demote_locked()
+                        return None
+                    code = code_of[value] = len(dictionary)
+                    dictionary.append(value)
+                append(code)
+            self.referenced = True
+            return codes
+
+    def remap(self, values: list) -> list | None:
+        """Per-segment-code -> global-code array for a segment dictionary.
+
+        Bridges segments sealed before the shared dictionary existed (or
+        outside compaction) into the global code space; unseen values are
+        appended.  ``None`` when the dictionary demoted — the caller stays
+        in segment code space.
+        """
+        with self._lock:
+            if not self.active:
+                return None
+            code_of = self.code_of
+            dictionary = self.values
+            out = []
+            for value in values:
+                code = code_of.get(value)
+                if code is None:
+                    if len(dictionary) >= self.cap:
+                        self._demote_locked()
+                        return None
+                    code = code_of[value] = len(dictionary)
+                    dictionary.append(value)
+                out.append(code)
+            self.referenced = True
+            return out
+
+
 class DictColumn:
     """Dictionary-encoded column: int codes + a per-segment dictionary.
 
@@ -118,15 +226,46 @@ class DictColumn:
     predicates translate the literal to a code once (``code_for``) and
     compare ints; a literal absent from the dictionary proves the whole
     segment predicate-free (*dictionary membership check*).
+
+    ``shared`` (optional) points at the table-level ``TableDictionary`` of
+    the column's domain: ``shared_codes`` then bridges this segment into
+    the global code space through a lazily-built remap array, so joins and
+    group-bys can stay in integer space across segments sealed before the
+    shared dictionary covered them.
     """
 
     encoding = Encoding.DICT
-    __slots__ = ("codes", "values", "code_of")
+    __slots__ = ("codes", "values", "code_of", "shared", "_remap")
 
-    def __init__(self, codes: array, values: list, code_of: dict):
+    def __init__(self, codes: array, values: list, code_of: dict,
+                 shared: TableDictionary | None = None):
         self.codes = codes
         self.values = values
         self.code_of = code_of
+        self.shared = shared
+        self._remap = None
+
+    def shared_codes(self, stats=None):
+        """``(codes, to_global, shared_dict, local_values)`` or None.
+
+        ``codes`` are in this segment's local space; ``to_global`` maps a
+        local code to its global one (built once per sealed column, counted
+        in ``stats.dict_remaps``).  Callers bucket/probe on local codes and
+        translate only the distinct ones.
+        """
+        shared = self.shared
+        if shared is None:
+            return None
+        remap = self._remap
+        if remap is None:
+            remap = shared.remap(self.values)
+            if remap is None:          # dictionary demoted: no bridge
+                self.shared = None
+                return None
+            self._remap = remap
+            if stats is not None:
+                stats.dict_remaps += 1
+        return self.codes, remap, shared, self.values
 
     def __len__(self) -> int:
         return len(self.codes)
@@ -188,6 +327,61 @@ class DictColumn:
         one test per distinct value, then integer code membership."""
         passing = {code for code, value in enumerate(self.values)
                    if test(value)}
+        if not passing:
+            return [], 0
+        if len(passing) == 1:
+            wanted = next(iter(passing))
+            return [i for i, c in enumerate(self.codes) if c == wanted], 0
+        return [i for i, c in enumerate(self.codes) if c in passing], 0
+
+
+class SharedDictColumn(DictColumn):
+    """Dictionary column whose codes live in the table-level code space.
+
+    ``values``/``code_of`` alias the shared ``TableDictionary`` structures
+    (append-only, so indexing stays valid as the dictionary grows);
+    ``code_set`` holds the codes actually present in this segment, keeping
+    membership checks and per-value scans bounded by the *segment's*
+    distinct count rather than the table's.
+    """
+
+    __slots__ = ("code_set",)
+
+    def __init__(self, codes: array, shared: TableDictionary,
+                 code_set: frozenset):
+        super().__init__(codes, shared.values, shared.code_of, shared)
+        self.code_set = code_set
+
+    def shared_codes(self, stats=None):
+        # codes are already global: identity bridge, no remap to build
+        return self.codes, None, self.shared, self.values
+
+    def code_for(self, value):
+        """Global code of ``value`` if present in *this segment*."""
+        code = super().code_for(value)
+        if code is None or code not in self.code_set:
+            return None
+        return code
+
+    def select_eq_code(self, code) -> tuple[list, int]:
+        """Selection by a pre-translated global code (statement-level
+        literal translation: no per-segment dictionary hash)."""
+        if code is None or code not in self.code_set:
+            return [], 0
+        return [i for i, c in enumerate(self.codes) if c == code], 0
+
+    def select_in_codes(self, codes: set) -> tuple[list, int]:
+        wanted = codes & self.code_set
+        if not wanted:
+            return [], 0
+        if len(wanted) == 1:
+            return self.select_eq_code(next(iter(wanted)))
+        return [i for i, c in enumerate(self.codes) if c in wanted], 0
+
+    def select_where(self, test) -> tuple[list, int]:
+        # bound by the segment's distinct codes, not the table dictionary
+        values = self.values
+        passing = {code for code in self.code_set if test(values[code])}
         if not passing:
             return [], 0
         if len(passing) == 1:
@@ -440,6 +634,11 @@ class NativeColumn:
 
 def _encoded_bytes(column) -> int:
     """Approximate footprint of one encoded column."""
+    if isinstance(column, SharedDictColumn):
+        # the dictionary is table-level and counted once at the replica
+        # (``shared_dict_bytes``); the segment pays for codes + code set
+        return (64 + column.codes.itemsize * len(column.codes)
+                + 8 * len(column.code_set))
     if isinstance(column, DictColumn):
         return (64 + column.codes.itemsize * len(column.codes)
                 + _plain_bytes(column.values))
@@ -452,7 +651,8 @@ def _encoded_bytes(column) -> int:
     return _plain_bytes(column)
 
 
-def _encode_column(values: list):
+def _encode_column(values: list, shared: TableDictionary | None = None,
+                   encode_shared: bool = True):
     """Pick and build the cheapest safe encoding for a sealed column slice.
 
     Returns the original list when no encoding applies (``PLAIN``).  The
@@ -460,6 +660,14 @@ def _encode_column(values: list):
     column (so decoding cannot change a value's type), DICT requires
     hashable low-cardinality strings, and RLE requires genuinely long runs
     (value equality across a run is exact, so round-tripping is lossless).
+
+    ``shared`` is the column's table-level dictionary (when the replica
+    runs with shared dictionaries): with ``encode_shared`` the string
+    branch encodes straight into the global code space (demotion falls
+    through to the per-segment choices); without it — the replication
+    fill-time seal, which must not pay the table-wide dictionary walk —
+    the per-segment dictionary is built as usual but keeps a reference to
+    ``shared`` so readers can bridge via a remap array later.
     """
     n = len(values)
     if n == 0:
@@ -524,6 +732,12 @@ def _encode_column(values: list):
                     if nulls else frozenset())
         return NativeColumn(data, null_set)
     if all_str:
+        if shared is not None and encode_shared and shared.active:
+            shared_codes = shared.encode(values)
+            if shared_codes is not None:
+                code_set = frozenset(
+                    c for c in set(shared_codes) if c >= 0)
+                return SharedDictColumn(shared_codes, shared, code_set)
         code_of: dict = {}
         codes = array("i")
         dictionary: list = []
@@ -539,7 +753,9 @@ def _encode_column(values: list):
                     break
             codes.append(code)
         else:
-            return DictColumn(codes, dictionary, code_of)
+            return DictColumn(
+                codes, dictionary, code_of,
+                shared if shared is not None and shared.active else None)
     if n // runs >= RLE_FALLBACK_AVG_RUN:
         return build_rle()
     return values
@@ -648,13 +864,20 @@ class Segment:
         self.encoded = False
         self.dirty = True
 
-    def seal(self):
-        """Encode every column (called when the segment fills / compacts)."""
+    def seal(self, shared_dicts: dict | None = None,
+             encode_shared: bool = True):
+        """Encode every column (called when the segment fills / compacts).
+
+        ``shared_dicts`` maps column positions to their table-level
+        ``TableDictionary``; compaction-time seals encode through it
+        (``encode_shared``), fill-time seals only attach the reference.
+        """
         plain_total = 0
         encoded_total = 0
         for pos, col in enumerate(self.columns):
             values = col if isinstance(col, list) else col.decode()
-            encoded = _encode_column(values)
+            shared = shared_dicts.get(pos) if shared_dicts else None
+            encoded = _encode_column(values, shared, encode_shared)
             self.columns[pos] = encoded
             plain_total += _plain_bytes(values)
             encoded_total += _encoded_bytes(encoded)
@@ -714,7 +937,8 @@ class ColumnarTable:
                  sort_key: tuple[int, ...] | None = None,
                  sorted_compaction: bool = False,
                  merge_totals: list | None = None,
-                 lock: threading.RLock | None = None):
+                 lock: threading.RLock | None = None,
+                 shared_dicts: dict | None = None):
         if segment_rows <= 0:
             raise ValueError("segment_rows must be positive")
         # serialises the mutable touch points (WAL apply, zone-map
@@ -727,6 +951,9 @@ class ColumnarTable:
         self.segment_rows = segment_rows
         self.encode = encode
         self.sorted_mode = sorted_compaction
+        # column position -> table-level TableDictionary (shared across
+        # the table's partitions); None disables shared dictionaries
+        self.shared_dicts = shared_dicts
         self.sort_positions: tuple[int, ...] = (
             tuple(sort_key) if sort_key is not None else table.pk_positions)
         # arrival-order segments (unsorted mode) / plain delta tail (sorted)
@@ -794,7 +1021,9 @@ class ColumnarTable:
             segment = self._delta_append(pk, values)
             if segment.full and self.encode:
                 self.flush_zone_maps()
-                segment.seal()
+                # replication hot path: per-segment encode only, with the
+                # shared dictionary attached for later remap bridging
+                segment.seal(self.shared_dicts, encode_shared=False)
                 self.encode_events += 1
         else:
             segment, offset = self._locate(slot)
@@ -895,7 +1124,7 @@ class ColumnarTable:
             compacted = 0
             for segment in self._segments:
                 if segment.dirty and segment.full:
-                    segment.seal()
+                    segment.seal(self.shared_dicts)
                     self.encode_events += 1
                     compacted += 1
             return compacted
@@ -983,7 +1212,10 @@ class ColumnarTable:
                 segment.append(row)
             segment.observe_batch(chunk)
             if self.encode:
-                segment.seal()
+                # ordered compaction is where shared dictionaries are
+                # built/refreshed: every merged segment encodes straight
+                # into the global code space
+                segment.seal(self.shared_dicts)
                 self.encode_events += 1
             segments.append(segment)
             lows.append(canonical_key_of(chunk[0], sort_positions))
@@ -1087,6 +1319,12 @@ class ColumnarTable:
             "bytes_encoded": 0,
             "encodings": {Encoding.PLAIN: 0, Encoding.DICT: 0,
                           Encoding.RLE: 0, Encoding.NATIVE: 0},
+            # dictionary accounting: code bytes split from the dictionary
+            # value bytes, and shared (table-level) vs per-segment counts
+            "dict_code_bytes": 0,
+            "dict_value_bytes": 0,
+            "dicts_shared": 0,
+            "dicts_per_segment": 0,
         }
         for segment in self._all_segments():
             if not segment.encoded:
@@ -1096,6 +1334,16 @@ class ColumnarTable:
             stats["bytes_encoded"] += segment.encoded_bytes
             for encoding in segment.encodings():
                 stats["encodings"][encoding] += 1
+            for column in segment.columns:
+                if not isinstance(column, DictColumn):
+                    continue
+                stats["dict_code_bytes"] += \
+                    column.codes.itemsize * len(column.codes)
+                if isinstance(column, SharedDictColumn):
+                    stats["dicts_shared"] += 1
+                else:
+                    stats["dicts_per_segment"] += 1
+                    stats["dict_value_bytes"] += _plain_bytes(column.values)
         stats["bytes_saved"] = stats["bytes_plain"] - stats["bytes_encoded"]
         return stats
 
@@ -1271,10 +1519,14 @@ def _merge_encoding_stats(stats_iter) -> dict:
         "bytes_plain": 0, "bytes_encoded": 0, "bytes_saved": 0,
         "encodings": {Encoding.PLAIN: 0, Encoding.DICT: 0,
                       Encoding.RLE: 0, Encoding.NATIVE: 0},
+        "dict_code_bytes": 0, "dict_value_bytes": 0,
+        "dicts_shared": 0, "dicts_per_segment": 0,
     }
     for stats in stats_iter:
         for key in ("segments_total", "segments_encoded",
-                    "bytes_plain", "bytes_encoded", "bytes_saved"):
+                    "bytes_plain", "bytes_encoded", "bytes_saved",
+                    "dict_code_bytes", "dict_value_bytes",
+                    "dicts_shared", "dicts_per_segment"):
             merged[key] += stats[key]
         for encoding, count in stats["encodings"].items():
             merged["encodings"][encoding] += count
@@ -1300,7 +1552,9 @@ class ColumnarReplica:
     def __init__(self, segment_rows: int = SEGMENT_ROWS,
                  partition_map: PartitionMap | None = None,
                  encode: bool = True,
-                 sorted_compaction: bool = False):
+                 sorted_compaction: bool = False,
+                 shared_dicts: bool = False,
+                 shared_dict_cardinality: int = SHARED_DICT_MAX_CARDINALITY):
         if segment_rows <= 0:
             raise ValueError("segment_rows must be positive")
         self.pmap = partition_map or PartitionMap(1)
@@ -1313,6 +1567,14 @@ class ColumnarReplica:
         self.segment_rows = segment_rows
         self.encode = encode
         self.sorted_compaction = sorted_compaction
+        # table-level shared dictionaries, keyed by column *domain*
+        # ((table, column), with FK columns aliased to the referenced
+        # column so PK/FK joins share one code space); per-table position
+        # maps are what the tables and operators look through
+        self.shared_dicts = shared_dicts and encode
+        self.shared_dict_cardinality = shared_dict_cardinality
+        self._domain_dicts: dict[tuple, TableDictionary] = {}
+        self._table_dicts: dict[str, dict[int, TableDictionary]] = {}
         self.applied_lsns = [0] * self.pmap.partitions
         self.applied_ts = 0
         # scan_cost_factor cache, invalidated whenever a seal/compact
@@ -1339,17 +1601,50 @@ class ColumnarReplica:
             )
         return self.applied_lsns[0]
 
+    @staticmethod
+    def _dict_domain(table: Table, column_name: str) -> tuple:
+        """Dictionary domain of one column: FK columns alias the referenced
+        column's domain (single hop), so both sides of a PK/FK string join
+        resolve to the *same* ``TableDictionary`` object."""
+        for fk in table.foreign_keys:
+            for name, ref_name in zip(fk.columns, fk.ref_columns):
+                if name.upper() == column_name.upper():
+                    return (fk.ref_table.upper(), ref_name.upper())
+        return (table.name.upper(), column_name.upper())
+
+    def _register_shared_dicts(self, table: Table) -> dict | None:
+        if not self.shared_dicts:
+            return None
+        shared: dict[int, TableDictionary] = {}
+        for pos, column in enumerate(table.columns):
+            if not isinstance(column.col_type, VarcharType):
+                continue          # only string columns are DICT-eligible
+            domain = self._dict_domain(table, column.name)
+            dictionary = self._domain_dicts.get(domain)
+            if dictionary is None:
+                dictionary = self._domain_dicts[domain] = \
+                    TableDictionary(self.shared_dict_cardinality)
+            shared[pos] = dictionary
+        self._table_dicts[table.name.upper()] = shared
+        return shared or None
+
+    def shared_dict(self, table_name: str, position: int):
+        """Table-level dictionary of one column (None when absent/off)."""
+        return self._table_dicts.get(table_name.upper(), {}).get(position)
+
     def register_table(self, table: Table,
                        sort_key: tuple[int, ...] | None = None):
         key = table.name.upper()
         if key in self._tables:
             raise CatalogError(f"columnar table {table.name!r} already exists")
+        shared = self._register_shared_dicts(table)
         self._tables[key] = [
             ColumnarTable(table, self.segment_rows, encode=self.encode,
                           sort_key=sort_key,
                           sorted_compaction=self.sorted_compaction,
                           merge_totals=self._merge_totals,
-                          lock=self._lock)
+                          lock=self._lock,
+                          shared_dicts=shared)
             for _ in self.pmap.all_partitions()
         ]
 
@@ -1420,6 +1715,18 @@ class ColumnarReplica:
         merged = _merge_encoding_stats(
             part.encoding_stats()
             for parts in self._tables.values() for part in parts)
+        # the table-level dictionaries are stored once per domain — count
+        # their value bytes here (per-segment dictionary bytes are already
+        # inside each segment's encoded_bytes)
+        shared_bytes = sum(_plain_bytes(d.values)
+                           for d in self._domain_dicts.values())
+        merged["shared_dict_bytes"] = shared_bytes
+        merged["shared_dicts_total"] = len(self._domain_dicts)
+        merged["shared_dicts_demoted"] = sum(
+            1 for d in self._domain_dicts.values() if not d.active)
+        merged["bytes_encoded"] += shared_bytes
+        merged["bytes_saved"] = \
+            merged["bytes_plain"] - merged["bytes_encoded"]
         plain = merged["bytes_plain"]
         merged["compression_ratio"] = (
             plain / merged["bytes_encoded"] if merged["bytes_encoded"] else 1.0)
