@@ -13,6 +13,13 @@ the same buffer pool.  Three arms per client count:
 * ``admission_on`` — the same flood behind one analytical slot and one
   full-scan slot: deferred scans back off while commits keep flowing.
 
+A fourth *chaos* arm re-runs the admission-on configuration with seeded
+probabilistic faults armed — columnar scans fail with ``replica.scan``
+(statements degrade to the row pipeline, answers unchanged) and 2PC
+prepares fail with ``txn.prepare`` (clean aborts, retried) — and records
+the throughput kept relative to the fault-free run plus a crash/recover
+parity sweep, all floor-checked in CI as ``BENCH_fig11.json["chaos"]``.
+
 Headline (recorded in ``BENCH_fig11.json``, floor-checked in CI): at >= 16
 mixed clients, p99 commit latency with admission control on is at least 2x
 lower than with it off, and stays within a small factor of the no-flood
@@ -24,11 +31,13 @@ compaction) — returns byte-identical query results to the sequential
 
 from __future__ import annotations
 
+import time
 from random import Random
 
 import pytest
 
-from repro.core.session import Session
+from repro.core.session import Session, run_transaction
+from repro.errors import InjectedFaultError
 from repro.db import Database
 from repro.engines import make_engine
 from repro.server import (
@@ -54,6 +63,14 @@ FLOOD_QUERIES = ("Q1", "Q6")
 CLIENT_COUNTS = (16, 24)
 PARITY_PARTITIONS = (1, 2, 8)
 PARITY_SCALE = 0.15
+# the chaos arm: seeded per-failpoint probabilities over a direct
+# CH-benCHmark mix against the columnar-replica database — deterministic
+# because the load loop, the workload parameters and the failpoint draws
+# are all seeded
+CHAOS_ROUNDS = 8
+CHAOS_PARTITIONS = 2
+CHAOS_SCAN_P = 0.15
+CHAOS_PREPARE_P = 0.05
 
 
 def _arm(policy: AdmissionPolicy, oltp_clients: int, olap_clients: int):
@@ -84,6 +101,89 @@ def _arm(policy: AdmissionPolicy, oltp_clients: int, olap_clients: int):
     }
 
 
+class _ColumnarSession:
+    """Workload statement API over one connection, routed columnar."""
+
+    def __init__(self, conn):
+        self._conn = conn
+
+    def execute(self, sql: str, params: tuple = ()):
+        return self._conn.execute(sql, params, route_columnar=True)
+
+    def query_scalar(self, sql: str, params: tuple = ()):
+        return self.execute(sql, params).scalar()
+
+
+def _chaos_run(fault: bool) -> dict:
+    """One chaos measurement: the CH-benCHmark transaction mix with flood
+    queries interleaved, with (or without) seeded faults armed throughout.
+
+    Ends with the degradation parity proof on the run's own final state:
+    every analytical answer with columnar scans force-failed (and the
+    circuit breaker tripping) must match the healthy columnar answer
+    byte-for-byte, and the breaker must close again once healed."""
+    db = Database(with_columnar=True, partitions=CHAOS_PARTITIONS)
+    workload = make_workload(WORKLOAD, scale=SCALE)
+    workload.install(db, Random(7), SCALE)
+    db.replicate()
+    db.columnar.compact(force=True)
+    fp = db.failpoints
+    if fault:
+        fp.arm("replica.scan", probability=CHAOS_SCAN_P)
+        fp.arm("txn.prepare", probability=CHAOS_PREPARE_P)
+    flood = [q for q in workload.analytical_queries()
+             if q.name in FLOOD_QUERIES]
+    rng = Random(SEED)
+    committed = aborted = 0
+    began = time.perf_counter()
+    with db.connect() as conn:
+        for round_no in range(CHAOS_ROUNDS):
+            for profile in workload.oltp_transactions():
+                work = run_transaction(conn, "oltp", profile.name,
+                                       profile.program, rng)
+                if work.aborted:
+                    aborted += 1
+                else:
+                    committed += 1
+            db.replicate()
+            for profile in flood:
+                run_transaction(conn, "olap", profile.name, profile.program,
+                                Random(f"{profile.name}:{round_no}"),
+                                route_columnar=True)
+    elapsed_s = time.perf_counter() - began
+    fp.disarm_all()
+    db.replicate()
+    db.columnar.compact(force=True)
+    queries = workload.analytical_queries()
+    healthy = query_results(_ColumnarSession(db.connect()), queries,
+                            seed=SEED)
+    fp.arm("replica.scan", always=True)
+    degraded = query_results(_ColumnarSession(db.connect()), queries,
+                             seed=SEED)
+    fp.disarm_all()
+    with db.connect() as conn:
+        for _ in range(db.replica_breaker.cooldown_statements + 4):
+            if not db.replica_breaker.is_open:
+                break
+            conn.execute("SELECT COUNT(*) FROM warehouse", (),
+                         route_columnar=True)
+    return {
+        "committed": committed,
+        "aborted": aborted,
+        "elapsed_s": elapsed_s,
+        "oltp_throughput": committed / elapsed_s,
+        "degraded_parity": degraded == healthy,
+        "faults_injected": fp.triggers_total(),
+        "faults_recovered": fp.recoveries_total(),
+        "degraded_statements": db.degraded_statements_total,
+        "prepare_aborts": db.txn_manager.prepare_aborts,
+        "breaker_trips": db.replica_breaker.trips,
+        "breaker_resets": db.replica_breaker.resets,
+        "breaker_healed": not db.replica_breaker.is_open,
+        "failpoints": fp.snapshot(),
+    }
+
+
 PARITY_WORKERS = 2
 
 
@@ -105,6 +205,39 @@ def _parity_point(partitions: int) -> bool:
     via_server = query_results(
         ClientSession(installed(PARITY_WORKERS), 1, kind="olap"), queries)
     return sequential == via_server
+
+
+def _chaos_parity_point(partitions: int) -> bool:
+    """Crash the columnar replica mid-apply, recover, and require every
+    analytical answer to match an uncrashed twin byte-for-byte."""
+    def build(**kwargs) -> Database:
+        db = Database(with_columnar=True, partitions=partitions, **kwargs)
+        workload = make_workload(WORKLOAD, scale=PARITY_SCALE)
+        workload.install(db, Random(7), PARITY_SCALE)
+        rng = Random(13)
+        with db.connect() as conn:
+            for profile in workload.oltp_transactions():
+                run_transaction(conn, "oltp", profile.name,
+                                profile.program, rng)
+        return db
+
+    queries = make_workload(WORKLOAD, scale=PARITY_SCALE).analytical_queries()
+    clean = build()
+    clean.replicate()
+    clean.columnar.compact(force=True)
+    crashed = build(retain_wal=True)
+    crashed.failpoints.arm("replica.apply", on_hits=(3,), max_triggers=1)
+    try:
+        crashed.replicate()
+        fired = False
+    except InjectedFaultError:
+        fired = True
+    crashed.failpoints.disarm_all()
+    crashed.recover()
+    crashed.columnar.compact(force=True)
+    return fired and \
+        query_results(Session(clean.connect()), queries) == \
+        query_results(Session(crashed.connect()), queries)
 
 
 @pytest.mark.benchmark(group="fig11")
@@ -144,12 +277,35 @@ def test_fig11_concurrency(benchmark, series):
         "identical": all(_parity_point(p) for p in PARITY_PARTITIONS),
     }
 
+    # chaos arm: the same CH-benCHmark mix with seeded faults armed
+    chaos_clean = _chaos_run(fault=False)
+    chaos_faulty = _chaos_run(fault=True)
+    chaos = {
+        "rounds": CHAOS_ROUNDS,
+        "partitions": CHAOS_PARTITIONS,
+        "scan_fault_probability": CHAOS_SCAN_P,
+        "prepare_fault_probability": CHAOS_PREPARE_P,
+        "clean": chaos_clean,
+        "faulty": chaos_faulty,
+        "throughput_ratio": chaos_faulty["oltp_throughput"]
+        / chaos_clean["oltp_throughput"],
+        "parity": {
+            "partitions": list(PARITY_PARTITIONS),
+            "identical": chaos_faulty["degraded_parity"]
+            and all(_chaos_parity_point(p) for p in PARITY_PARTITIONS),
+        },
+    }
+
     for point in points:
         series.add(f"{point['clients']} clients p99 off/on (x)",
                    ">=2", round(point["p99_off_over_on"], 2))
         series.add(f"{point['clients']} clients p99 on/baseline (x)",
                    "~1", round(point["p99_on_over_baseline"], 2))
     series.add("parity across partitions", True, parity["identical"])
+    series.add("chaos oltp throughput kept (x)", ">=0.5",
+               round(chaos["throughput_ratio"], 2))
+    series.add("chaos crash-recovery parity", True,
+               chaos["parity"]["identical"])
     series.emit(benchmark)
 
     record_bench("fig11", {
@@ -162,6 +318,7 @@ def test_fig11_concurrency(benchmark, series):
         "flood_queries": list(FLOOD_QUERIES),
         "points": points,
         "parity": parity,
+        "chaos": chaos,
     })
 
     # shape criteria: the admission controller must cut the commit tail at
@@ -173,3 +330,13 @@ def test_fig11_concurrency(benchmark, series):
         assert point["admission_on"]["deferred"]["olap"] > 0, point
         assert point["admission_off"]["deferred"]["olap"] == 0, point
     assert parity["identical"]
+    # chaos criteria: faults must have engaged (injected, degraded, breaker
+    # tripped and healed) and the engine must keep at least half its
+    # fault-free oltp throughput with byte-identical answers both while
+    # degraded and after crash recovery
+    assert chaos_faulty["faults_injected"] > 0, chaos_faulty
+    assert chaos_faulty["degraded_statements"] > 0, chaos_faulty
+    assert chaos_faulty["breaker_trips"] > 0, chaos_faulty
+    assert chaos_faulty["breaker_healed"], chaos_faulty
+    assert chaos["throughput_ratio"] >= 0.5, chaos
+    assert chaos["parity"]["identical"]

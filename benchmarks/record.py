@@ -152,13 +152,16 @@ def check_fig10(path: str, min_pool_speedup: float = 1.4) -> int:
 
 
 def check_fig11(path: str, min_ab_ratio: float = 2.0,
-                max_on_over_baseline: float = 1.5) -> int:
+                max_on_over_baseline: float = 1.5,
+                min_chaos_ratio: float = 0.5) -> int:
     """CI floors for the concurrency record: with the analytical flood
     active at >= 16 mixed clients, admission-control-on p99 commit latency
     must be >= ``min_ab_ratio`` lower than admission-control-off AND stay
     within ``max_on_over_baseline`` of the no-flood baseline; the server
     must agree byte-for-byte with the sequential runner across partition
-    counts."""
+    counts.  The chaos arm must keep >= ``min_chaos_ratio`` of the
+    fault-free oltp throughput with faults demonstrably engaged and
+    crash-recovery answers byte-identical."""
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
     points = payload.get("points", [])
     if not points or all(p["clients"] < 16 for p in points):
@@ -189,6 +192,30 @@ def check_fig11(path: str, min_ab_ratio: float = 2.0,
               "sequential runner")
         return 1
     print(f"parity: identical across partitions {parity['partitions']}")
+    chaos = payload.get("chaos")
+    if not chaos:
+        print("FAIL: no chaos section — regenerate the record with "
+              "benchmarks/bench_fig11_concurrency.py")
+        return 1
+    ratio = chaos["throughput_ratio"]
+    counters = chaos["faulty"]
+    print(f"chaos: oltp throughput kept {ratio:.2f}x "
+          f"(floor {min_chaos_ratio:g}x), "
+          f"faults_injected={counters['faults_injected']} "
+          f"degraded_statements={counters['degraded_statements']}")
+    if ratio < min_chaos_ratio:
+        print("FAIL: injected faults cost more than the recorded "
+              "throughput floor allows")
+        return 1
+    if not counters["faults_injected"] or \
+            not counters["degraded_statements"]:
+        print("FAIL: chaos counters are zero — the fault-injection layer "
+              "never engaged")
+        return 1
+    if not chaos["parity"].get("identical"):
+        print("FAIL: crash-recovery answers diverged from the uncrashed "
+              "run")
+        return 1
     print("OK")
     return 0
 
@@ -198,12 +225,17 @@ def main(argv: list[str]) -> int:
         if "fig11" in Path(argv[1]).name:
             min_ab_ratio = 2.0
             max_on_over_baseline = 1.5
+            min_chaos_ratio = 0.5
             if "--min-ab-ratio" in argv:
                 min_ab_ratio = float(argv[argv.index("--min-ab-ratio") + 1])
             if "--max-on-over-baseline" in argv:
                 max_on_over_baseline = float(
                     argv[argv.index("--max-on-over-baseline") + 1])
-            return check_fig11(argv[1], min_ab_ratio, max_on_over_baseline)
+            if "--min-chaos-ratio" in argv:
+                min_chaos_ratio = float(
+                    argv[argv.index("--min-chaos-ratio") + 1])
+            return check_fig11(argv[1], min_ab_ratio, max_on_over_baseline,
+                               min_chaos_ratio)
         if "fig10" in Path(argv[1]).name:
             min_pool_speedup = 1.4
             if "--min-pool-speedup" in argv:

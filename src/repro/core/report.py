@@ -94,6 +94,13 @@ def render_text(report: RunReport, per_transaction: bool = False) -> str:
             f"gather_wait_ms={report.gather_wait_ms:.1f} "
             f"bg_compactions={report.bg_compactions}"
         )
+    if report.faults_injected or report.faults_recovered \
+            or report.degraded_statements:
+        lines.append(
+            f"  faults: injected={report.faults_injected} "
+            f"recovered={report.faults_recovered} "
+            f"degraded_statements={report.degraded_statements}"
+        )
     return "\n".join(lines)
 
 
@@ -129,6 +136,7 @@ def render_csv(reports: list[RunReport]) -> str:
         "partitions_scanned", "partitions_pruned",
         "multi_partition_commits",
         "pool_workers", "gather_wait_ms", "bg_compactions",
+        "faults_injected", "faults_recovered", "degraded_statements",
     ])
     for report in reports:
         config = report.config
@@ -152,6 +160,8 @@ def render_csv(reports: list[RunReport]) -> str:
                 report.multi_partition_commits,
                 report.pool_workers, report.gather_wait_ms,
                 report.bg_compactions,
+                report.faults_injected, report.faults_recovered,
+                report.degraded_statements,
             ])
     return buffer.getvalue()
 

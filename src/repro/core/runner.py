@@ -93,6 +93,12 @@ class RunReport:
     pool_workers: int = 0
     gather_wait_ms: float = 0.0
     bg_compactions: int = 0
+    # fault counters (aggregated over every request): injected faults,
+    # faults survived via retry/fallback/degraded routing, and statements
+    # the circuit breaker degraded to the row pipeline
+    faults_injected: int = 0
+    faults_recovered: int = 0
+    degraded_statements: int = 0
     # commit-path split over the run (fast path vs two-phase)
     single_partition_commits: int = 0
     multi_partition_commits: int = 0
@@ -183,6 +189,13 @@ class RunReport:
                 f"  pool: workers={self.pool_workers} "
                 f"gather_wait_ms={self.gather_wait_ms:.1f} "
                 f"bg_compactions={self.bg_compactions}"
+            )
+        if self.faults_injected or self.faults_recovered \
+                or self.degraded_statements:
+            lines.append(
+                f"  faults: injected={self.faults_injected} "
+                f"recovered={self.faults_recovered} "
+                f"degraded_statements={self.degraded_statements}"
             )
         commits = self.single_partition_commits + self.multi_partition_commits
         if commits:
@@ -421,6 +434,9 @@ class OLxPBench:
                                   exec_stats.pool_workers)
         report.gather_wait_ms += exec_stats.gather_wait_ms
         report.bg_compactions += exec_stats.bg_compactions
+        report.faults_injected += exec_stats.faults_injected
+        report.faults_recovered += exec_stats.faults_recovered
+        report.degraded_statements += exec_stats.degraded_statements
 
         measured = now >= config.warmup_ms
         if measured:

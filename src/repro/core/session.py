@@ -13,7 +13,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 
 from repro.db.database import Connection
-from repro.errors import TransactionAborted
+from repro.errors import TransactionAborted, TransientError
 from repro.sim.work import WorkResult
 from repro.sql.result import DMLResult, ExecStats, Result
 
@@ -74,8 +74,11 @@ def run_transaction(connection: Connection, kind: str, name: str, program,
     """Execute one transaction program logically; returns its WorkResult.
 
     ``program`` is a callable ``(session, rng) -> None`` issuing statements
-    through the session.  Aborted transactions (write-write conflicts) are
-    retried up to ``max_retries`` times, matching a sane client driver.
+    through the session.  Aborted transactions (write-write conflicts) and
+    transient faults (injected failures, 2PC prepare aborts) are retried
+    up to ``max_retries`` times, matching a sane client driver; the retry
+    re-runs the whole program, so partial statement work is discarded
+    with the rollback.
     """
     retries = 0
     while True:
@@ -96,7 +99,7 @@ def run_transaction(connection: Connection, kind: str, name: str, program,
                 retries=retries,
                 commit_partitions=txn.commit_partitions,
             )
-        except TransactionAborted:
+        except (TransactionAborted, TransientError):
             connection.rollback()
             retries += 1
             if retries > max_retries:

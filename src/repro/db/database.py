@@ -25,10 +25,14 @@ from repro.catalog.schema import Catalog, Column, ForeignKey, IndexDef, Table
 from repro.catalog.types import type_from_name
 from repro.errors import (
     CatalogError,
+    ConfigError,
     ConnectionStateError,
+    ReplicaUnavailableError,
     SQLError,
+    TransientError,
     UnsupportedFeatureError,
 )
+from repro.fault import CircuitBreaker, FailpointRegistry
 from repro.sql import ast
 from repro.sql.executor import Executor
 from repro.sql.parser import parse_sql
@@ -67,12 +71,22 @@ class Database:
                  default_isolation: IsolationLevel = IsolationLevel.SNAPSHOT,
                  partitions: int = 1,
                  plan_cache_size: int = 256,
-                 workers: int | None = 0):
+                 workers: int | None = 0,
+                 failpoints: FailpointRegistry | None = None,
+                 retain_wal: bool = False):
         if plan_cache_size <= 0:
             raise ValueError("plan_cache_size must be positive")
         self.catalog = Catalog()
         self.partition_map = PartitionMap(partitions)
-        self.storage = RowStorage(self.partition_map)
+        # one failpoint registry shared by every layer; unarmed it costs
+        # one attribute read per seam.  retain_wal=True keeps applied WAL
+        # prefixes instead of truncating them after replication — required
+        # for recover() to rebuild the columnar replica from LSN 0.
+        self.failpoints = failpoints if failpoints is not None \
+            else FailpointRegistry()
+        self.retain_wal = retain_wal
+        self.storage = RowStorage(self.partition_map,
+                                  failpoints=self.failpoints)
         # sorted_compaction=True (default) keeps the columnar replica in
         # the delta–main organisation: replication applies into plain
         # delta tails, compaction merges into sort-key-ordered encoded
@@ -106,10 +120,17 @@ class Database:
                 shared_dicts=self.shared_dicts,
                 **({} if shared_dict_cardinality is None
                    else {"shared_dict_cardinality": shared_dict_cardinality}),
+                failpoints=self.failpoints,
             )
         else:
             self.columnar = None
-        self.txn_manager = TransactionManager(self.storage)
+        # circuit breaker for the replica scan path: transient replica
+        # faults open it, and columnar-routed statements degrade to the
+        # row pipeline until the replica heals (answers stay identical)
+        self.replica_breaker = CircuitBreaker() if with_columnar else None
+        self.degraded_statements_total = 0
+        self.txn_manager = TransactionManager(self.storage,
+                                              failpoints=self.failpoints)
         # columnar_encoding=False reverts the whole columnar path to the
         # pre-encoding engine (plain segments, prune-only pushdown): the
         # recorded A/B baseline the encoding benchmarks compare against
@@ -134,13 +155,15 @@ class Database:
         else:
             from repro.exec import WorkerPool
 
-            self.pool = WorkerPool(workers)
+            self.pool = WorkerPool(workers, failpoints=self.failpoints)
         self.bg_compactions_total = 0
+        self.bg_compaction_failures = 0
         self.executor = Executor(
             self.catalog, self.columnar,
             enforce_foreign_keys=self.enforce_foreign_keys,
             partition_map=self.partition_map,
             pool=self.pool,
+            failpoints=self.failpoints,
         )
         # bounded LRU keyed on SQL text: statements beyond the capacity
         # evict the least-recently-prepared plan instead of growing the
@@ -277,20 +300,99 @@ class Database:
             # nothing new: no prefix to truncate, no demotions to re-encode
             # (this path runs once per simulated request via engine ticks)
             return 0
-        for pid, wal in enumerate(self.storage.wals):
-            wal.truncate_upto(self.columnar.applied_lsns[pid])
+        if not self.retain_wal:
+            for pid, wal in enumerate(self.storage.wals):
+                wal.truncate_upto(self.columnar.applied_lsns[pid])
         if self.pool is not None and self.sorted_compaction:
             # ordered compaction moves off the query path: merge the fresh
             # delta eagerly (segment-granular, so cost is bounded by the
             # delta's key-range overlap) on a pool worker while queries
             # keep scanning their pre-swap segment snapshot
             self.bg_compactions_total += 1
-            self.pool.submit_background(
-                lambda: self.columnar.compact(force=True))
+            self.pool.submit_background(self._background_compact,
+                                        name="columnar-compaction")
         else:
             # re-encode segments demoted by in-place overwrites this chunk
-            self.columnar.compact()
+            self._compact_with_retry()
         return applied
+
+    def _background_compact(self):
+        """Pool-side compaction wrapper.
+
+        A *transient* failure (injected fault, flaky merge) is absorbed:
+        the unpublished merge left the old main + delta fully queryable,
+        the delta stays pending, and the next ``replicate`` retries — a
+        compaction fault must never poison the pool or fail a query.
+        Non-transient exceptions propagate and are surfaced, with the
+        task's name, at the next ``quiesce``.
+        """
+        try:
+            self.failpoints.fire("pool.background")
+            self.columnar.compact(force=True)
+        except TransientError as exc:
+            self.bg_compaction_failures += 1
+            self.failpoints.record_recovery(
+                getattr(exc, "failpoint", None) or "pool.background")
+
+    def _compact_with_retry(self):
+        """Inline compaction: absorb transient faults the same way."""
+        try:
+            self.columnar.compact()
+        except TransientError as exc:
+            self.bg_compaction_failures += 1
+            self.failpoints.record_recovery(
+                getattr(exc, "failpoint", None) or "compact.merge")
+
+    def recover(self) -> dict:
+        """Crash recovery: repair the WALs, rebuild the columnar replica.
+
+        Models a restart after a crash (simulated by a failpoint firing
+        mid-operation):
+
+        1. every partition WAL verifies its checksums and truncates its
+           torn tail (``WriteAheadLog.recover``);
+        2. valid-looking records of a torn commit still sitting at the
+           tails of *sibling* streams are dropped too (the crash hit
+           between per-partition appends; no later commit can exist past
+           the crash point), so no partial commit survives;
+        3. the columnar replica is reset in place and re-replicated from
+           LSN 0 — which requires ``retain_wal=True``, otherwise the
+           applied prefix is gone and the rebuild is impossible.
+
+        Returns ``{"records_dropped", "torn_commits", "replicated"}``.
+        """
+        if self.pool is not None:
+            from repro.exec import BackgroundTaskError
+            try:
+                self.pool.drain_background()
+            except BackgroundTaskError:
+                # a poisoned background task may be the very crash being
+                # recovered from; the rebuild below supersedes its work
+                pass
+        dropped = []
+        for wal in self.storage.wals:
+            dropped.extend(wal.recover())
+        torn_commits = {record.commit_ts for record in dropped}
+        if torn_commits:
+            for wal in self.storage.wals:
+                dropped.extend(wal.drop_tail_commits(torn_commits))
+        replicated = 0
+        if self.columnar is not None:
+            if not self.retain_wal and \
+                    any(wal.base_lsn > 0 for wal in self.storage.wals):
+                raise ConfigError(
+                    "replica rebuild needs the full WAL history: construct "
+                    "the Database with retain_wal=True (applied prefixes "
+                    "were already truncated)"
+                )
+            self.columnar.reset()
+            replicated = self.replicate()
+            if self.replica_breaker is not None:
+                # the replica was just rebuilt: it is healthy by definition
+                self.replica_breaker.record_success()
+        return {"records_dropped": len(dropped),
+                "torn_commits": sorted(torn_commits),
+                "replicated": replicated}
 
     def replication_lag(self) -> int:
         if self.columnar is None:
@@ -455,12 +557,36 @@ class Connection:
             self.begin()
         txn = self._txn
         txn.statement_begin()
+        breaker = self.db.replica_breaker
+        degraded = False
+        if route_columnar and breaker is not None and not breaker.allow():
+            # breaker open: skip the failing replica entirely and serve
+            # from the row pipeline (identical answers, higher cost)
+            route_columnar = False
+            degraded = True
         try:
-            result = self._run(plan, txn, tuple(params), route_columnar)
+            try:
+                result = self._run(plan, txn, tuple(params), route_columnar)
+                if route_columnar and breaker is not None:
+                    breaker.record_success()
+            except ReplicaUnavailableError:
+                # transient replica fault: the scan failed before doing
+                # any work, so re-running on the row pipeline is safe —
+                # the statement degrades instead of erroring
+                if breaker is not None:
+                    breaker.record_failure()
+                self.db.failpoints.record_recovery("replica.scan")
+                result = self._run(plan, txn, tuple(params), False)
+                result.stats.faults_injected += 1
+                result.stats.faults_recovered += 1
+                degraded = True
         except Exception:
             if autocommit:
                 self.rollback()
             raise
+        if degraded:
+            result.stats.degraded_statements += 1
+            self.db.degraded_statements_total += 1
         if cache_hit:
             result.stats.plan_cache_hits += 1
         else:

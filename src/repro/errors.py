@@ -77,6 +77,51 @@ class ConnectionStateError(TransactionError):
     """Operation illegal in the connection's current state."""
 
 
+class TransientError(ReproError):
+    """A fault the caller may retry: the operation failed, state is clean.
+
+    Retry loops (``run_transaction``, the worker pool's task wrapper)
+    treat this family as retryable alongside ``TransactionAborted``.
+    Anything not in this family is assumed fatal and propagates.
+    """
+
+
+class InjectedFaultError(TransientError):
+    """A failpoint fired.  Deterministic, seeded, and always retryable."""
+
+    def __init__(self, failpoint: str, message: str | None = None):
+        super().__init__(message or f"injected fault at failpoint "
+                         f"{failpoint!r}")
+        self.failpoint = failpoint
+
+
+class ReplicaUnavailableError(TransientError):
+    """The columnar replica cannot serve a scan right now.
+
+    The session layer degrades the statement to the row pipeline (answers
+    stay correct) and trips the circuit breaker; the replica is probed
+    again after the cooldown.
+    """
+
+
+class WALCorruptionError(ReproError):
+    """The write-ahead log is damaged beyond a torn tail.
+
+    A torn tail (invalid records at the very end of the stream) is the
+    expected crash signature and is silently truncated by ``recover()``;
+    an invalid record *followed by a valid one* means mid-log corruption,
+    which no recovery protocol can repair — it is fatal.
+    """
+
+
+class WALBoundsError(ReproError, ValueError):
+    """An LSN argument is outside the log's valid range.
+
+    Subclasses ``ValueError`` so callers that predate the typed taxonomy
+    (``except ValueError``) keep working.
+    """
+
+
 class ConfigError(ReproError):
     """Benchmark configuration is malformed or inconsistent."""
 

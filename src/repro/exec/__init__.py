@@ -1,5 +1,5 @@
 """Partition-parallel execution: the shared worker pool."""
 
-from repro.exec.pool import WorkerPool, default_workers
+from repro.exec.pool import BackgroundTaskError, WorkerPool, default_workers
 
-__all__ = ["WorkerPool", "default_workers"]
+__all__ = ["BackgroundTaskError", "WorkerPool", "default_workers"]

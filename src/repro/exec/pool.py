@@ -20,6 +20,18 @@ Two invariants make the pool safe and deterministic:
   order, which keeps even dict-ordering-sensitive counters
   deterministic.
 
+Fault behaviour: a partition task that fails with a ``TransientError``
+is retried with capped backoff; when retries are exhausted the gatherer
+runs the thunk *inline* (sequential fallback for that partition), so a
+flaky worker degrades throughput, never correctness.  The ``pool.task``
+failpoint fires *before* the thunk body, which is what makes the retry
+safe — the row streams behind ``execute_streams`` are one-shot
+generators, and a fault after partial consumption could not be retried
+without losing rows.  A failed background task never poisons the pool:
+it is surfaced (with the task's name) at the next ``drain_background``,
+and ``shutdown`` always releases the executor even when the drain
+raises.
+
 Sealed segments are immutable and shared read-only across workers; the
 mutable replica touch points (delta tails, zone-map widening, segment
 swap) are serialised by the replica lock in ``storage.columnstore``.
@@ -32,10 +44,20 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 
+from repro.errors import TransientError
+
 
 def default_workers() -> int:
     """Pool size when the caller asks for ``workers=None``: the CPU count."""
     return os.cpu_count() or 1
+
+
+class BackgroundTaskError(RuntimeError):
+    """A background task failed; carries the task's name for diagnosis."""
+
+    def __init__(self, name: str, cause: BaseException):
+        super().__init__(f"background task {name!r} failed: {cause!r}")
+        self.task_name = name
 
 
 class WorkerPool:
@@ -49,13 +71,25 @@ class WorkerPool:
     query path), not core-parallel bytecode.
     """
 
-    def __init__(self, workers: int | None = None):
+    #: Transient-task retry schedule: attempts beyond the first, with the
+    #: pre-attempt sleep in seconds (capped exponential backoff).  Small
+    #: absolute values — the faults being retried are injected or
+    #: simulated, not real I/O.
+    TASK_RETRIES = 3
+    BACKOFF_BASE_S = 0.001
+    BACKOFF_CAP_S = 0.008
+
+    def __init__(self, workers: int | None = None, failpoints=None):
         self.workers = max(1, int(workers if workers is not None
                                   else default_workers()))
         self._executor = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-exec")
-        self._background: list[Future] = []
+        self._background: list[tuple[str, Future]] = []
         self._bg_lock = threading.Lock()
+        self._failpoints = failpoints
+        # monotone fault counters (read by Database.quiesce / reports)
+        self.task_retries_total = 0
+        self.task_fallbacks_total = 0
 
     # -- foreground: ordered scatter-gather --------------------------------
 
@@ -66,25 +100,66 @@ class WorkerPool:
         Each thunk executes with a worker-local ``ExecStats`` bound to
         ``ctx``; the locals are merged into the statement's stats in
         partition order at gather time, and blocked gather time is
-        charged to ``gather_wait_ms``.
+        charged to ``gather_wait_ms``.  Transient task faults retry with
+        capped backoff, then fall back to inline execution on the
+        gatherer thread.
         """
         from repro.sql.result import ExecStats
+
+        failpoints = self._failpoints
+        fallback = object()  # sentinel: retries exhausted, run inline
 
         def run(thunk):
             local = ExecStats()
             ctx.bind_worker_stats(local)
             try:
-                return thunk(), local
+                # only the pre-body failpoint is retried: the thunk has
+                # not started, so nothing (one-shot row streams!) has
+                # been consumed.  Faults raised *inside* the thunk body
+                # propagate — they cannot be retried safely.
+                attempt = 0
+                while failpoints is not None:
+                    try:
+                        failpoints.fire("pool.task")
+                        break
+                    except TransientError:
+                        attempt += 1
+                        local.faults_injected += 1
+                        if attempt > self.TASK_RETRIES:
+                            return fallback, local
+                        self.task_retries_total += 1
+                        time.sleep(min(
+                            self.BACKOFF_BASE_S * (2 ** (attempt - 1)),
+                            self.BACKOFF_CAP_S))
+                result = thunk()
+                if attempt:
+                    failpoints.record_recovery("pool.task")
+                    local.faults_recovered += 1
+                return result, local
             finally:
                 ctx.unbind_worker_stats()
 
-        futures = [(pid, self._executor.submit(run, thunk))
+        futures = [(pid, self._executor.submit(run, thunk), thunk)
                    for pid, thunk in tasks]
         stats = ctx.stats
         stats.pool_workers = max(stats.pool_workers, self.workers)
-        for pid, future in futures:
+        for pid, future, thunk in futures:
             began = time.perf_counter()
             result, local = future.result()
+            if result is fallback:
+                # retries exhausted: run this partition inline on the
+                # gatherer, without the failpoint — the sequential
+                # fallback must always succeed (order is preserved
+                # because the gather loop is already positional)
+                self.task_fallbacks_total += 1
+                ctx.bind_worker_stats(local)
+                try:
+                    result = thunk()
+                finally:
+                    ctx.unbind_worker_stats()
+                local.faults_recovered += 1
+                if failpoints is not None:
+                    failpoints.record_recovery("pool.task")
             stats.gather_wait_ms += (time.perf_counter() - began) * 1000.0
             stats.merge(local)
             yield pid, result
@@ -97,21 +172,30 @@ class WorkerPool:
 
     # -- background: compaction off the query path -------------------------
 
-    def submit_background(self, fn) -> Future:
-        """Schedule ``fn`` on the pool without a waiting consumer."""
+    def submit_background(self, fn, name: str = "background") -> Future:
+        """Schedule ``fn`` on the pool without a waiting consumer.
+
+        A completed-and-failed task is *kept* until the next
+        ``drain_background`` surfaces it by name — a raised background
+        exception must never be dropped just because nobody was waiting.
+        """
         future = self._executor.submit(fn)
         with self._bg_lock:
-            self._background = [f for f in self._background
-                                if not f.done()]
-            self._background.append(future)
+            self._background = [
+                (task_name, f) for task_name, f in self._background
+                if not f.done() or f.exception() is not None
+            ]
+            self._background.append((name, future))
         return future
 
     def drain_background(self):
         """Block until every submitted background task has finished.
 
-        Re-raises the first background exception (a compaction failure
-        must not be silently swallowed).  Tests and benchmarks use this
-        to quiesce the pool at a known point.
+        Raises ``BackgroundTaskError`` naming the first failed task (a
+        compaction failure must not be silently swallowed); later
+        failures in the same drain are dropped only after the first has
+        been surfaced.  Tests and benchmarks use this to quiesce the
+        pool at a known point.
         """
         while True:
             with self._bg_lock:
@@ -119,9 +203,19 @@ class WorkerPool:
                 self._background = []
             if not pending:
                 return
-            for future in pending:
-                future.result()
+            first_failure: BackgroundTaskError | None = None
+            for name, future in pending:
+                exc = future.exception()  # waits for completion
+                if exc is not None and first_failure is None:
+                    first_failure = BackgroundTaskError(name, exc)
+                    first_failure.__cause__ = exc
+            if first_failure is not None:
+                raise first_failure
 
     def shutdown(self):
-        self.drain_background()
-        self._executor.shutdown(wait=True)
+        try:
+            self.drain_background()
+        finally:
+            # the executor must be released even when the drain surfaces
+            # a background failure — a wedged pool would leak threads
+            self._executor.shutdown(wait=True)

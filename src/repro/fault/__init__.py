@@ -1,0 +1,19 @@
+"""Fault injection: deterministic failpoints and graceful degradation.
+
+See ``failpoints.FailpointRegistry`` for the injection substrate and
+``breaker.CircuitBreaker`` for the replica-scan degradation policy.
+"""
+
+from repro.fault.breaker import CircuitBreaker
+from repro.fault.failpoints import (
+    FAILPOINT_NAMES,
+    FailpointRegistry,
+    FailpointStats,
+)
+
+__all__ = [
+    "FAILPOINT_NAMES",
+    "CircuitBreaker",
+    "FailpointRegistry",
+    "FailpointStats",
+]

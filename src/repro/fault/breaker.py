@@ -1,0 +1,71 @@
+"""Circuit breaker for the columnar replica's scan path.
+
+The session layer routes analytical statements to the columnar replica.
+When the replica throws ``ReplicaUnavailableError`` repeatedly, paying a
+failed columnar attempt on *every* statement just adds latency on top of
+an already-degraded system — so after ``failure_threshold`` consecutive
+failures the breaker *opens* and statements go straight to the row
+pipeline (counted as degraded; answers identical).  After
+``cooldown_statements`` degraded statements the breaker lets one probe
+through (half-open); a successful probe closes it again.
+
+The breaker is deliberately clock-free: state advances per statement, not
+per wall-clock second, which keeps behaviour identical under the
+deterministic cooperative scheduler and in replayed tests.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class CircuitBreaker:
+    """Closed → open (after N failures) → half-open probe → closed."""
+
+    def __init__(self, failure_threshold: int = 3,
+                 cooldown_statements: int = 8):
+        self.failure_threshold = failure_threshold
+        self.cooldown_statements = cooldown_statements
+        self._consecutive_failures = 0
+        self._open = False
+        self._cooldown_left = 0
+        self._lock = threading.Lock()
+        # monotone counters for reports
+        self.trips = 0
+        self.resets = 0
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def allow(self) -> bool:
+        """May this statement try the columnar path?
+
+        While open, consumes one cooldown slot per call; the call that
+        drains the cooldown is the half-open probe and is allowed.
+        """
+        with self._lock:
+            if not self._open:
+                return True
+            if self._cooldown_left > 0:
+                self._cooldown_left -= 1
+                return False
+            return True  # half-open probe
+
+    def record_success(self):
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._open:
+                self._open = False
+                self.resets += 1
+
+    def record_failure(self):
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._open:
+                # failed half-open probe: restart the cooldown
+                self._cooldown_left = self.cooldown_statements
+            elif self._consecutive_failures >= self.failure_threshold:
+                self._open = True
+                self._cooldown_left = self.cooldown_statements
+                self.trips += 1

@@ -63,6 +63,9 @@ class SessionStats:
             "backoff_ms": self.backoff_ms,
             "admission_wait_ms": self.admission_wait_ms,
             "stream_quanta": self.stream_quanta,
+            "faults_injected": self.exec.faults_injected,
+            "faults_recovered": self.exec.faults_recovered,
+            "degraded_statements": self.exec.degraded_statements,
         }
 
 

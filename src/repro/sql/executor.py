@@ -11,7 +11,12 @@ from __future__ import annotations
 
 import threading
 
-from repro.errors import ExecutionError, IntegrityError, PlanError
+from repro.errors import (
+    ExecutionError,
+    IntegrityError,
+    PlanError,
+    ReplicaUnavailableError,
+)
 from repro.sql.planner import (
     AccessPath,
     DeletePlan,
@@ -115,7 +120,7 @@ class Executor:
     def __init__(self, catalog, columnar=None,
                  enforce_foreign_keys: bool = False,
                  use_vectorized: bool = True,
-                 partition_map=None, pool=None):
+                 partition_map=None, pool=None, failpoints=None):
         self.catalog = catalog
         self.columnar = columnar
         self.enforce_foreign_keys = enforce_foreign_keys
@@ -124,6 +129,7 @@ class Executor:
         self.use_vectorized = use_vectorized
         self.partition_map = partition_map
         self.pool = pool
+        self.failpoints = failpoints
 
     def _context(self, txn: Transaction, params: tuple,
                  route_columnar: bool) -> ExecContext:
@@ -142,6 +148,13 @@ class Executor:
     def execute_select(self, plan: SelectPlan, txn: Transaction,
                        params: tuple = (),
                        route_columnar: bool = False) -> Result:
+        if (route_columnar and self.columnar is not None
+                and self.failpoints is not None
+                and self.failpoints.evaluate("replica.scan")):
+            # the replica refuses the scan before any work is done; the
+            # session layer re-routes the statement to the row pipeline
+            raise ReplicaUnavailableError(
+                "injected fault at failpoint 'replica.scan'")
         ctx = self._context(txn, params, route_columnar)
         if plan.for_update is not None:
             for pk, _values in self._find_targets(plan.for_update, ctx):

@@ -135,6 +135,12 @@ class ExecStats:
     pool_workers: int = 0
     gather_wait_ms: float = 0.0
     bg_compactions: int = 0
+    # fault counters: injected faults this statement hit, faults it
+    # survived (retry / inline fallback / degraded route), and statements
+    # the circuit breaker degraded from the columnar to the row pipeline
+    faults_injected: int = 0
+    faults_recovered: int = 0
+    degraded_statements: int = 0
 
     def merge(self, other: "ExecStats"):
         """Accumulate ``other`` into this object (used per transaction)."""
@@ -186,6 +192,9 @@ class ExecStats:
         self.pool_workers = max(self.pool_workers, other.pool_workers)
         self.gather_wait_ms += other.gather_wait_ms
         self.bg_compactions += other.bg_compactions
+        self.faults_injected += other.faults_injected
+        self.faults_recovered += other.faults_recovered
+        self.degraded_statements += other.degraded_statements
 
     @property
     def total_rows_scanned(self) -> int:

@@ -871,16 +871,23 @@ class Segment:
         ``shared_dicts`` maps column positions to their table-level
         ``TableDictionary``; compaction-time seals encode through it
         (``encode_shared``), fill-time seals only attach the reference.
+
+        The encode is atomic: every column is encoded into a list built
+        aside, published with single assignments only once all columns
+        succeeded — a crash mid-seal leaves the segment fully plain (and
+        fully queryable), never half-encoded.
         """
         plain_total = 0
         encoded_total = 0
+        new_columns: list = []
         for pos, col in enumerate(self.columns):
             values = col if isinstance(col, list) else col.decode()
             shared = shared_dicts.get(pos) if shared_dicts else None
             encoded = _encode_column(values, shared, encode_shared)
-            self.columns[pos] = encoded
+            new_columns.append(encoded)
             plain_total += _plain_bytes(values)
             encoded_total += _encoded_bytes(encoded)
+        self.columns = new_columns
         self.plain_bytes = plain_total
         self.encoded_bytes = encoded_total
         self.encoded = True
@@ -938,9 +945,11 @@ class ColumnarTable:
                  sorted_compaction: bool = False,
                  merge_totals: list | None = None,
                  lock: threading.RLock | None = None,
-                 shared_dicts: dict | None = None):
+                 shared_dicts: dict | None = None,
+                 failpoints=None):
         if segment_rows <= 0:
             raise ValueError("segment_rows must be positive")
+        self._failpoints = failpoints
         # serialises the mutable touch points (WAL apply, zone-map
         # widening, compaction swap) against concurrent pool workers; a
         # replica shares one lock across its tables so a chunk apply is
@@ -1220,6 +1229,11 @@ class ColumnarTable:
             segments.append(segment)
             lows.append(canonical_key_of(chunk[0], sort_positions))
             highs.append(canonical_key_of(chunk[-1], sort_positions))
+        # crash point: everything above built fresh objects aside; the
+        # publish below is the first mutation.  A fault here leaves the
+        # old main + delta fully queryable (compaction simply re-runs).
+        if self._failpoints is not None:
+            self._failpoints.fire("compact.merge")
         # remap live main slots: the prefix keeps its numbering, the
         # suffix shifts by the region's segment-count change, the region
         # itself is renumbered from the merged row order — no decoding
@@ -1554,10 +1568,16 @@ class ColumnarReplica:
                  encode: bool = True,
                  sorted_compaction: bool = False,
                  shared_dicts: bool = False,
-                 shared_dict_cardinality: int = SHARED_DICT_MAX_CARDINALITY):
+                 shared_dict_cardinality: int = SHARED_DICT_MAX_CARDINALITY,
+                 failpoints=None):
         if segment_rows <= 0:
             raise ValueError("segment_rows must be positive")
         self.pmap = partition_map or PartitionMap(1)
+        self._failpoints = failpoints
+        # (table, sort_key) in registration order: reset() rebuilds the
+        # replica in place from this list, preserving object identity
+        # (the executor and planner hold references to the replica)
+        self._registrations: list[tuple] = []
         # one re-entrant lock shared by every table of the replica: a WAL
         # apply chunk, a zone-map flush and a background compaction swap
         # are mutually atomic, while sealed-segment reads stay lock-free
@@ -1644,9 +1664,35 @@ class ColumnarReplica:
                           sorted_compaction=self.sorted_compaction,
                           merge_totals=self._merge_totals,
                           lock=self._lock,
-                          shared_dicts=shared)
+                          shared_dicts=shared,
+                          failpoints=self._failpoints)
             for _ in self.pmap.all_partitions()
         ]
+        self._registrations.append((table, sort_key))
+
+    def reset(self):
+        """Discard all replicated state; the replica rebuilds from LSN 0.
+
+        Crash recovery: after the WALs have truncated their torn tails,
+        the database re-replicates the surviving log into a freshly reset
+        replica.  The rebuild happens *in place* (same object) because
+        the executor and planner hold references to this replica.
+        """
+        with self._lock:
+            registrations = list(self._registrations)
+            self._registrations = []
+            self._tables = {}
+            self._domain_dicts = {}
+            self._table_dicts = {}
+            self.applied_lsns = [0] * self.pmap.partitions
+            self.applied_ts = 0
+            self._scan_factor_cache = (-1, 1.0)
+            self._merge_totals[0] = 0
+            self._merge_totals[1] = 0
+            self._drained_segments_merged = 0
+            self._drained_rows_merged = 0
+            for table, sort_key in registrations:
+                self.register_table(table, sort_key)
 
     def has_table(self, name: str) -> bool:
         return name.upper() in self._tables
@@ -1665,6 +1711,10 @@ class ColumnarReplica:
             raise CatalogError(f"no columnar replica for table {name!r}") from None
 
     def _apply_record(self, pid: int, record):
+        if self._failpoints is not None:
+            # fires *before* the apply: the watermark still points at this
+            # record, so a post-recovery replicate resumes exactly here
+            self._failpoints.fire("replica.apply")
         parts = self._tables.get(record.table.upper())
         if parts is not None:
             parts[pid].apply(record.pk, record.values, record.op)

@@ -339,10 +339,12 @@ class RowStorage:
     the streams back into commit order.
     """
 
-    def __init__(self, partition_map: PartitionMap | None = None):
+    def __init__(self, partition_map: PartitionMap | None = None,
+                 failpoints=None):
         self.pmap = partition_map or PartitionMap(1)
         self._stores: dict[str, TableStore | PartitionedTableStore] = {}
-        self.wals = [WriteAheadLog() for _ in self.pmap.all_partitions()]
+        self.wals = [WriteAheadLog(failpoints)
+                     for _ in self.pmap.all_partitions()]
         self._seq = 0  # database-global commit-order stamp
 
     @property
@@ -401,16 +403,25 @@ class RowStorage:
         ``commit_ts`` (the one-timestamp half of two-phase commit) plus a
         global ``seq`` preserving cross-partition commit order.
         Returns the log records produced.
+
+        WAL-first ordering: every record is logged before anything is
+        installed into the version chains.  A torn WAL write mid-batch
+        (crash / injected fault) therefore aborts the commit with *no*
+        partial installation — the in-memory stores never saw it, and
+        ``WriteAheadLog.recover()`` truncates the torn records.
         """
+        writes = list(writes)
         records = []
+        seq = self._seq
         for table_name, pk, values, op in writes:
-            self.store(table_name).install(pk, values, commit_ts)
             wal = self.wals[self.pmap.partition_of_pk(pk)]
             records.append(
-                wal.append(commit_ts, table_name, pk, op, values,
-                           seq=self._seq)
+                wal.append(commit_ts, table_name, pk, op, values, seq=seq)
             )
-            self._seq += 1
+            seq += 1
+        self._seq = seq
+        for table_name, pk, values, op in writes:
+            self.store(table_name).install(pk, values, commit_ts)
         return records
 
     def table_rows(self, name: str) -> int:

@@ -16,18 +16,36 @@ Applied records are reclaimable: ``truncate_upto(lsn)`` drops the prefix
 the replica has already consumed.  Truncation never moves ``head_lsn`` —
 LSNs are positions in the logical stream, not list indexes — so watermarks
 and lag arithmetic stay valid across compaction.
+
+Crash consistency: every record carries a CRC32 over its payload, stamped
+at construction.  A crash mid-append leaves a *torn tail* — one or more
+trailing records whose checksums do not verify — which ``recover()``
+detects and truncates, returning the dropped records so the caller can
+also drop the rest of the interrupted commit from sibling partition
+streams.  An invalid record *followed by* a valid one is mid-log
+corruption and is fatal (``WALCorruptionError``).
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from enum import Enum
+
+from repro.errors import InjectedFaultError, WALBoundsError, \
+    WALCorruptionError
 
 
 class LogOp(Enum):
     INSERT = "insert"
     UPDATE = "update"
     DELETE = "delete"
+
+
+def _payload_crc(lsn: int, commit_ts: int, table: str, pk: tuple,
+                 op: LogOp, values: tuple | None, seq: int) -> int:
+    payload = repr((lsn, commit_ts, table, pk, op.value, values, seq))
+    return zlib.crc32(payload.encode("utf-8"))
 
 
 @dataclass(frozen=True)
@@ -41,18 +59,30 @@ class LogRecord:
     op: LogOp
     values: tuple | None  # None for deletes
     seq: int = -1         # database-global commit order (defaults to lsn)
+    checksum: int = -1    # CRC32 of the payload (stamped at construction)
 
     def __post_init__(self):
         if self.seq < 0:
             object.__setattr__(self, "seq", self.lsn)
+        if self.checksum < 0:
+            object.__setattr__(self, "checksum", _payload_crc(
+                self.lsn, self.commit_ts, self.table, self.pk, self.op,
+                self.values, self.seq))
+
+    def verify(self) -> bool:
+        """Does the stored checksum match the payload?"""
+        return self.checksum == _payload_crc(
+            self.lsn, self.commit_ts, self.table, self.pk, self.op,
+            self.values, self.seq)
 
 
 class WriteAheadLog:
     """Append-only commit log with LSN-addressed reads and prefix truncation."""
 
-    def __init__(self):
+    def __init__(self, failpoints=None):
         self._records: list[LogRecord] = []
         self._base_lsn = 0  # LSN of the oldest retained record
+        self._failpoints = failpoints
 
     @property
     def head_lsn(self) -> int:
@@ -66,6 +96,16 @@ class WriteAheadLog:
 
     def append(self, commit_ts: int, table: str, pk: tuple, op: LogOp,
                values: tuple | None, seq: int = -1) -> LogRecord:
+        if self._failpoints is not None \
+                and self._failpoints.evaluate("wal.append"):
+            # Simulate a torn write: the record lands with a bad checksum
+            # (as if the crash hit mid-sector) and the append fails.  The
+            # torn record is what ``recover()`` later truncates.
+            torn = LogRecord(self.head_lsn, commit_ts, table, pk, op,
+                             values, seq)
+            object.__setattr__(torn, "checksum", torn.checksum ^ 0xFFFF)
+            self._records.append(torn)
+            raise InjectedFaultError("wal.append")
         record = LogRecord(self.head_lsn, commit_ts, table, pk, op, values,
                            seq)
         self._records.append(record)
@@ -76,12 +116,22 @@ class WriteAheadLog:
 
         Reading below ``base_lsn`` is an error: those records were
         truncated away because every consumer had already applied them.
+        Reading beyond ``head_lsn`` is an error too — the stream has no
+        such position yet (``lsn == head_lsn`` is fine: an empty poll).
         """
+        if lsn < 0:
+            raise WALBoundsError(f"LSN must be non-negative, got {lsn}")
         if lsn < self._base_lsn:
-            raise ValueError(
+            raise WALBoundsError(
                 f"LSN {lsn} was truncated (oldest retained is "
                 f"{self._base_lsn})"
             )
+        if lsn > self.head_lsn:
+            raise WALBoundsError(
+                f"LSN {lsn} is beyond the head ({self.head_lsn})"
+            )
+        if self._failpoints is not None:
+            self._failpoints.fire("wal.read")
         start = lsn - self._base_lsn
         if limit is None:
             return self._records[start:]
@@ -93,12 +143,62 @@ class WriteAheadLog:
         ``head_lsn`` is unaffected — the stream keeps its logical length,
         only the storage for the applied prefix is released.
         """
-        cut = min(lsn, self.head_lsn) - self._base_lsn
+        if lsn < 0:
+            raise WALBoundsError(f"LSN must be non-negative, got {lsn}")
+        if lsn > self.head_lsn:
+            raise WALBoundsError(
+                f"cannot truncate up to LSN {lsn}: beyond the head "
+                f"({self.head_lsn})"
+            )
+        cut = lsn - self._base_lsn
         if cut <= 0:
             return 0
         del self._records[:cut]
         self._base_lsn += cut
         return cut
+
+    def recover(self) -> list[LogRecord]:
+        """Crash recovery: verify checksums, truncate a torn tail.
+
+        Returns the records that were dropped (possibly empty).  The
+        caller uses their ``commit_ts`` values to drop the rest of the
+        interrupted commit from sibling partition streams.  Raises
+        ``WALCorruptionError`` when an invalid record is *followed by* a
+        valid one — that is not a crash signature, it is corruption.
+        """
+        first_bad = None
+        for index, record in enumerate(self._records):
+            if not record.verify():
+                if first_bad is None:
+                    first_bad = index
+            elif first_bad is not None:
+                raise WALCorruptionError(
+                    f"record at LSN {self._base_lsn + first_bad} failed "
+                    f"its checksum but a valid record follows at LSN "
+                    f"{self._base_lsn + index}: mid-log corruption"
+                )
+        if first_bad is None:
+            return []
+        dropped = self._records[first_bad:]
+        del self._records[first_bad:]
+        return dropped
+
+    def drop_tail_commits(self, commit_ts: set[int]) -> list[LogRecord]:
+        """Drop the tail suffix whose records belong to ``commit_ts``.
+
+        After one partition's WAL loses a torn record of commit *T*, the
+        sibling streams may still hold valid-looking records of *T* at
+        their tails (the crash hit between per-partition appends).  Only
+        a *suffix* is eligible: no later commit can exist past the crash
+        point, so scanning back from the head until the first record of a
+        surviving commit bounds the damage.
+        """
+        cut = len(self._records)
+        while cut > 0 and self._records[cut - 1].commit_ts in commit_ts:
+            cut -= 1
+        dropped = self._records[cut:]
+        del self._records[cut:]
+        return dropped
 
     def __len__(self):
         """Number of records currently retained (post-truncation)."""

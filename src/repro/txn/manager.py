@@ -236,9 +236,11 @@ class Transaction:
 class TransactionManager:
     """Issues timestamps, runs commit validation, installs write sets."""
 
-    def __init__(self, storage: RowStorage, lock_manager: LockManager | None = None):
+    def __init__(self, storage: RowStorage, lock_manager: LockManager | None = None,
+                 failpoints=None):
         self.storage = storage
         self.locks = lock_manager or LockManager()
+        self.failpoints = failpoints
         self._ts = itertools.count(1)
         self._latest_ts = 0
         # single-allocator invariant: every timestamp comes from _next_ts
@@ -256,6 +258,9 @@ class TransactionManager:
         # path; several -> two-phase (all logged under one commit_ts)
         self.single_partition_commits = 0
         self.multi_partition_commits = 0
+        # two-phase commits aborted at prepare (injected participant
+        # failures): the abort is clean — nothing logged, nothing installed
+        self.prepare_aborts = 0
 
     def current_ts(self) -> int:
         return self._latest_ts
@@ -299,6 +304,15 @@ class TransactionManager:
                 self._validate(txn)
             write_set = txn.write_set
             participants = self.storage.partitions_touched(write_set)
+            if len(participants) > 1 and self.failpoints is not None:
+                # 2PC prepare: a participant that fails here vetoes the
+                # commit before any timestamp is allocated or any record
+                # logged — the abort is total, never partial.
+                try:
+                    self.failpoints.fire("txn.prepare")
+                except Exception:
+                    self.prepare_aborts += 1
+                    raise
             commit_ts = self._next_ts()
             # single-partition commits take the fast path; multi-partition
             # commits are two-phase: every participant logs its records

@@ -12,7 +12,7 @@ from random import Random
 import pytest
 
 from repro.db import Database
-from repro.exec import WorkerPool, default_workers
+from repro.exec import BackgroundTaskError, WorkerPool, default_workers
 from repro.sql.planner import SortedMerge
 from repro.sql.result import ExecStats
 from repro.workloads import make_workload
@@ -124,9 +124,16 @@ class TestWorkerPool:
             pool.submit_background(lambda: done.append(1))
             pool.drain_background()
             assert done == [1]
-            pool.submit_background(lambda: 1 / 0)
-            with pytest.raises(ZeroDivisionError):
+            pool.submit_background(lambda: 1 / 0, name="divide")
+            with pytest.raises(BackgroundTaskError) as info:
                 pool.drain_background()
+            assert info.value.task_name == "divide"
+            assert isinstance(info.value.__cause__, ZeroDivisionError)
+            # the failure must not wedge the pool: it keeps working
+            done2 = []
+            pool.submit_background(lambda: done2.append(1))
+            pool.drain_background()
+            assert done2 == [1]
         finally:
             pool.shutdown()
 
