@@ -47,9 +47,14 @@ QUERY = "SELECT grp, COUNT(*), SUM(v), AVG(w) FROM t GROUP BY grp"
 
 
 def _build(workers: int):
+    # segment sketches off on both arms: the grouped full-scan aggregate
+    # is sketch-eligible, and warm cached partials would otherwise stand
+    # in for the scatter-gather fold this bench isolates (the sketch
+    # lever has its own fig05 arm and floor)
     db = Database(partitions=PARTITIONS, workers=workers,
                   with_columnar=True, columnar_segment_rows=SEGMENT_ROWS,
-                  sort_keys={"t": ("grp", "id")})
+                  sort_keys={"t": ("grp", "id")},
+                  segment_sketches=False)
     db.execute_ddl(
         "CREATE TABLE t (id INT PRIMARY KEY, grp INT, v DOUBLE, w INT)")
     conn = db.connect()

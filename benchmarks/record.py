@@ -42,15 +42,18 @@ def load_bench(name: str) -> dict:
 
 def check_fig05(path: str, min_speedup: float,
                 min_range_speedup: float = 2.0,
-                min_shared_dict_speedup: float = 1.5) -> int:
+                min_shared_dict_speedup: float = 1.5,
+                min_sketch_speedup: float = 3.0) -> int:
     """CI floors: encoded-vectorized over row-pipeline speedup on the
     selective district query must stay above ``min_speedup``, the
     delta–main engine's contiguous-span range scan must beat the
-    arrival-order encoded engine by ``min_range_speedup``, and the
+    arrival-order encoded engine by ``min_range_speedup``, the
     shared-dictionary engine must beat the per-segment-dictionary engine
     by ``min_shared_dict_speedup`` on the grouped report and the
-    code-space join — both semantically validated (non-empty result,
-    checksum parity with the per-segment engine)."""
+    code-space join, and the segment-sketch engine must beat the
+    sketches-off encoded engine by ``min_sketch_speedup`` warm on the
+    grouped report and the Q1 orders report — all semantically validated
+    (non-empty result, checksum parity with the baseline engine)."""
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
     selective = next(q for q in payload["queries"]
                      if q["query"] == "selective_district")
@@ -113,6 +116,31 @@ def check_fig05(path: str, min_speedup: float,
         if entry["checksum"] != entry["checksum_per_segment"]:
             print(f"FAIL: {name} checksum mismatch — shared-dictionary "
                   "result diverged from the per-segment engine")
+            return 1
+    for name in ("full_scan_sketch_grouped", "full_scan_sketch_q1"):
+        entry = next((q for q in payload["queries"] if q["query"] == name),
+                     None)
+        if entry is None:
+            print(f"FAIL: no {name} row — regenerate the record")
+            return 1
+        sketch = entry["speedup_sketch_vs_encoded"]
+        print(f"{name} sketch-vs-encoded speedup: {sketch:.2f}x "
+              f"(floor {min_sketch_speedup:g}x, "
+              f"vs-row {entry['speedup_sketch_vs_row']:.1f}x)")
+        if sketch < min_sketch_speedup:
+            print("FAIL: segment-sketch speedup below the floor")
+            return 1
+        if not entry["sketches_built"] or not entry["sketches_hit"] \
+                or not entry["sketch_rows_elided"]:
+            print("FAIL: sketch counters are zero — the sketch cache did "
+                  "not engage")
+            return 1
+        if not entry["rows"]:
+            print(f"FAIL: {name} returned no rows")
+            return 1
+        if entry["checksum"] != entry["checksum_off"]:
+            print(f"FAIL: {name} checksum mismatch — warm sketch result "
+                  "diverged from the sketches-off engine")
             return 1
     print("OK")
     return 0
@@ -253,8 +281,12 @@ def main(argv: list[str]) -> int:
         if "--min-shared-dict-speedup" in argv:
             min_shared_dict_speedup = float(
                 argv[argv.index("--min-shared-dict-speedup") + 1])
+        min_sketch_speedup = 3.0
+        if "--min-sketch-speedup" in argv:
+            min_sketch_speedup = float(
+                argv[argv.index("--min-sketch-speedup") + 1])
         return check_fig05(argv[1], min_speedup, min_range_speedup,
-                           min_shared_dict_speedup)
+                           min_shared_dict_speedup, min_sketch_speedup)
     print(__doc__)
     return 2
 

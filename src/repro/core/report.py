@@ -101,6 +101,14 @@ def render_text(report: RunReport, per_transaction: bool = False) -> str:
             f"recovered={report.faults_recovered} "
             f"degraded_statements={report.degraded_statements}"
         )
+    if report.sketches_built or report.sketches_hit \
+            or report.sketch_invalidations:
+        lines.append(
+            f"  sketches: built={report.sketches_built} "
+            f"hit={report.sketches_hit} "
+            f"rows_elided={report.sketch_rows_elided} "
+            f"invalidations={report.sketch_invalidations}"
+        )
     return "\n".join(lines)
 
 
@@ -137,6 +145,8 @@ def render_csv(reports: list[RunReport]) -> str:
         "multi_partition_commits",
         "pool_workers", "gather_wait_ms", "bg_compactions",
         "faults_injected", "faults_recovered", "degraded_statements",
+        "sketches_built", "sketches_hit", "sketch_rows_elided",
+        "sketch_invalidations",
     ])
     for report in reports:
         config = report.config
@@ -162,6 +172,8 @@ def render_csv(reports: list[RunReport]) -> str:
                 report.bg_compactions,
                 report.faults_injected, report.faults_recovered,
                 report.degraded_statements,
+                report.sketches_built, report.sketches_hit,
+                report.sketch_rows_elided, report.sketch_invalidations,
             ])
     return buffer.getvalue()
 

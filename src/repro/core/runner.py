@@ -99,6 +99,13 @@ class RunReport:
     faults_injected: int = 0
     faults_recovered: int = 0
     degraded_statements: int = 0
+    # segment-sketch counters (aggregated over every request): cached
+    # whole-segment aggregate partials built / served, input rows elided
+    # by cache hits, and cache entries dropped by kills or compactions
+    sketches_built: int = 0
+    sketches_hit: int = 0
+    sketch_rows_elided: int = 0
+    sketch_invalidations: int = 0
     # commit-path split over the run (fast path vs two-phase)
     single_partition_commits: int = 0
     multi_partition_commits: int = 0
@@ -196,6 +203,14 @@ class RunReport:
                 f"  faults: injected={self.faults_injected} "
                 f"recovered={self.faults_recovered} "
                 f"degraded_statements={self.degraded_statements}"
+            )
+        if self.sketches_built or self.sketches_hit \
+                or self.sketch_invalidations:
+            lines.append(
+                f"  sketches: built={self.sketches_built} "
+                f"hit={self.sketches_hit} "
+                f"rows_elided={self.sketch_rows_elided} "
+                f"invalidations={self.sketch_invalidations}"
             )
         commits = self.single_partition_commits + self.multi_partition_commits
         if commits:
@@ -383,6 +398,8 @@ class OLxPBench:
         replica = self.engine.db.columnar
         merges_before = (replica.segments_merged_total()
                          if replica is not None else 0)
+        sketch_inv_before = (replica.sketches.invalidated
+                             if replica is not None else 0)
         bg_before = self.engine.db.bg_compactions_total
         columnar = False
         if kind == "olap":
@@ -405,6 +422,11 @@ class OLxPBench:
             # them to the statement window that caused them
             exec_stats.segments_merged += \
                 replica.segments_merged_total() - merges_before
+            # sketch invalidations are replica-side events (kills during
+            # replication, compaction re-seals): attribute them to the
+            # request whose engine tick caused them, like the merges
+            exec_stats.sketch_invalidations += \
+                replica.sketches.invalidated - sketch_inv_before
         # background compactions the engine scheduled while serving this
         # request, attributed the same way as the merges above
         exec_stats.bg_compactions += \
@@ -437,6 +459,10 @@ class OLxPBench:
         report.faults_injected += exec_stats.faults_injected
         report.faults_recovered += exec_stats.faults_recovered
         report.degraded_statements += exec_stats.degraded_statements
+        report.sketches_built += exec_stats.sketches_built
+        report.sketches_hit += exec_stats.sketches_hit
+        report.sketch_rows_elided += exec_stats.sketch_rows_elided
+        report.sketch_invalidations += exec_stats.sketch_invalidations
 
         measured = now >= config.warmup_ms
         if measured:

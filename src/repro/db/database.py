@@ -67,6 +67,8 @@ class Database:
                  sorted_compaction: bool = True,
                  shared_dicts: bool = True,
                  shared_dict_cardinality: int | None = None,
+                 segment_sketches: bool = True,
+                 sketch_budget_bytes: int | None = None,
                  sort_keys: dict[str, tuple[str, ...]] | None = None,
                  default_isolation: IsolationLevel = IsolationLevel.SNAPSHOT,
                  partitions: int = 1,
@@ -103,6 +105,11 @@ class Database:
         # segments.  False preserves the per-segment-dictionary engine
         # byte-for-byte (the recorded A/B baseline).
         self.shared_dicts = shared_dicts and columnar_encoding
+        # segment_sketches=True (default) lets sketch-eligible full-scan
+        # aggregates fold cached per-segment exact partials instead of
+        # rows; False is the byte-identical A/B baseline.
+        # sketch_budget_bytes bounds the replica-wide sketch LRU.
+        self.segment_sketches = segment_sketches and with_columnar
         self.sort_keys = {name.upper(): tuple(columns)
                           for name, columns in (sort_keys or {}).items()}
         # sort_keys names not yet matched by a created table: checked at
@@ -120,6 +127,8 @@ class Database:
                 shared_dicts=self.shared_dicts,
                 **({} if shared_dict_cardinality is None
                    else {"shared_dict_cardinality": shared_dict_cardinality}),
+                **({} if sketch_budget_bytes is None
+                   else {"sketch_budget_bytes": sketch_budget_bytes}),
                 failpoints=self.failpoints,
             )
         else:
@@ -141,7 +150,8 @@ class Database:
                                             and sorted_compaction),
                                sort_keys=self.sort_keys,
                                shared_dicts=(self.columnar is not None
-                                             and self.shared_dicts))
+                                             and self.shared_dicts),
+                               segment_sketches=self.segment_sketches)
         self.supports_foreign_keys = supports_foreign_keys
         self.enforce_foreign_keys = enforce_foreign_keys and supports_foreign_keys
         self.default_isolation = default_isolation
@@ -418,13 +428,15 @@ class Database:
         """Plan-cache key: the SQL text plus every engine-affecting flag.
 
         The planner compiles different physical plans depending on the
-        encoding pushdown, order-awareness and shared-dictionary toggles,
-        so an A/B flip of ``planner.encoded_pushdown`` /
-        ``planner.sorted_scan`` / ``planner.shared_dicts`` on a shared
-        Database must never serve a plan built under the other setting.
+        encoding pushdown, order-awareness, shared-dictionary and
+        segment-sketch toggles, so an A/B flip of
+        ``planner.encoded_pushdown`` / ``planner.sorted_scan`` /
+        ``planner.shared_dicts`` / ``planner.segment_sketches`` on a
+        shared Database must never serve a plan built under the other
+        setting.
         """
         return (sql, self.planner.encoded_pushdown, self.planner.sorted_scan,
-                self.planner.shared_dicts)
+                self.planner.shared_dicts, self.planner.segment_sketches)
 
     def _lock_plan_cache(self) -> bool:
         """Take the plan-cache mutex; True when another session held it."""
@@ -561,7 +573,12 @@ class Connection:
         degraded = False
         if route_columnar and breaker is not None and not breaker.allow():
             # breaker open: skip the failing replica entirely and serve
-            # from the row pipeline (identical answers, higher cost)
+            # from the row pipeline (identical answers, higher cost).
+            # This *bypasses* the segment-sketch cache rather than
+            # poisoning it: degraded statements never read or write
+            # cached partials, and the warm entries stay valid for when
+            # the replica heals (sketches track replica state, which a
+            # scan fault does not change).
             route_columnar = False
             degraded = True
         try:

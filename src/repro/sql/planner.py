@@ -831,7 +831,8 @@ class Planner:
                  encoded_pushdown: bool = True,
                  sorted_scan: bool = False,
                  sort_keys: dict[str, tuple[str, ...]] | None = None,
-                 shared_dicts: bool = False):
+                 shared_dicts: bool = False,
+                 segment_sketches: bool = False):
         self.catalog = catalog
         self.build_vectorized = build_vectorized
         self.encoded_pushdown = encoded_pushdown
@@ -841,6 +842,12 @@ class Planner:
         # joins on plain column refs carry code-key lineage so VHashJoin
         # can build/probe on global integer codes
         self.shared_dicts = shared_dicts
+        # segment sketches: when on, aggregate plans whose input is a bare
+        # columnar scan (no joins, every predicate pushed exactly) are
+        # marked sketch-eligible so whole-segment batches fold through the
+        # replica's cached per-segment partials; part of the plan-cache
+        # key so flipping the flag can never serve a mismatched plan
+        self.segment_sketches = segment_sketches
 
     def sort_key_of(self, table: Table) -> list[str] | None:
         """Sort-key column names of ``table`` (None when order-awareness
@@ -895,7 +902,8 @@ class Planner:
         if has_group or aggs:
             row_agg = self._plan_aggregate(select, node, aggs)
             if vsource is not None:
-                vnode = self._plan_batch_aggregate(select, vsource[0], aggs)
+                vnode = self._plan_batch_aggregate(select, vsource[0], aggs,
+                                                   vsource[2])
             node = row_agg
             select = self._rewrite_above_aggregate(select, node)
         elif select.having is not None:
@@ -1474,8 +1482,11 @@ class Planner:
                 _and_all(remaining), node.schema, sub))
         return node, tables, base_scan
 
+    _SKETCH_AGGS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
     def _plan_batch_aggregate(self, select: ast.Select, vnode,
-                              aggs: list[ast.FuncCall]) -> BatchAggregate:
+                              aggs: list[ast.FuncCall],
+                              base_scan=None) -> BatchAggregate:
         sub = self._plan_subquery
         input_schema = vnode.schema
         group_fns = [compile_batch_expr(g, input_schema, sub)
@@ -1494,7 +1505,74 @@ class Planner:
             else:
                 arg_fn = None
             specs.append(AggSpec(agg.name, arg_fn, agg.distinct))
-        return BatchAggregate(vnode, group_fns, specs, group_positions)
+        sketch_key = None
+        if self.segment_sketches and base_scan is not None \
+                and vnode is base_scan:
+            # ``vnode is base_scan`` ⟺ the aggregate consumes the scan
+            # directly: no joins, no residual filter, every pushed
+            # predicate exact — so a whole-segment batch means *all* of
+            # the segment's live rows passed
+            sketch_key = self._sketch_key(select, aggs, base_scan,
+                                          input_schema)
+            if sketch_key is not None:
+                base_scan.emit_segments = True
+                if base_scan.pushed and base_scan.filter_in_scan \
+                        and all(p.not_null for p in base_scan.pushed):
+                    # IS NOT NULL-only filters select deterministically
+                    # from segment content, so filtered sealed-segment
+                    # batches are memoisable too (the key carries the
+                    # filter positions — see _sketch_key)
+                    base_scan.emit_filtered_segments = True
+        return BatchAggregate(vnode, group_fns, specs, group_positions,
+                              sketch_key=sketch_key)
+
+    def _sketch_key(self, select: ast.Select, aggs: list[ast.FuncCall],
+                    scan, input_schema) -> tuple | None:
+        """Replica-cache key of a sketch-eligible aggregate, or None.
+
+        Eligible when every group key is a plain column of the scan and
+        every aggregate is a non-DISTINCT COUNT/SUM/AVG/MIN/MAX over a
+        plain column (or COUNT(*)) — shapes whose per-segment partial
+        depends only on segment content, never on statement parameters or
+        execution context.  The key is expressed in *table* column
+        positions, so statements projecting different column subsets of
+        the same aggregate shape share one cached partial per segment.
+
+        The leading component is the tuple of IS NOT NULL filter
+        positions when those are the *only* pushed predicates (filtered
+        batches are then cached, and must not collide with the unfiltered
+        shape); otherwise it is empty — only whole-segment batches are
+        cached then, and a whole-segment partial is the same no matter
+        which predicate let every row pass.
+        """
+        if scan.pushed and all(p.not_null for p in scan.pushed):
+            filter_key = tuple(sorted({p.position for p in scan.pushed}))
+        else:
+            filter_key = ()
+        positions = scan.positions
+        group_key = []
+        for g in select.group_by:
+            if not isinstance(g, ast.ColumnRef):
+                return None
+            pos = input_schema.try_resolve(g.table, g.name)
+            if pos is None:
+                return None
+            group_key.append(positions[pos])
+        agg_key = []
+        for agg in aggs:
+            if agg.distinct or agg.name not in self._SKETCH_AGGS:
+                return None
+            if agg.args and not isinstance(agg.args[0], ast.Star):
+                arg = agg.args[0]
+                if not isinstance(arg, ast.ColumnRef):
+                    return None
+                pos = input_schema.try_resolve(arg.table, arg.name)
+                if pos is None:
+                    return None
+                agg_key.append((agg.name, positions[pos]))
+            else:
+                agg_key.append((agg.name, None))
+        return (filter_key, tuple(group_key), tuple(agg_key))
 
     def _referenced_columns(self, select: ast.Select, table: Table,
                             binding: str) -> list[str] | None:
@@ -1559,6 +1637,18 @@ class Planner:
                         low_fn=compile_expr(conjunct.low, empty, sub),
                         high_fn=compile_expr(conjunct.high, empty, sub),
                     ))
+                    exact.add(id(conjunct))
+                continue
+            if isinstance(conjunct, ast.IsNull) and conjunct.negated:
+                # IS NOT NULL pushes as an exact no-bounds predicate: the
+                # scan prunes all-NULL segments via zone maps and absorbs
+                # the predicate entirely on provably null-free columns
+                # (keeping the zero-copy whole-segment path alive)
+                operand = conjunct.operand
+                if isinstance(operand, ast.ColumnRef) \
+                        and table.has_column(operand.name):
+                    pushed.append(PushedPredicate(
+                        table.position(operand.name), not_null=True))
                     exact.add(id(conjunct))
                 continue
             if isinstance(conjunct, ast.InList) and not conjunct.negated:

@@ -57,6 +57,23 @@ class Batch:
         return f"Batch({len(self.columns)} cols, {self.length} rows)"
 
 
+class SegmentBatch(Batch):
+    """A whole-segment batch with zero surviving predicate work.
+
+    Emitted by the columnar scan only when every live row of one sealed
+    segment flows through unfiltered (no selection vector, fully-live
+    bitmap).  It carries the source ``Segment`` so sketch-eligible
+    aggregates can fold the segment's cached partial instead of its rows;
+    every other operator treats it as a plain ``Batch``.
+    """
+
+    __slots__ = ("segment",)
+
+    def __init__(self, columns: list, length: int, segment):
+        super().__init__(columns, length)
+        self.segment = segment
+
+
 @dataclass
 class ExecStats:
     """Physical work done by one statement execution."""
@@ -141,6 +158,13 @@ class ExecStats:
     faults_injected: int = 0
     faults_recovered: int = 0
     degraded_statements: int = 0
+    # segment-sketch counters: cached whole-segment aggregate partials
+    # built / served, input rows elided by cache hits, and cache entries
+    # dropped by slot kills or compaction re-seals
+    sketches_built: int = 0
+    sketches_hit: int = 0
+    sketch_rows_elided: int = 0
+    sketch_invalidations: int = 0
 
     def merge(self, other: "ExecStats"):
         """Accumulate ``other`` into this object (used per transaction)."""
@@ -195,6 +219,10 @@ class ExecStats:
         self.faults_injected += other.faults_injected
         self.faults_recovered += other.faults_recovered
         self.degraded_statements += other.degraded_statements
+        self.sketches_built += other.sketches_built
+        self.sketches_hit += other.sketches_hit
+        self.sketch_rows_elided += other.sketch_rows_elided
+        self.sketch_invalidations += other.sketch_invalidations
 
     @property
     def total_rows_scanned(self) -> int:

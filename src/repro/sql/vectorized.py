@@ -31,9 +31,10 @@ from repro.sql import ast
 from repro.sql.expressions import Schema, _null_safe_binop, compile_expr
 from repro.sql.functions import SCALARS, like_to_predicate, make_accumulator
 from repro.sql.ordering import canonical_value_key
-from repro.sql.result import Batch
+from repro.sql.result import Batch, SegmentBatch
 from repro.storage.columnstore import (
     DictColumn,
+    NativeColumn,
     RLEColumn,
     SharedDictColumn,
 )
@@ -224,17 +225,18 @@ class PushedPredicate:
     """
 
     __slots__ = ("position", "low_fn", "high_fn",
-                 "low_inclusive", "high_inclusive", "item_fns")
+                 "low_inclusive", "high_inclusive", "item_fns", "not_null")
 
     def __init__(self, position: int, low_fn=None, high_fn=None,
                  low_inclusive: bool = True, high_inclusive: bool = True,
-                 item_fns=None):
+                 item_fns=None, not_null: bool = False):
         self.position = position
         self.low_fn = low_fn
         self.high_fn = high_fn
         self.low_inclusive = low_inclusive
         self.high_inclusive = high_inclusive
         self.item_fns = item_fns          # not None => IN-list predicate
+        self.not_null = not_null          # IS NOT NULL (no bounds at all)
 
     def bounds(self, ctx):
         """Evaluate to ``(low, high)``; a bound that evaluates to NULL makes
@@ -251,6 +253,8 @@ class PushedPredicate:
         Returns ``None`` when the predicate is unsatisfiable (a NULL bound
         or an all-NULL IN list): no row can ever compare true against it.
         """
+        if self.not_null:
+            return _EvalPred(self.position, not_null=True)
         if self.item_fns is not None:
             values = [fn((), ctx) for fn in self.item_fns]
             present = [v for v in values if v is not None]
@@ -273,6 +277,38 @@ def _eq_test(value):
 
 def _membership_test(wanted):
     return lambda v: v is not None and v in wanted
+
+
+def _not_null_test(v):
+    return v is not None
+
+
+def _not_null_selection(column) -> tuple[list | None, int]:
+    """Selection of an IS NOT NULL predicate; ``None`` = all rows pass.
+
+    Proving a column null-free costs one C-level containment check per
+    encoding.  The common case (mandatory columns, fully-populated
+    segments) then keeps the scan's zero-copy whole-segment path alive —
+    which is what makes segment sketches applicable under a pushed
+    not-null predicate.
+    """
+    if isinstance(column, NativeColumn):
+        nulls = column.nulls
+        if not nulls:
+            return None, 0
+        return [i for i in range(len(column)) if i not in nulls], 0
+    if isinstance(column, DictColumn):      # covers SharedDictColumn
+        codes = column.codes
+        if -1 not in codes:
+            return None, 0
+        return [i for i, code in enumerate(codes) if code >= 0], 0
+    if isinstance(column, RLEColumn):
+        if None not in column.run_values:
+            return None, 0
+        return column.select_where(_not_null_test)
+    if None not in column:                   # plain list
+        return None, 0
+    return [i for i, v in enumerate(column) if v is not None], 0
 
 
 def _range_test(low, high, low_inc, high_inc):
@@ -301,11 +337,12 @@ class _EvalPred:
 
     __slots__ = ("position", "low", "high", "low_inclusive",
                  "high_inclusive", "is_eq", "in_values", "in_set", "test",
-                 "shared_dict", "shared_code", "shared_in_codes")
+                 "shared_dict", "shared_code", "shared_in_codes", "not_null")
 
     def __init__(self, position: int, low=None, high=None,
                  low_inclusive: bool = True, high_inclusive: bool = True,
-                 is_eq: bool = False, in_values=None):
+                 is_eq: bool = False, in_values=None,
+                 not_null: bool = False):
         self.position = position
         self.low = low
         self.high = high
@@ -313,7 +350,11 @@ class _EvalPred:
         self.high_inclusive = high_inclusive
         self.is_eq = is_eq
         self.in_values = in_values
-        if in_values is not None:
+        self.not_null = not_null
+        if not_null:
+            self.in_set = None
+            self.test = _not_null_test
+        elif in_values is not None:
             try:
                 wanted = set(in_values)
             except TypeError:      # unhashable constant: linear fallback
@@ -378,12 +419,16 @@ class _EvalPred:
                 return column.code_for(self.low) is not None
         return True
 
-    def column_selection(self, column) -> tuple[list, int]:
+    def column_selection(self, column) -> tuple[list | None, int]:
         """Offsets of matching rows, plus the number of whole runs skipped.
 
         Encoded columns filter in code/run space; plain lists (and open
-        tail segments) fall back to a value-space sweep.
+        tail segments) fall back to a value-space sweep.  IS NOT NULL
+        returns a ``None`` selection when the column is provably
+        null-free: the predicate is absorbed and every row flows through.
         """
+        if self.not_null:
+            return _not_null_selection(column)
         if isinstance(column, SharedDictColumn) \
                 and column.shared is self.shared_dict:
             if self.in_values is not None:
@@ -689,6 +734,16 @@ class VColumnarScan(VectorNode):
         names = table.column_names if columns is None else columns
         self.positions = [table.position(c) for c in names]
         self.schema = Schema([(binding, col) for col in names])
+        # set by the planner when the consumer is a sketch-eligible
+        # aggregate: whole-segment zero-copy batches from sealed segments
+        # are emitted as SegmentBatch so the fold can use cached partials
+        self.emit_segments = False
+        # additionally set when every pushed predicate is IS NOT NULL:
+        # the selection vector is then a pure function of segment content
+        # (no statement parameters), so even *filtered* sealed-segment
+        # batches are memoisable — the plan's sketch key carries the
+        # filter positions
+        self.emit_filtered_segments = False
 
     def _target_partitions(self, ctx, n_parts: int) -> list[int]:
         """Partition ids the scan must visit (partition pruning)."""
@@ -704,9 +759,11 @@ class VColumnarScan(VectorNode):
     def _segment_selection(self, segment, preds, stats):
         """Selection vector of rows passing every pushed predicate.
 
-        ``None`` means "all rows" (no pushed predicates).  The first
-        predicate selects on its (possibly encoded) column; later ones
-        refine the surviving offsets with per-value tests.
+        ``None`` means "all rows" (no pushed predicates, or every pushed
+        predicate absorbed — e.g. IS NOT NULL on a provably null-free
+        column).  The first selecting predicate filters on its (possibly
+        encoded) column; later ones refine the surviving offsets with
+        per-value tests.
         """
         selection = None
         for pred in preds:
@@ -717,7 +774,7 @@ class VColumnarScan(VectorNode):
             else:
                 test = pred.test
                 selection = [i for i in selection if test(column[i])]
-            if not selection:
+            if selection is not None and not selection:
                 break
         return selection
 
@@ -733,7 +790,8 @@ class VColumnarScan(VectorNode):
         hi: list = []
         for position in part.sort_positions:
             pred = next((p for p in preds
-                         if p.position == position and p.in_values is None),
+                         if p.position == position and p.in_values is None
+                         and not p.not_null),
                         None)
             if pred is None:
                 break
@@ -812,15 +870,30 @@ class VColumnarScan(VectorNode):
         """
         positions = self.positions
         if selection is None:
-            # untouched segment: zero-copy column views
+            # untouched segment: zero-copy column views.  Sealed segments
+            # additionally carry their identity when the consumer is a
+            # sketch-eligible aggregate (open/delta segments never do —
+            # they keep growing, so their content is not memoisable).
             stats.batches_scanned += 1
-            return (Batch([segment.columns[p] for p in positions],
-                          segment.size), segment.size)
+            columns = [segment.columns[p] for p in positions]
+            if self.emit_segments and segment.encoded:
+                return (SegmentBatch(columns, segment.size, segment),
+                        segment.size)
+            return (Batch(columns, segment.size), segment.size)
         if not selection:
             return None, 0
         stats.batches_scanned += 1
-        return (Batch([_LazyColumn(segment.columns[p], selection, stats)
-                       for p in positions], len(selection)), len(selection))
+        columns = [_LazyColumn(segment.columns[p], selection, stats)
+                   for p in positions]
+        if self.emit_filtered_segments and segment.encoded \
+                and segment.live_count == segment.size:
+            # the selection came only from IS NOT NULL predicates on a
+            # fully-live sealed segment: deterministic given the segment's
+            # content, so the fold may cache the filtered partial (lazy
+            # gathers — a warm hit never materialises these columns)
+            return SegmentBatch(columns, len(selection), segment), \
+                len(selection)
+        return (Batch(columns, len(selection)), len(selection))
 
     def _scan_partition(self, part, ctx, preds, skip_segment):
         name = self.table.name
@@ -1472,13 +1545,18 @@ class BatchAggregate:
     """
 
     def __init__(self, child: VectorNode, group_fns, agg_specs,
-                 group_positions: list | None = None):
+                 group_positions: list | None = None, sketch_key=None):
         self.child = child
         self.group_fns = group_fns
         self.agg_specs = agg_specs
         # batch-column position of each group key when it is a direct
         # column reference (None for computed keys)
         self.group_positions = group_positions
+        # replica-cache key of this aggregate shape (table column
+        # positions of the group keys + (agg name, table column) specs);
+        # None when the plan is not sketch-eligible.  Set by the planner
+        # together with the scan's ``emit_segments``.
+        self.sketch_key = sketch_key
         names = [f"__G{i}" for i in range(len(group_fns))]
         names += [f"__A{j}" for j in range(len(agg_specs))]
         self.schema = Schema([(None, name) for name in names])
@@ -1645,50 +1723,113 @@ class BatchAggregate:
         ctx.stats.groups_coded += 1
         return True
 
-    def _fold(self, batches, ctx, groups: dict):
-        """Fold one batch stream into ``groups`` (a partial aggregate)."""
-        group_fns = self.group_fns
-        specs = self.agg_specs
+    def _fold_batch(self, batch, ctx, groups: dict, arg_cols,
+                    slot_state: dict):
+        """Fold one batch into ``groups`` through the exact cascade."""
+        n = len(batch)
+        if not self.group_fns:
+            accs = groups.get(())
+            if accs is None:
+                accs = self._make_accs()
+                groups[()] = accs
+            for acc, col in zip(accs, arg_cols):
+                if col is None:
+                    acc.add_many([1] * n)
+                else:
+                    acc.add_many(col)
+            return
         positions = self.group_positions
         coded_position = (positions[0]
                           if positions is not None and len(positions) == 1
                           and positions[0] is not None else None)
+        if coded_position is not None and (
+                self._fold_runs(batch, ctx, groups, arg_cols,
+                                coded_position)
+                or self._fold_global_coded(batch, ctx, groups, arg_cols,
+                                           coded_position, slot_state)
+                or self._fold_coded(batch, ctx, groups, arg_cols,
+                                    coded_position)):
+            return
+        key_cols = [fn(batch, ctx) for fn in self.group_fns]
+        for i, key in enumerate(zip(*key_cols)):
+            accs = groups.get(key)
+            if accs is None:
+                accs = self._make_accs()
+                groups[key] = accs
+            for acc, col in zip(accs, arg_cols):
+                acc.add(1 if col is None else col[i])
+
+    def _sketch_nbytes(self, partial: dict) -> int:
+        """Deterministic LRU-budget estimate of one cached partial
+        (dict + key tuples + accumulator objects; heuristic, not exact)."""
+        per_group = 120 + 160 * len(self.agg_specs)
+        return 256 + per_group * len(partial)
+
+    def _merge_sketch(self, groups: dict, cached: dict):
+        """Merge one cached segment partial into this fold's groups.
+
+        The cached accumulators are shared across statements, so they are
+        never installed into ``groups`` directly — missing groups get
+        fresh accumulators that the cached ones merge into.  Merge order
+        follows the cached dict's insertion order, which is the segment's
+        first-encounter row order: group creation order (and therefore
+        emission order) is identical to folding the rows directly, and the
+        accumulators' exact order-insensitive ``merge`` keeps the values
+        bit-identical too.
+        """
+        for key, accs in cached.items():
+            merged = groups.get(key)
+            if merged is None:
+                merged = groups[key] = self._make_accs()
+            for acc, sub in zip(merged, accs):
+                acc.merge(sub)
+
+    def _fold(self, batches, ctx, groups: dict):
+        """Fold one batch stream into ``groups`` (a partial aggregate).
+
+        ``SegmentBatch``es (whole sealed segments with no surviving
+        predicate) fold through the replica's sketch cache: a hit merges
+        the cached partial in O(groups) instead of O(rows); a miss folds
+        the segment once into a private partial, caches it, then merges —
+        so the statement that builds a sketch pays the same row work as
+        before and every later statement elides it.
+        """
+        specs = self.agg_specs
+        sketch_key = self.sketch_key
+        sketches = (getattr(ctx.columnar, "sketches", None)
+                    if sketch_key is not None else None)
         # shared-dictionary slot arrays persisted across every batch of
         # this partial (one per table dictionary encountered)
         slot_state: dict = {}
         rows = 0
         for batch in batches:
             n = len(batch)
+            if sketches is not None and type(batch) is SegmentBatch:
+                segment = batch.segment
+                cached = sketches.lookup(segment, sketch_key)
+                if cached is None:
+                    # cold: fold into a private partial with private
+                    # slot state (its accs must never alias ``groups``),
+                    # cache it, and fall through to the merge below
+                    cached = {}
+                    arg_cols = [None if s.arg_fn is None
+                                else s.arg_fn(batch, ctx) for s in specs]
+                    self._fold_batch(batch, ctx, cached, arg_cols, {})
+                    sketches.store(segment, sketch_key, cached,
+                                   self._sketch_nbytes(cached))
+                    ctx.stats.sketches_built += 1
+                    rows += n
+                else:
+                    ctx.stats.sketches_hit += 1
+                    ctx.stats.sketch_rows_elided += n
+                self._merge_sketch(groups, cached)
+                continue
             rows += n
             arg_cols = [None if s.arg_fn is None else s.arg_fn(batch, ctx)
                         for s in specs]
-            if not group_fns:
-                accs = groups.get(())
-                if accs is None:
-                    accs = self._make_accs()
-                    groups[()] = accs
-                for acc, col in zip(accs, arg_cols):
-                    if col is None:
-                        acc.add_many([1] * n)
-                    else:
-                        acc.add_many(col)
-                continue
-            if coded_position is not None and (
-                    self._fold_runs(batch, ctx, groups, arg_cols,
-                                    coded_position)
-                    or self._fold_global_coded(batch, ctx, groups, arg_cols,
-                                               coded_position, slot_state)
-                    or self._fold_coded(batch, ctx, groups, arg_cols,
-                                        coded_position)):
-                continue
-            key_cols = [fn(batch, ctx) for fn in group_fns]
-            for i, key in enumerate(zip(*key_cols)):
-                accs = groups.get(key)
-                if accs is None:
-                    accs = self._make_accs()
-                    groups[key] = accs
-                for acc, col in zip(accs, arg_cols):
-                    acc.add(1 if col is None else col[i])
+            self._fold_batch(batch, ctx, groups, arg_cols, slot_state)
+        # agg_input_rows records physical fold work for the cost model:
+        # rows elided by sketch hits are counted in sketch_rows_elided
         ctx.stats.agg_input_rows += rows
 
     def _merge_partial(self, groups: dict, partial: dict):

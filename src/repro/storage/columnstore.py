@@ -59,6 +59,7 @@ import heapq
 import threading
 from array import array
 from bisect import bisect_left, bisect_right
+from collections import OrderedDict
 from collections.abc import Iterator
 
 from repro.catalog.schema import Table
@@ -84,6 +85,9 @@ DICT_MAX_CARDINALITY = 256
 # proportionally larger; a column that exceeds it is *demoted* back to
 # per-segment encoding choices
 SHARED_DICT_MAX_CARDINALITY = 4096
+
+# default LRU budget for cached per-segment aggregate partials (sketches)
+SKETCH_BUDGET_BYTES = 32 << 20
 
 _INT64_MIN = -(1 << 63)
 _INT64_MAX = (1 << 63) - 1
@@ -772,7 +776,7 @@ class Segment:
 
     __slots__ = ("capacity", "columns", "live", "size", "live_count",
                  "mins", "maxs", "zone_valid", "encoded", "dirty",
-                 "plain_bytes", "encoded_bytes")
+                 "plain_bytes", "encoded_bytes", "sketch_epoch")
 
     def __init__(self, n_columns: int, capacity: int = SEGMENT_ROWS):
         self.capacity = capacity
@@ -790,6 +794,11 @@ class Segment:
         self.dirty = False          # demoted since the last seal
         self.plain_bytes = 0
         self.encoded_bytes = 0
+        # bumped by every mutation of sealed content (kill/revive/demote/
+        # re-seal): a cached sketch built at epoch E is served only while
+        # the segment is still at epoch E, so a bypassed eager-invalidation
+        # hook can never surface a stale partial
+        self.sketch_epoch = 0
 
     @property
     def full(self) -> bool:
@@ -863,6 +872,7 @@ class Segment:
                 self.columns[pos] = col.decode()
         self.encoded = False
         self.dirty = True
+        self.sketch_epoch += 1
 
     def seal(self, shared_dicts: dict | None = None,
              encode_shared: bool = True):
@@ -892,14 +902,17 @@ class Segment:
         self.encoded_bytes = encoded_total
         self.encoded = True
         self.dirty = False
+        self.sketch_epoch += 1
 
     def kill(self, offset: int):
         self.live[offset] = False
         self.live_count -= 1
+        self.sketch_epoch += 1
 
     def revive(self, offset: int):
         self.live[offset] = True
         self.live_count += 1
+        self.sketch_epoch += 1
 
     def may_contain(self, pos: int, low, high,
                     low_inclusive: bool = True,
@@ -929,6 +942,106 @@ class Segment:
         return True
 
 
+class SegmentSketchCache:
+    """Bounded LRU of per-segment aggregate partials ("sketches").
+
+    A sealed main segment is immutable between kills and compactions, so
+    its contribution to a sketch-eligible aggregate (exact COUNT / SUM /
+    AVG / MIN / MAX partials, grouped or not) is a constant the executor
+    would otherwise recompute on every statement.  Entries are keyed by
+    ``(id(segment), plan sketch key)`` and pin the ``Segment`` object (so
+    an id can never be recycled under a live entry) together with the
+    segment's ``sketch_epoch`` at build time: any mutation of sealed
+    content — slot kill/revive, demotion, re-seal — bumps the epoch, so a
+    stale partial is unservable even if an eager invalidation hook were
+    bypassed.  Memory is bounded by ``budget_bytes``: inserts evict
+    least-recently-used entries past the budget.  Counters (`evicted`,
+    `invalidated`) are cumulative for the replica's lifetime and survive
+    ``clear()``.
+    """
+
+    def __init__(self, budget_bytes: int = SKETCH_BUDGET_BYTES):
+        self.budget_bytes = budget_bytes
+        # (id(segment), key) -> (segment, epoch, value, nbytes), LRU order
+        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
+        self._by_segment: dict[int, set] = {}
+        self._lock = threading.Lock()
+        self.total_bytes = 0
+        self.evicted = 0
+        self.invalidated = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _drop_locked(self, full_key: tuple):
+        entry = self._entries.pop(full_key, None)
+        if entry is None:
+            return
+        self.total_bytes -= entry[3]
+        keys = self._by_segment.get(full_key[0])
+        if keys is not None:
+            keys.discard(full_key)
+            if not keys:
+                del self._by_segment[full_key[0]]
+
+    def lookup(self, segment: Segment, key):
+        """The cached partial for ``(segment, key)``, or None.
+
+        Epoch mismatches count as invalidations and drop the entry — the
+        caller rebuilds from the segment's current content.
+        """
+        full_key = (id(segment), key)
+        with self._lock:
+            entry = self._entries.get(full_key)
+            if entry is None:
+                return None
+            held, epoch, value, _nbytes = entry
+            if held is not segment or epoch != segment.sketch_epoch:
+                self._drop_locked(full_key)
+                self.invalidated += 1
+                return None
+            self._entries.move_to_end(full_key)
+            return value
+
+    def store(self, segment: Segment, key, value, nbytes: int):
+        """Cache one partial, evicting LRU entries past the budget."""
+        if nbytes > self.budget_bytes:
+            return
+        full_key = (id(segment), key)
+        with self._lock:
+            if full_key in self._entries:
+                self._drop_locked(full_key)
+            self._entries[full_key] = \
+                (segment, segment.sketch_epoch, value, nbytes)
+            self._by_segment.setdefault(id(segment), set()).add(full_key)
+            self.total_bytes += nbytes
+            while self.total_bytes > self.budget_bytes and self._entries:
+                self._drop_locked(next(iter(self._entries)))
+                self.evicted += 1
+
+    def invalidate(self, segment: Segment):
+        """Eagerly drop every partial of one mutated segment."""
+        with self._lock:
+            keys = self._by_segment.get(id(segment))
+            if not keys:
+                return
+            for full_key in list(keys):
+                self._drop_locked(full_key)
+                self.invalidated += 1
+
+    def drop_segments(self, segments):
+        """Drop partials of segments about to be rewritten by compaction."""
+        for segment in segments:
+            self.invalidate(segment)
+
+    def clear(self):
+        """Drop every entry (replica reset); counters stay cumulative."""
+        with self._lock:
+            self._entries.clear()
+            self._by_segment.clear()
+            self.total_bytes = 0
+
+
 class ColumnarTable:
     """Column-major storage for one table, in fixed-size segments.
 
@@ -946,10 +1059,14 @@ class ColumnarTable:
                  merge_totals: list | None = None,
                  lock: threading.RLock | None = None,
                  shared_dicts: dict | None = None,
-                 failpoints=None):
+                 failpoints=None,
+                 sketches: SegmentSketchCache | None = None):
         if segment_rows <= 0:
             raise ValueError("segment_rows must be positive")
         self._failpoints = failpoints
+        # replica-wide sketch cache: kills/revives/overwrites invalidate
+        # the touched segment's partials eagerly (epoch checks backstop)
+        self._sketches = sketches
         # serialises the mutable touch points (WAL apply, zone-map
         # widening, compaction swap) against concurrent pool workers; a
         # replica shares one lock across its tables so a chunk apply is
@@ -990,6 +1107,10 @@ class ColumnarTable:
 
     # -- write path (WAL application) ----------------------------------
 
+    def _sketch_invalidate(self, segment: Segment):
+        if self._sketches is not None:
+            self._sketches.invalidate(segment)
+
     def _locate(self, slot: int) -> tuple[Segment, int]:
         return (self._segments[slot // self.segment_rows],
                 slot % self.segment_rows)
@@ -1025,6 +1146,7 @@ class ColumnarTable:
                 if segment.live[offset]:
                     segment.kill(offset)
                     self.row_count -= 1
+                    self._sketch_invalidate(segment)
             return
         if slot is None:
             segment = self._delta_append(pk, values)
@@ -1040,6 +1162,7 @@ class ColumnarTable:
                 segment.revive(offset)
                 self.row_count += 1
             segment.write(offset, values)
+            self._sketch_invalidate(segment)
         self._zone_pending.append((segment, values))
 
     def _apply_sorted(self, pk: tuple, values: tuple | None, op: LogOp):
@@ -1065,6 +1188,7 @@ class ColumnarTable:
                     segment, offset = self._locate_main(main_slot)
                     segment.kill(offset)
                     self.row_count -= 1
+                    self._sketch_invalidate(segment)
             return
         if slot is None:
             main_slot = self._main_pk_to_slot.pop(pk, None)
@@ -1074,6 +1198,7 @@ class ColumnarTable:
                 segment, offset = self._locate_main(main_slot)
                 segment.kill(offset)
                 self.row_count -= 1
+                self._sketch_invalidate(segment)
             segment = self._delta_append(pk, values)
         else:
             segment, offset = self._locate(slot)
@@ -1248,6 +1373,12 @@ class ColumnarTable:
                 pk_map[pk] = slot + shift
         for offset, row in enumerate(rows):
             pk_map[pk_of(row)] = region_lo + offset
+        # sketches of the rewritten region die with their segments;
+        # untouched segments outside [start, stop) keep theirs — that
+        # sharing is what carries warm sketches across disjoint-delta
+        # merges (including PR 7's background compactions)
+        if self._sketches is not None:
+            self._sketches.drop_segments(main[start:stop])
         self._main_segments = main[:start] + segments + main[stop:]
         self.main_lo = self.main_lo[:start] + lows + self.main_lo[stop:]
         self.main_hi = self.main_hi[:start] + highs + self.main_hi[stop:]
@@ -1569,11 +1700,15 @@ class ColumnarReplica:
                  sorted_compaction: bool = False,
                  shared_dicts: bool = False,
                  shared_dict_cardinality: int = SHARED_DICT_MAX_CARDINALITY,
-                 failpoints=None):
+                 failpoints=None,
+                 sketch_budget_bytes: int = SKETCH_BUDGET_BYTES):
         if segment_rows <= 0:
             raise ValueError("segment_rows must be positive")
         self.pmap = partition_map or PartitionMap(1)
         self._failpoints = failpoints
+        # one replica-wide sketch cache shared by every table/partition:
+        # the LRU budget bounds total sketch memory, not per-table memory
+        self.sketches = SegmentSketchCache(sketch_budget_bytes)
         # (table, sort_key) in registration order: reset() rebuilds the
         # replica in place from this list, preserving object identity
         # (the executor and planner hold references to the replica)
@@ -1665,7 +1800,8 @@ class ColumnarReplica:
                           merge_totals=self._merge_totals,
                           lock=self._lock,
                           shared_dicts=shared,
-                          failpoints=self._failpoints)
+                          failpoints=self._failpoints,
+                          sketches=self.sketches)
             for _ in self.pmap.all_partitions()
         ]
         self._registrations.append((table, sort_key))
@@ -1686,6 +1822,7 @@ class ColumnarReplica:
             self._table_dicts = {}
             self.applied_lsns = [0] * self.pmap.partitions
             self.applied_ts = 0
+            self.sketches.clear()
             self._scan_factor_cache = (-1, 1.0)
             self._merge_totals[0] = 0
             self._merge_totals[1] = 0
@@ -1774,7 +1911,13 @@ class ColumnarReplica:
         merged["shared_dicts_total"] = len(self._domain_dicts)
         merged["shared_dicts_demoted"] = sum(
             1 for d in self._domain_dicts.values() if not d.active)
-        merged["bytes_encoded"] += shared_bytes
+        # cached segment sketches are replica memory too: count them into
+        # the encoded footprint so the compression ratio stays truthful
+        # when sketches are enabled
+        merged["sketch_bytes"] = self.sketches.total_bytes
+        merged["sketches_cached"] = len(self.sketches)
+        merged["sketch_evictions"] = self.sketches.evicted
+        merged["bytes_encoded"] += shared_bytes + merged["sketch_bytes"]
         merged["bytes_saved"] = \
             merged["bytes_plain"] - merged["bytes_encoded"]
         plain = merged["bytes_plain"]

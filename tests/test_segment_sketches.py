@@ -1,0 +1,455 @@
+"""Segment sketches: cached per-segment aggregate partials.
+
+Covers the storage-level cache (build/hit/epoch invalidation/LRU
+eviction), planner eligibility and plan-cache flag isolation, kill ->
+correction-overlay -> compaction re-seal correctness, circuit-breaker
+bypass (degraded statements never serve a stale sketch), counter
+plumbing to reports, and three-workload byte parity sketches-on vs
+sketches-off across partitions {1, 2, 8} fully replicated and mid-lag.
+"""
+
+from random import Random
+
+import pytest
+
+from repro.core.config import BenchConfig
+from repro.core.report import render_csv, render_text
+from repro.core.runner import RunReport
+from repro.core.session import run_transaction
+from repro.db import Database
+from repro.workloads import make_workload
+
+NATIONS = ["FRANCE", "GERMANY", "BRAZIL", "JAPAN", "INDIA", "KENYA",
+           "CANADA"]
+
+GROUPED_SQL = ("SELECT nation, COUNT(*) AS n, SUM(amount) AS s, "
+               "AVG(qty) AS a, MIN(amount) AS mn, MAX(amount) AS mx "
+               "FROM cust GROUP BY nation ORDER BY nation")
+NOT_NULL_SQL = ("SELECT qty, COUNT(*) AS n, SUM(amount) AS s FROM cust "
+                "WHERE d IS NOT NULL GROUP BY qty ORDER BY qty")
+GLOBAL_SQL = "SELECT COUNT(*) AS n, SUM(qty) AS s FROM cust"
+
+
+def _make_db(segment_rows=64, segment_sketches=True, partitions=1,
+             sketch_budget_bytes=None):
+    db = Database(with_columnar=True, columnar_segment_rows=segment_rows,
+                  sorted_compaction=True, shared_dicts=True,
+                  segment_sketches=segment_sketches, partitions=partitions,
+                  sketch_budget_bytes=sketch_budget_bytes)
+    db.execute_ddl(
+        "CREATE TABLE cust ("
+        "  id INT PRIMARY KEY,"
+        "  nation VARCHAR,"
+        "  qty INT,"
+        "  amount DOUBLE,"
+        "  d VARCHAR"
+        ")")
+    return db
+
+
+def _fill(db, n=640, seed=11):
+    rng = Random(seed)
+    ids = list(range(n))
+    rng.shuffle(ids)
+    with db.connect() as conn:
+        for i in ids:
+            d = None if i % 9 == 4 else f"2026-{(i % 12) + 1:02d}"
+            conn.execute(
+                "INSERT INTO cust (id, nation, qty, amount, d) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (i, NATIONS[i % 7], i % 13, float(i) * 0.25, d))
+        conn.commit()
+    db.replicate()
+    db.columnar.compact(force=True)
+    return db
+
+
+def _routed(db, sql, params=()):
+    with db.connect() as conn:
+        result = conn.execute(sql, params, route_columnar=True)
+        conn.commit()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# cache level: build, hit, elision, budget
+# ---------------------------------------------------------------------------
+
+class TestSketchCache:
+    def test_cold_build_then_warm_hit(self):
+        db = _fill(_make_db())
+        cold = _routed(db, GROUPED_SQL)
+        assert cold.stats.sketches_built > 0
+        assert cold.stats.sketches_hit == 0
+        warm = _routed(db, GROUPED_SQL)
+        assert warm.stats.sketches_built == 0
+        assert warm.stats.sketches_hit == cold.stats.sketches_built
+        assert warm.stats.sketch_rows_elided >= 640 - 640 % 64
+        assert warm.rows == cold.rows
+
+    def test_warm_rows_match_sketches_off(self):
+        on = _fill(_make_db())
+        off = _fill(_make_db(segment_sketches=False))
+        for sql in (GROUPED_SQL, NOT_NULL_SQL, GLOBAL_SQL):
+            baseline = _routed(off, sql)
+            assert baseline.stats.sketches_built == 0
+            assert baseline.stats.sketches_hit == 0
+            assert _routed(on, sql).rows == baseline.rows  # cold
+            assert _routed(on, sql).rows == baseline.rows  # warm
+
+    def test_not_null_pushdown_keeps_sketch_eligibility(self):
+        # the null-free qty/amount segments still serve whole-segment
+        # sketches under WHERE d IS NOT NULL: only segments that actually
+        # contain a NULL d fall back to the row fold
+        db = _fill(_make_db())
+        _routed(db, NOT_NULL_SQL)
+        warm = _routed(db, NOT_NULL_SQL)
+        assert warm.stats.sketches_hit > 0
+
+    def test_encoding_stats_report_sketch_memory(self):
+        db = _fill(_make_db())
+        before = db.columnar.encoding_stats()
+        assert before["sketches_cached"] == 0
+        assert before["sketch_bytes"] == 0
+        _routed(db, GROUPED_SQL)
+        stats = db.columnar.encoding_stats()
+        assert stats["sketches_cached"] > 0
+        assert stats["sketch_bytes"] > 0
+        assert stats["sketch_evictions"] == 0
+
+    def test_lru_eviction_under_tiny_budget(self):
+        db = _fill(_make_db(sketch_budget_bytes=2048))
+        for sql in (GROUPED_SQL, NOT_NULL_SQL, GLOBAL_SQL):
+            _routed(db, sql)
+        cache = db.columnar.sketches
+        assert cache.evicted > 0
+        assert cache.total_bytes <= 2048
+        # evicted entries rebuild on demand and stay correct
+        off = _fill(_make_db(segment_sketches=False))
+        for sql in (GROUPED_SQL, NOT_NULL_SQL, GLOBAL_SQL):
+            assert _routed(db, sql).rows == _routed(off, sql).rows
+
+    def test_oversized_entry_is_never_cached(self):
+        db = _fill(_make_db(sketch_budget_bytes=64))
+        _routed(db, GROUPED_SQL)
+        cache = db.columnar.sketches
+        assert len(cache) == 0
+        assert cache.total_bytes == 0
+
+    def test_sketches_off_database_never_touches_cache(self):
+        db = _fill(_make_db(segment_sketches=False))
+        for sql in (GROUPED_SQL, NOT_NULL_SQL, GLOBAL_SQL):
+            result = _routed(db, sql)
+            assert result.stats.sketches_built == 0
+            assert result.stats.sketches_hit == 0
+        assert len(db.columnar.sketches) == 0
+
+
+# ---------------------------------------------------------------------------
+# invalidation: kill -> correction overlay -> compaction re-seal
+# ---------------------------------------------------------------------------
+
+class TestSketchInvalidation:
+    def _warm(self, db):
+        _routed(db, GROUPED_SQL)
+        warm = _routed(db, GROUPED_SQL)
+        assert warm.stats.sketches_hit > 0
+        return warm
+
+    def test_update_of_main_row_invalidates_and_corrects(self):
+        db = _fill(_make_db())
+        off = _fill(_make_db(segment_sketches=False))
+        self._warm(db)
+        invalidated_before = db.columnar.sketches.invalidated
+        with db.connect() as conn:
+            conn.execute("UPDATE cust SET amount = ?, qty = ? WHERE id = ?",
+                         (99999.5, 12, 17))
+            conn.commit()
+        db.replicate()
+        with off.connect() as conn:
+            conn.execute("UPDATE cust SET amount = ?, qty = ? WHERE id = ?",
+                         (99999.5, 12, 17))
+            conn.commit()
+        off.replicate()
+        # the kill eagerly dropped the victim segment's partials
+        assert db.columnar.sketches.invalidated > invalidated_before
+        corrected = _routed(db, GROUPED_SQL)
+        assert corrected.rows == _routed(off, GROUPED_SQL).rows
+        # untouched segments still serve their warm partials; the killed
+        # segment row-folds (partially-live segments are not memoised
+        # until compaction re-seals them)
+        assert corrected.stats.sketches_hit > 0
+        assert corrected.stats.sketches_built == 0
+        db.columnar.compact(force=True)
+        off.columnar.compact(force=True)
+        resealed = _routed(db, GROUPED_SQL)
+        assert resealed.rows == _routed(off, GROUPED_SQL).rows
+        assert resealed.stats.sketches_built >= 1
+        warm = _routed(db, GROUPED_SQL)
+        assert warm.stats.sketches_built == 0
+        assert warm.rows == resealed.rows
+
+    def test_delete_of_main_rows_invalidates_and_corrects(self):
+        db = _fill(_make_db())
+        off = _fill(_make_db(segment_sketches=False))
+        self._warm(db)
+        for engine in (db, off):
+            with engine.connect() as conn:
+                conn.execute("DELETE FROM cust WHERE id < ?", (40,))
+                conn.commit()
+            engine.replicate()
+        assert _routed(db, GROUPED_SQL).rows == _routed(off, GROUPED_SQL).rows
+        assert _routed(db, NOT_NULL_SQL).rows == \
+            _routed(off, NOT_NULL_SQL).rows
+
+    def test_compaction_reseal_drops_merged_partials(self):
+        db = _fill(_make_db())
+        off = _fill(_make_db(segment_sketches=False))
+        self._warm(db)
+        for engine in (db, off):
+            with engine.connect() as conn:
+                conn.execute("UPDATE cust SET amount = ? WHERE id = ?",
+                             (-1.5, 100))
+                conn.execute("DELETE FROM cust WHERE id = ?", (101,))
+                conn.commit()
+            engine.replicate()
+            engine.columnar.compact(force=True)
+        rebuilt = _routed(db, GROUPED_SQL)
+        assert rebuilt.rows == _routed(off, GROUPED_SQL).rows
+        warm = _routed(db, GROUPED_SQL)
+        assert warm.rows == rebuilt.rows
+        assert warm.stats.sketches_built == 0
+        assert warm.stats.sketches_hit > 0
+
+    def test_disjoint_compaction_keeps_untouched_partials_warm(self):
+        # segments whose Segment objects survive a compaction unchanged
+        # keep their warm sketches: only the merged span rebuilds
+        db = _fill(_make_db())
+        self._warm(db)
+        built_total = db.columnar.sketches
+        cached_before = len(built_total)
+        with db.connect() as conn:
+            conn.execute("UPDATE cust SET amount = ? WHERE id = ?",
+                         (7.75, 3))
+            conn.commit()
+        db.replicate()
+        db.columnar.compact(force=True)
+        assert 0 < len(db.columnar.sketches) < cached_before
+        warm = _routed(db, GROUPED_SQL)
+        assert warm.stats.sketches_hit > 0
+        assert warm.stats.sketches_built >= 1
+
+
+# ---------------------------------------------------------------------------
+# planner: eligibility and plan-cache flag isolation
+# ---------------------------------------------------------------------------
+
+class TestSketchPlanning:
+    def test_flag_flip_replans(self):
+        db = _fill(_make_db())
+        sketch_plan = db.prepare(GROUPED_SQL)
+        db.planner.segment_sketches = False
+        plain_plan = db.prepare(GROUPED_SQL)
+        assert plain_plan is not sketch_plan
+        result = _routed(db, GROUPED_SQL)
+        assert result.stats.sketches_built == 0
+        assert result.stats.sketches_hit == 0
+        db.planner.segment_sketches = True
+        assert db.prepare(GROUPED_SQL) is sketch_plan
+
+    def test_residual_predicate_disables_sketches(self):
+        db = _fill(_make_db())
+        sql = ("SELECT nation, COUNT(*) AS n FROM cust "
+               "WHERE qty + 1 > 3 GROUP BY nation ORDER BY nation")
+        _routed(db, sql)
+        warm = _routed(db, sql)
+        assert warm.stats.sketches_built == 0
+        assert warm.stats.sketches_hit == 0
+        off = _fill(_make_db(segment_sketches=False))
+        assert _routed(db, sql).rows == _routed(off, sql).rows
+
+    def test_distinct_aggregate_disables_sketches(self):
+        db = _fill(_make_db())
+        sql = ("SELECT nation, COUNT(DISTINCT qty) AS n FROM cust "
+               "GROUP BY nation ORDER BY nation")
+        _routed(db, sql)
+        warm = _routed(db, sql)
+        assert warm.stats.sketches_built == 0
+        assert warm.stats.sketches_hit == 0
+
+    def test_projection_variants_share_cached_partials(self):
+        # sketch keys are expressed in table positions, so a different
+        # projection of the same aggregate reuses the warm partials
+        db = _fill(_make_db())
+        _routed(db, "SELECT nation, SUM(amount) AS s FROM cust "
+                    "GROUP BY nation ORDER BY nation")
+        warm = _routed(db, "SELECT SUM(amount) AS s, nation FROM cust "
+                           "GROUP BY nation ORDER BY nation")
+        assert warm.stats.sketches_hit > 0
+        assert warm.stats.sketches_built == 0
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker: degraded statements bypass (never poison) the cache
+# ---------------------------------------------------------------------------
+
+class TestBreakerBypass:
+    def test_degraded_statements_never_serve_a_stale_sketch(self):
+        db = _fill(_make_db())
+        stale = _routed(db, GROUPED_SQL)
+        assert _routed(db, GROUPED_SQL).stats.sketches_hit > 0
+        # mutate the row store but let the replica lag: every cached
+        # partial is now stale relative to the primary
+        with db.connect() as conn:
+            conn.execute("UPDATE cust SET amount = ? WHERE id = ?",
+                         (123456.0, 5))
+            conn.commit()
+        assert db.replication_lag() > 0
+        cached = len(db.columnar.sketches)
+        db.failpoints.arm("replica.scan", always=True, max_triggers=64)
+        try:
+            for _ in range(4):
+                degraded = _routed(db, GROUPED_SQL)
+                assert degraded.stats.degraded_statements == 1
+                # the row pipeline never consults the sketch cache
+                assert degraded.stats.sketches_hit == 0
+                assert degraded.stats.sketches_built == 0
+                # and it sees the fresh primary data the replica lacks
+                assert degraded.rows != stale.rows
+                assert any(row[2] > 123000.0 for row in degraded.rows)
+        finally:
+            db.failpoints.disarm_all()
+        # degradation bypassed the cache without poisoning it: the warm
+        # entries are untouched ...
+        assert len(db.columnar.sketches) == cached
+        # ... and once the breaker heals and the replica catches up, the
+        # columnar path serves the fresh answer (the kill invalidates the
+        # stale partial; epoch checks backstop it)
+        db.replicate()
+        while db.replica_breaker.is_open:
+            _routed(db, GLOBAL_SQL)
+        healed = _routed(db, GROUPED_SQL)
+        assert healed.stats.degraded_statements == 0
+        assert healed.rows == degraded.rows
+
+
+# ---------------------------------------------------------------------------
+# counter plumbing: ExecStats -> RunReport -> text/CSV
+# ---------------------------------------------------------------------------
+
+class TestCounterPlumbing:
+    def _report(self):
+        report = RunReport(
+            config=BenchConfig(workload="subenchmark"),
+            engine="test", window_ms=1000.0)
+        report.sketches_built = 12
+        report.sketches_hit = 340
+        report.sketch_rows_elided = 56789
+        report.sketch_invalidations = 4
+        return report
+
+    def test_summary_and_text_show_sketch_counters(self):
+        text = render_text(self._report())
+        assert "built=12" in text
+        assert "hit=340" in text
+        assert "rows_elided=56789" in text
+        assert "invalidations=4" in text
+        assert "sketches:" in self._report().summary_text()
+
+    def test_csv_carries_sketch_counters(self):
+        import csv as csv_mod
+        import io
+
+        report = self._report()
+        report.classes["olap"] = report.metrics("olap")
+        rows = list(csv_mod.DictReader(io.StringIO(render_csv([report]))))
+        assert rows[0]["sketches_built"] == "12"
+        assert rows[0]["sketches_hit"] == "340"
+        assert rows[0]["sketch_rows_elided"] == "56789"
+        assert rows[0]["sketch_invalidations"] == "4"
+
+
+# ---------------------------------------------------------------------------
+# workload-level parity: sketches on vs off across partitions and lag
+# ---------------------------------------------------------------------------
+
+def _build_workload_db(name, scale, seed, sketches, partitions):
+    db = Database(with_columnar=True, columnar_segment_rows=64,
+                  sorted_compaction=True, shared_dicts=True,
+                  segment_sketches=sketches, partitions=partitions)
+    workload = make_workload(name)
+    workload.install(db, Random(seed), scale, with_foreign_keys=False)
+    return db, workload
+
+
+def _mutate(db, workload, seed, rounds=2):
+    rng = Random(seed)
+    with db.connect() as conn:
+        for _ in range(rounds):
+            for profile in workload.oltp_transactions():
+                run_transaction(conn, "oltp", profile.name, profile.program,
+                                rng)
+
+
+def _run_analytical(db, workload, seed):
+    outputs = []
+    for profile in workload.analytical_queries():
+        rng = Random(f"{profile.name}:{seed}")
+        with db.connect() as conn:
+            class _S:
+                def execute(self, sql, params=()):
+                    result = conn.execute(sql, params, route_columnar=True)
+                    outputs.append((profile.name, result.columns,
+                                    result.rows))
+                    return result
+
+                def query_scalar(self, sql, params=()):
+                    return self.execute(sql, params).scalar()
+            profile.program(_S(), rng)
+            conn.commit()
+    return outputs
+
+
+@pytest.mark.parametrize("workload_name", ["subenchmark", "fibenchmark",
+                                           "tabenchmark"])
+@pytest.mark.parametrize("partitions", [1, 2, 8])
+class TestWorkloadParity:
+    def test_fully_replicated_byte_identical(self, workload_name, partitions):
+        on, workload = _build_workload_db(workload_name, 0.05, 7, True,
+                                          partitions)
+        off, _ = _build_workload_db(workload_name, 0.05, 7, False,
+                                    partitions)
+        on.replicate()
+        off.replicate()
+        on.columnar.compact(force=True)
+        off.columnar.compact(force=True)
+        # run twice: the first pass builds sketches, the second must
+        # serve the warm partials byte-identically
+        cold = _run_analytical(on, workload, seed=7)
+        warm = _run_analytical(on, workload, seed=7)
+        baseline = _run_analytical(off, workload, seed=7)
+        assert cold == baseline
+        assert warm == baseline
+
+    def test_mid_replication_byte_identical(self, workload_name, partitions):
+        on, workload = _build_workload_db(workload_name, 0.05, 9, True,
+                                          partitions)
+        off, _ = _build_workload_db(workload_name, 0.05, 9, False,
+                                    partitions)
+        on.replicate()
+        off.replicate()
+        on.columnar.compact(force=True)
+        off.columnar.compact(force=True)
+        # warm the sketches at the pre-mutation watermark, then lag
+        _run_analytical(on, workload, seed=9)
+        _mutate(on, workload, seed=13)
+        _mutate(off, workload, seed=13)
+        lag = on.replication_lag()
+        assert lag == off.replication_lag() and lag > 1
+        assert on.replicate(limit=lag // 2) == off.replicate(limit=lag // 2)
+        assert on.replication_lag() > 0
+        cold = _run_analytical(on, workload, seed=9)
+        warm = _run_analytical(on, workload, seed=9)
+        baseline = _run_analytical(off, workload, seed=9)
+        assert cold == baseline
+        assert warm == baseline
